@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_*`` bench regenerates one table or figure of the paper on
+the full A/B dataset sweep and prints the series (run pytest with
+``-s`` or check the captured output).  ``benchmark.pedantic`` with a
+single round is used because one "iteration" here is a complete
+multi-simulation experiment, not a microbenchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print a rendered table so it lands in the benchmark log."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show

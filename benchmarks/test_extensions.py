@@ -1,0 +1,63 @@
+"""Extension benches: beyond the paper's figures (see DESIGN.md §6).
+
+* a dense SIMD-width sweep locating each kernel's crossover width,
+* main-memory latency sensitivity of the GLSC advantage,
+* graceful degradation under injected reservation loss.
+"""
+
+from repro.harness.extensions import (
+    failure_resilience,
+    latency_sensitivity,
+    width_sweep,
+)
+
+
+def test_width_sweep_crossover(benchmark, show):
+    row = benchmark.pedantic(
+        lambda: width_sweep("tms", "A", widths=(1, 2, 4, 8, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "TMS-A Base/GLSC ratio by width: "
+        + ", ".join(f"W{w}={r:.2f}" for w, r in sorted(row.ratios.items()))
+        + f"  (crossover at W{row.crossover_width()})"
+    )
+    # The ratio is (weakly) increasing in width and crosses above 1.
+    widths = sorted(row.ratios)
+    assert row.ratios[widths[-1]] > row.ratios[widths[0]]
+    assert row.crossover_width() is not None
+    assert row.crossover_width() <= 4
+
+
+def test_latency_sensitivity(benchmark, show):
+    row = benchmark.pedantic(
+        lambda: latency_sensitivity("tms", "A", latencies=(70, 280, 560)),
+        rounds=1,
+        iterations=1,
+    )
+    show(
+        "TMS-A Base/GLSC ratio by memory latency: "
+        + ", ".join(f"{l}cyc={r:.2f}" for l, r in sorted(row.ratios.items()))
+    )
+    # Miss overlap matters more the farther memory is.
+    assert row.ratios[560] > row.ratios[70]
+
+
+def test_failure_resilience(benchmark, show):
+    rows = benchmark.pedantic(
+        lambda: failure_resilience("gbc", "A", losses=(0.0, 0.05, 0.1)),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        show(
+            f"GBC-A loss={row.loss:.2f}: cycles={row.cycles} "
+            f"failure={row.failure_rate:.3f} "
+            f"slowdown={row.slowdown_vs_clean:.2f}x"
+        )
+    # Degradation is graceful: 10% random loss costs well under 2x.
+    assert rows[-1].slowdown_vs_clean < 2.0
+    # And failure rate rises monotonically with injected loss.
+    rates = [row.failure_rate for row in rows]
+    assert rates == sorted(rates)

@@ -1,0 +1,29 @@
+"""Regenerate Figure 5: benchmark behaviour with GLSC at 1x1.
+
+(a) fraction of execution time in synchronization operations at
+1-wide SIMD; (b) SIMD efficiency — speedup of the 4- and 16-wide GLSC
+binaries over 1-wide.
+"""
+
+from repro.harness import experiments, report
+from repro.harness.session import Session
+
+
+def test_fig5a_sync_time(benchmark, show):
+    session = Session()
+    rows = benchmark.pedantic(
+        lambda: experiments.fig5a(session=session), rounds=1, iterations=1
+    )
+    show(report.render_fig5a(rows))
+    # Shape check (paper: every kernel spends visible time in sync ops).
+    assert all(row.sync_percent > 1.0 for row in rows)
+
+
+def test_fig5b_simd_efficiency(benchmark, show):
+    session = Session()
+    rows = benchmark.pedantic(
+        lambda: experiments.fig5b(session=session), rounds=1, iterations=1
+    )
+    show(report.render_fig5b(rows))
+    # Shape check (paper: every benchmark gains from 4-wide SIMD).
+    assert all(row.speedup_4wide > 1.0 for row in rows)

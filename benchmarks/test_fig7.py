@@ -1,0 +1,29 @@
+"""Regenerate Figure 7: the Section 5.2 microbenchmark, scenarios A-D.
+
+Scenario A isolates miss overlap, B adds line combining, C isolates
+instruction-count reduction, and D (all lanes aliased) is the case
+with no SIMD parallelism, where GLSC can lose — especially at 16-wide,
+exactly as the paper observes.
+"""
+
+from repro.harness import experiments, report
+from repro.harness.session import Session
+
+
+def test_fig7_microbenchmark(benchmark, show):
+    session = Session()
+    rows = benchmark.pedantic(
+        lambda: experiments.fig7(session=session), rounds=1, iterations=1
+    )
+    show(report.render_fig7(rows))
+
+    by_name = {row.scenario: row for row in rows}
+    # Shape checks straight from Section 5.2's discussion:
+    # A (miss overlap + instructions) beats B/C (hits only).
+    assert by_name["A"].ratio_4wide > by_name["C"].ratio_4wide
+    # B (combining) >= C (no combining possible).
+    assert by_name["B"].ratio_4wide >= by_name["C"].ratio_4wide - 0.05
+    # D has no SIMD parallelism: GLSC no better than Base...
+    assert by_name["D"].ratio_4wide <= 1.05
+    # ...and at 16-wide GLSC is *slower* than Base in scenario D.
+    assert by_name["D"].ratio_16wide < 1.0

@@ -1,0 +1,34 @@
+"""Regenerate Figure 8: GLSC benefit vs SIMD width (1/4/16) at 4x4.
+
+The paper's forward-looking claim: GLSC's advantage grows with SIMD
+width (avg ~1.0x at 1-wide to ~2x at 16-wide), most for the kernels
+with high SIMD efficiency.
+"""
+
+import statistics
+
+from repro.harness import experiments, report
+from repro.harness.session import Session
+
+
+def test_fig8_simd_width_scaling(benchmark, show):
+    session = Session()
+    rows = benchmark.pedantic(
+        lambda: experiments.fig8(session=session), rounds=1, iterations=1
+    )
+    show(report.render_fig8(rows))
+
+    mean_by_width = {
+        width: statistics.mean(row.ratios[width] for row in rows)
+        for width in (1, 4, 16)
+    }
+    show(
+        "mean Base/GLSC ratio by width: "
+        + ", ".join(f"{w}-wide={r:.2f}" for w, r in mean_by_width.items())
+    )
+    # Shape: the mean ratio grows monotonically with SIMD width, and
+    # 1-wide is near parity (paper: "On average, GLSC has the same
+    # performance as Base" at 1-wide).
+    assert 0.75 <= mean_by_width[1] <= 1.25
+    assert mean_by_width[4] > mean_by_width[1]
+    assert mean_by_width[16] > mean_by_width[4]

@@ -1,0 +1,48 @@
+"""Regenerate Table 4: analysis of where GLSC's benefit comes from.
+
+Columns: dynamic-instruction reduction, memory-stall reduction, L1
+accesses saved by GSU line combining (as a share of atomic-op
+accesses), and the GLSC element failure rates at 1x1 and 4x4.
+"""
+
+from repro.harness import experiments, report
+from repro.harness.session import Session
+
+
+def test_table4_analysis(benchmark, show):
+    session = Session()
+    rows = benchmark.pedantic(
+        lambda: experiments.table4(session=session), rounds=1, iterations=1
+    )
+    show(report.render_table4(rows))
+
+    by_key = {(r.kernel, r.dataset): r for r in rows}
+    # Shape checks from the paper's Table 4:
+    # every kernel executes fewer instructions with GLSC...
+    assert all(r.instruction_reduction > 0 for r in rows)
+    # ...the alias-heavy kernels fail at their alias rate even alone...
+    assert by_key[("gbc", "A")].failure_rate_1x1 > 20
+    assert by_key[("hip", "A")].failure_rate_1x1 > 25
+    # ...the reduction kernels barely fail at all...
+    for kernel in ("tms", "smc", "fs", "gps", "mfp"):
+        assert by_key[(kernel, "A")].failure_rate_1x1 < 2.0, kernel
+    # ...and cross-thread collisions add little on top of aliasing
+    # for the alias-dominated kernels.
+    assert (
+        by_key[("gbc", "A")].failure_rate_4x4
+        - by_key[("gbc", "A")].failure_rate_1x1
+        < 5.0
+    )
+
+
+def test_table1_and_table3_render(benchmark, show):
+    """The two configuration tables (no simulation needed)."""
+    rows = benchmark.pedantic(
+        lambda: (experiments.table1(), experiments.table3()),
+        rounds=1,
+        iterations=1,
+    )
+    show(report.render_table1(rows[0]))
+    show(report.render_table3(rows[1]))
+    assert rows[0]["mem_latency"] == 280
+    assert len(rows[1]) == 14

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""HIP case study: when does GLSC help a histogram, and when not?
+
+Reproduces the paper's Section 5.1 discussion of HIP — the one
+benchmark where Base can beat GLSC.  On spatially coherent images
+(cars, people) many SIMD lanes alias on the same bin and GLSC pays
+retries; on random input the alias rate collapses and GLSC wins.
+
+Run:  python examples/histogram_images.py
+"""
+
+from repro.sim.config import MachineConfig
+from repro.sim.runner import run_kernel
+from repro.workloads.datasets import dataset_params
+from repro.workloads.images import alias_fraction, generate_image
+
+
+def main() -> None:
+    config = MachineConfig(n_cores=4, threads_per_core=4, simd_width=4)
+    print(f"machine: 4x4, {config.simd_width}-wide SIMD\n")
+    print(f"{'dataset':10s} {'alias@4':>8s} {'Base':>9s} {'GLSC':>9s} "
+          f"{'Base/GLSC':>10s} {'fail rate':>10s}")
+    for dataset in ("A", "B", "random"):
+        params = dataset_params("hip", dataset)
+        pixels = generate_image(
+            n_pixels=params["n_pixels"],
+            n_colors=params["n_bins"],
+            coherence=params["coherence"],
+            skew=params["skew"],
+            seed=params["seed"],
+        )
+        aliasing = alias_fraction(
+            [p % params["n_bins"] for p in pixels], config.simd_width
+        )
+        base = run_kernel("hip", dataset, config, "base").stats
+        glsc = run_kernel("hip", dataset, config, "glsc").stats
+        print(
+            f"{dataset:10s} {aliasing:8.1%} {base.cycles:9d} "
+            f"{glsc.cycles:9d} {base.cycles / glsc.cycles:10.2f} "
+            f"{glsc.glsc_failure_rate:10.1%}"
+        )
+    print(
+        "\nAs in the paper: the car-image regime (A) makes GLSC lose to the"
+        "\nprivatized Base, while random input flips the result."
+    )
+
+
+if __name__ == "__main__":
+    main()

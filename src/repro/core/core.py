@@ -1,0 +1,252 @@
+"""In-order SMT core model.
+
+Each core executes up to ``threads_per_core`` thread programs with a
+shared issue bandwidth of ``issue_width`` instructions per cycle,
+picking among ready threads round-robin — the standard fine-grained
+SMT policy, and what lets the paper's 1x4 configuration hide memory
+latency.
+
+Instruction execution is dispatched to the LSU (scalar + contiguous
+SIMD) and the GSU (indexed SIMD, including the GLSC instructions).
+ALU/VALU work costs one cycle per operation.  A thread blocks on its
+own memory instruction until the unit reports the completion cycle;
+gather/scatter instructions are blocking per the paper (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import ProgramError, SimulationError
+from repro.core.gsu import Gsu
+from repro.core.lsu import Lsu
+from repro.core.ports import L1Port
+from repro.isa.instructions import Instr, Kind, MEMORY_KINDS
+from repro.isa.program import Program, ThreadCtx
+from repro.mem.coherence import CoherenceSystem
+from repro.mem.image import MemoryImage
+from repro.sim.config import MachineConfig
+from repro.sim.stats import MachineStats, ThreadStats
+
+__all__ = ["HwThread", "Core"]
+
+#: Thread lifecycle states.
+T_READY = "ready"
+T_BARRIER = "barrier"
+T_DONE = "done"
+
+
+class HwThread:
+    """Runtime state of one hardware thread context."""
+
+    def __init__(
+        self,
+        global_tid: int,
+        slot: int,
+        program: Program,
+        ctx: ThreadCtx,
+        stats: ThreadStats,
+    ) -> None:
+        self.global_tid = global_tid
+        self.slot = slot
+        self.ctx = ctx
+        self.stats = stats
+        self.state = T_READY
+        self.ready_at = 0
+        self.barrier_group: Optional[str] = None
+        self.barrier_since = 0
+        self._pending_result: Any = None
+        self._started = False
+        self._gen = program(ctx)
+
+    def runnable_at(self, now: int) -> bool:
+        """Whether this thread can issue an instruction at ``now``."""
+        return self.state == T_READY and self.ready_at <= now
+
+    def next_instr(self) -> Optional[Instr]:
+        """Advance the program generator by one instruction.
+
+        Returns None when the program has finished.
+        """
+        try:
+            if not self._started:
+                self._started = True
+                instr = next(self._gen)
+            else:
+                instr = self._gen.send(self._pending_result)
+        except StopIteration:
+            return None
+        if not isinstance(instr, Instr):
+            raise ProgramError(
+                f"thread {self.global_tid} yielded {type(instr).__name__}, "
+                f"expected Instr"
+            )
+        return instr
+
+    def deliver(self, result: Any) -> None:
+        """Stage the architectural result for the next generator resume."""
+        self._pending_result = result
+
+
+class Core:
+    """One in-order SMT core with private L1 port, LSU, and GSU."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: MachineConfig,
+        coherence: CoherenceSystem,
+        image: MemoryImage,
+        stats: MachineStats,
+        tracer=None,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.port = L1Port()
+        self.lsu = Lsu(core_id, config, coherence, image, stats, self.port)
+        self.gsu = Gsu(core_id, config, coherence, image, stats, self.port)
+        self.threads: List[HwThread] = []
+        self.tracer = tracer
+        self._rr = 0
+
+    def add_thread(self, thread: HwThread) -> None:
+        """Attach a hardware thread to this core."""
+        if len(self.threads) >= self.config.threads_per_core:
+            raise SimulationError(
+                f"core {self.core_id} already has "
+                f"{self.config.threads_per_core} threads"
+            )
+        self.threads.append(thread)
+
+    # -- scheduling --------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        """Issue up to ``issue_width`` instructions at cycle ``now``."""
+        n = len(self.threads)
+        if n == 0:
+            return
+        issued = 0
+        for i in range(n):
+            if issued >= self.config.issue_width:
+                break
+            thread = self.threads[(self._rr + i) % n]
+            if not thread.runnable_at(now):
+                continue
+            self._issue_one(thread, now)
+            issued += 1
+        self._rr = (self._rr + 1) % n
+
+    def next_ready_cycle(self) -> Optional[int]:
+        """Earliest cycle any thread here can issue, or None if none can."""
+        candidates = [
+            t.ready_at for t in self.threads if t.state == T_READY
+        ]
+        return min(candidates) if candidates else None
+
+    def all_done(self) -> bool:
+        """Whether every thread on this core has finished."""
+        return all(t.state == T_DONE for t in self.threads)
+
+    # -- execution -----------------------------------------------------------
+
+    def _issue_one(self, thread: HwThread, now: int) -> None:
+        instr = thread.next_instr()
+        if instr is None:
+            thread.state = T_DONE
+            thread.stats.finish_cycle = now
+            return
+        completion, result = self._execute(thread, instr, now)
+        if self.tracer is not None:
+            from repro.sim.trace import TraceEvent
+
+            self.tracer.record(
+                TraceEvent(
+                    cycle=now,
+                    completion=completion,
+                    thread=thread.global_tid,
+                    core=self.core_id,
+                    kind=instr.kind,
+                    sync=instr.sync,
+                )
+            )
+        icount = instr.count if instr.kind in (Kind.ALU, Kind.VALU) else 1
+        thread.stats.instructions += icount
+        thread.stats.busy_cycles += max(completion - now, 1)
+        if instr.kind in MEMORY_KINDS:
+            thread.stats.mem_instructions += 1
+            thread.stats.mem_stall_cycles += max(completion - now - 1, 0)
+        if instr.sync:
+            thread.stats.sync_instructions += icount
+            thread.stats.sync_cycles += max(completion - now, 1)
+        thread.deliver(result)
+        if instr.kind == Kind.BARRIER:
+            thread.state = T_BARRIER
+            thread.barrier_group = instr.group
+            thread.barrier_since = now
+        else:
+            thread.ready_at = completion
+
+    def _execute(self, thread: HwThread, instr: Instr, now: int):
+        """Execute one instruction; returns (completion cycle, result)."""
+        kind = instr.kind
+        slot = thread.slot
+        if kind == Kind.ALU:
+            return now + instr.count, None
+        if kind == Kind.VALU:
+            return now + instr.count, instr.fn()
+        if kind == Kind.LOAD:
+            value, completion = self.lsu.load(
+                slot, instr.addr, now, sync=instr.sync
+            )
+            return completion, value
+        if kind == Kind.STORE:
+            completion = self.lsu.store(
+                slot, instr.addr, instr.value, now, sync=instr.sync
+            )
+            return completion, None
+        if kind == Kind.LL:
+            value, completion = self.lsu.ll(slot, instr.addr, now)
+            return completion, value
+        if kind == Kind.SC:
+            success, completion = self.lsu.sc(
+                slot, instr.addr, instr.value, now
+            )
+            return completion, success
+        if kind == Kind.VLOAD:
+            values, completion = self.lsu.vload(
+                slot, instr.addr, instr.count, now, sync=instr.sync
+            )
+            return completion, values
+        if kind == Kind.VSTORE:
+            completion = self.lsu.vstore(
+                slot, instr.addr, instr.values, instr.mask, now,
+                sync=instr.sync,
+            )
+            return completion, None
+        if kind == Kind.VGATHER:
+            (values, _), completion = self.gsu.gather(
+                slot, instr.base, instr.indices, instr.mask, now,
+                linked=False, sync=instr.sync,
+            )
+            return completion, values
+        if kind == Kind.VGATHERLINK:
+            result, completion = self.gsu.gather(
+                slot, instr.base, instr.indices, instr.mask, now,
+                linked=True,
+            )
+            return completion, result
+        if kind == Kind.VSCATTER:
+            _, completion = self.gsu.scatter(
+                slot, instr.base, instr.indices, instr.values, instr.mask,
+                now, conditional=False, sync=instr.sync,
+            )
+            return completion, None
+        if kind == Kind.VSCATTERCOND:
+            out_mask, completion = self.gsu.scatter(
+                slot, instr.base, instr.indices, instr.values, instr.mask,
+                now, conditional=True,
+            )
+            return completion, out_mask
+        if kind == Kind.BARRIER:
+            return now + 1, None
+        raise SimulationError(f"unhandled instruction kind {kind}")

@@ -1,0 +1,155 @@
+"""GLSC reservation tracking — the heart of the paper's proposal.
+
+Section 3.3 proposes two hardware homes for GLSC entries:
+
+1. **Tag extension** (:class:`TagGlscTracker`): each L1 line grows a
+   {valid bit, SMT-thread id} pair — (1 + log2(threads)) bits per line.
+   Reservations die with the line: eviction or invalidation clears
+   them for free.
+
+2. **Fully-associative buffer** (:class:`BufferGlscTracker`): a small
+   per-core buffer of (line tag, thread id) entries, sized anywhere
+   from one entry to SIMD-width x SMT-threads.  Overflow silently drops
+   the oldest reservation — legal under the best-effort model.
+
+Both implement the same protocol so the coherence controller and GSU
+do not care which is configured (``MachineConfig.glsc_buffer_entries``).
+
+Semantics shared by both (Sections 3.3-3.4):
+
+* ``link`` records a reservation for (core, thread, line); a line holds
+  at most one reservation per core, so linking steals nothing — the GSU
+  *fails* the lane instead when another thread holds the line.
+* ``check`` is true iff the entry is valid and the thread id matches.
+* Any store to the line (including a successful scatter-conditional,
+  which consumes the entry), any invalidation, and any eviction clears
+  the entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.mem.cache import L1Cache
+
+__all__ = ["GlscTracker", "TagGlscTracker", "BufferGlscTracker", "make_tracker"]
+
+
+class GlscTracker:
+    """Protocol for GLSC reservation storage (see module docstring)."""
+
+    def link(self, core_id: int, slot: int, line_addr: int) -> None:
+        """Record a gather-link reservation."""
+        raise NotImplementedError
+
+    def holder(self, core_id: int, line_addr: int) -> Optional[int]:
+        """SMT slot holding a reservation on this line, or None."""
+        raise NotImplementedError
+
+    def check(self, core_id: int, slot: int, line_addr: int) -> bool:
+        """Whether ``slot`` still holds the reservation on this line."""
+        return self.holder(core_id, line_addr) == slot
+
+    def clear(self, core_id: int, line_addr: int) -> None:
+        """Drop any reservation on this line at this core.
+
+        Called on stores (normal and conditional), invalidations, and
+        evictions.
+        """
+        raise NotImplementedError
+
+    def live_entries(self) -> List[Tuple[int, int]]:
+        """All live (core, line) reservations (failure-injection hook)."""
+        raise NotImplementedError
+
+
+class TagGlscTracker(GlscTracker):
+    """GLSC entries in the L1 tag array (primary design, Section 3.3)."""
+
+    def __init__(self, l1s: Dict[int, L1Cache]) -> None:
+        self._l1s = l1s
+
+    def link(self, core_id: int, slot: int, line_addr: int) -> None:
+        line = self._l1s[core_id].lookup(line_addr)
+        if line is None:
+            # The GSU only links lines it has just brought into the L1;
+            # a vanished line means the reservation is simply not taken,
+            # which the best-effort model allows.
+            return
+        line.glsc_valid = True
+        line.glsc_tid = slot
+
+    def holder(self, core_id: int, line_addr: int) -> Optional[int]:
+        line = self._l1s[core_id].lookup(line_addr)
+        if line is None or not line.glsc_valid:
+            return None
+        return line.glsc_tid
+
+    def clear(self, core_id: int, line_addr: int) -> None:
+        line = self._l1s[core_id].lookup(line_addr)
+        if line is not None:
+            line.clear_glsc()
+
+    def live_entries(self) -> List[Tuple[int, int]]:
+        return [
+            (core_id, line.line_addr)
+            for core_id, l1 in self._l1s.items()
+            for line in l1.resident_lines()
+            if line.glsc_valid
+        ]
+
+
+class BufferGlscTracker(GlscTracker):
+    """GLSC entries in a small fully-associative per-core buffer.
+
+    The buffer replaces entries FIFO on overflow; a dropped entry just
+    means that lane's scatter-conditional will fail and retry.
+    """
+
+    def __init__(self, n_cores: int, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError(
+                f"GLSC buffer capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.overflow_drops = 0
+        self._buffers: Dict[int, "OrderedDict[int, int]"] = {
+            core: OrderedDict() for core in range(n_cores)
+        }
+
+    def link(self, core_id: int, slot: int, line_addr: int) -> None:
+        buffer = self._buffers[core_id]
+        if line_addr in buffer:
+            buffer.pop(line_addr)
+        elif len(buffer) >= self.capacity:
+            buffer.popitem(last=False)
+            self.overflow_drops += 1
+        buffer[line_addr] = slot
+
+    def holder(self, core_id: int, line_addr: int) -> Optional[int]:
+        return self._buffers[core_id].get(line_addr)
+
+    def clear(self, core_id: int, line_addr: int) -> None:
+        self._buffers[core_id].pop(line_addr, None)
+
+    def live_entries(self) -> List[Tuple[int, int]]:
+        return [
+            (core_id, line_addr)
+            for core_id, buffer in self._buffers.items()
+            for line_addr in buffer
+        ]
+
+    def occupancy(self, core_id: int) -> int:
+        """Live entries at one core (test hook)."""
+        return len(self._buffers[core_id])
+
+
+def make_tracker(
+    l1s: Dict[int, L1Cache], n_cores: int, buffer_entries: int
+) -> GlscTracker:
+    """Build the tracker selected by ``MachineConfig.glsc_buffer_entries``."""
+    if buffer_entries > 0:
+        return BufferGlscTracker(n_cores, buffer_entries)
+    return TagGlscTracker(l1s)

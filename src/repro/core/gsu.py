@@ -1,0 +1,300 @@
+"""Gather/scatter unit with GLSC support.
+
+This unit implements the paper's four indexed SIMD memory instructions
+(`vgather`, `vscatter`, `vgatherlink`, `vscattercond`) with the timing
+model of Section 4.1:
+
+* address generation produces **one element address per cycle**, so a
+  SIMD-width instruction needs SIMD-width generation cycles; the
+  generator is a per-core resource, so another SMT thread's
+  gather/scatter queues behind it (GSU instruction buffer);
+* requests from one instruction that fall on the **same cache line are
+  combined** into a single L1 access (Section 2.2) — this is one of
+  the paper's three GLSC benefit sources;
+* element accesses **overlap**: each line request is dispatched as its
+  address is generated, and the instruction completes at the latest
+  element completion (plus result assembly), so two L1 misses overlap
+  their latencies — the paper's second benefit source;
+* the minimum latency works out to (4 + SIMD-width) cycles, matching
+  Table 1.
+
+Element-aliasing resolution (two lanes addressing the same *word*) is
+well-defined for the GLSC instructions: exactly one lane wins.  The
+paper allows the detection in either instruction; the config knob
+``glsc_alias_in_gather`` selects the side, defaulting to
+scatter-conditional time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.ports import L1Port
+from repro.isa.masks import Mask
+from repro.mem.coherence import CoherenceSystem
+from repro.mem.image import MemoryImage
+from repro.mem.layout import WORD_BYTES
+from repro.sim.config import MachineConfig
+from repro.sim.stats import MachineStats
+
+__all__ = ["Gsu"]
+
+
+class _LaneRequest:
+    """One active lane of an indexed SIMD memory instruction."""
+
+    __slots__ = ("lane", "order", "addr", "line_addr")
+
+    def __init__(self, lane: int, order: int, addr: int, line_addr: int) -> None:
+        self.lane = lane
+        self.order = order  # position in address-generation sequence
+        self.addr = addr
+        self.line_addr = line_addr
+
+
+class Gsu:
+    """Per-core gather/scatter unit."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: MachineConfig,
+        coherence: CoherenceSystem,
+        image: MemoryImage,
+        stats: MachineStats,
+        port: L1Port,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.coherence = coherence
+        self.image = image
+        self.stats = stats
+        self.port = port
+        self._gen_free = 0  # when the address generator is next available
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+
+    def _lane_requests(
+        self, base: int, indices: Sequence[int], mask: Mask
+    ) -> List[_LaneRequest]:
+        geometry = self.config.geometry
+        requests = []
+        for order, lane in enumerate(mask.active_lanes()):
+            addr = base + indices[lane] * WORD_BYTES
+            requests.append(
+                _LaneRequest(lane, order, addr, geometry.line_addr(addr))
+            )
+        return requests
+
+    def _start_generation(self, now: int, n_active: int) -> int:
+        """Claim the address generator; returns the start cycle."""
+        start = max(now, self._gen_free)
+        self._gen_free = start + max(n_active, 1)
+        return start
+
+    def _group_by_line(
+        self, requests: List[_LaneRequest]
+    ) -> "Dict[int, List[_LaneRequest]]":
+        groups: Dict[int, List[_LaneRequest]] = {}
+        for req in requests:
+            groups.setdefault(req.line_addr, []).append(req)
+        return groups
+
+    def _resolve_aliases(
+        self, requests: List[_LaneRequest]
+    ) -> Tuple[List[_LaneRequest], List[_LaneRequest]]:
+        """Split requests into per-word winners and alias losers.
+
+        The lowest-ordered lane for each distinct word address wins;
+        every other lane aliasing that word fails with cause 'alias'.
+        """
+        seen: Dict[int, _LaneRequest] = {}
+        winners: List[_LaneRequest] = []
+        losers: List[_LaneRequest] = []
+        for req in requests:
+            if req.addr in seen:
+                losers.append(req)
+            else:
+                seen[req.addr] = req
+                winners.append(req)
+        return winners, losers
+
+    def _charge_combined_lanes(
+        self,
+        group: List[_LaneRequest],
+        start: int,
+        sync: bool,
+        completion: int,
+    ) -> int:
+        """Account for lanes beyond the first in a same-line group.
+
+        With combining enabled they are free (and counted as saved
+        atomic-op accesses when the instruction is a sync op); with
+        combining disabled each costs its own port slot and L1 access.
+        """
+        extra = len(group) - 1
+        if extra <= 0:
+            return completion
+        if self.config.gsu_combine_lines:
+            if sync:
+                self.stats.l1_accesses_saved_by_combining += extra
+            return completion
+        for req in group[1:]:
+            acc_start = self.port.book(start + req.order + 1)
+            self.stats.l1_accesses += 1
+            self.stats.l1_hits += 1
+            if sync:
+                self.stats.l1_sync_accesses += 1
+            completion = max(
+                completion, acc_start + self.config.l1_hit_latency
+            )
+        return completion
+
+    # ------------------------------------------------------------------
+    # gathers
+    # ------------------------------------------------------------------
+
+    def gather(
+        self,
+        slot: int,
+        base: int,
+        indices: Sequence[int],
+        mask: Mask,
+        now: int,
+        linked: bool,
+        sync: bool = False,
+    ) -> Tuple[Tuple[Tuple, Mask], int]:
+        """Execute ``vgather`` (linked=False) or ``vgatherlink``.
+
+        Returns ``((values, out_mask), completion_cycle)``.  For plain
+        gathers the out mask simply echoes the input mask.
+        """
+        width = mask.width
+        requests = self._lane_requests(base, indices, mask)
+        start = self._start_generation(now, len(requests))
+        values: List = [0] * width
+        out_bits = 0
+        sync = sync or linked
+
+        if linked:
+            self.stats.gatherlink_count += 1
+            self.stats.gatherlink_elements += len(requests)
+
+        alias_losers: List[_LaneRequest] = []
+        link_candidates = requests
+        if linked and self.config.glsc_alias_in_gather:
+            link_candidates, alias_losers = self._resolve_aliases(requests)
+            for req in alias_losers:
+                self.stats.record_glsc_failure("alias")
+
+        # Pipeline floor: setup/assembly overhead plus one
+        # address-generation cycle per active lane gives exactly the
+        # (4 + SIMD-width) minimum of Table 1 when everything hits.
+        completion = start + self.config.gsu_assembly_cycles + len(requests)
+        groups = self._group_by_line(link_candidates)
+        for line_addr, group in groups.items():
+            first = group[0]
+            gen_cycle = start + first.order + 1
+            acc_start = self.port.book(gen_cycle)
+            if linked:
+                access, ok, cause = self.coherence.read_linked(
+                    self.core_id, slot, first.addr, acc_start
+                )
+                if ok:
+                    for req in group:
+                        out_bits |= 1 << req.lane
+                else:
+                    self.stats.record_glsc_failure(cause, len(group))
+            else:
+                access = self.coherence.read(
+                    self.core_id, slot, first.addr, acc_start, sync=sync
+                )
+                for req in group:
+                    out_bits |= 1 << req.lane
+            completion = max(completion, acc_start + access.latency)
+            completion = self._charge_combined_lanes(
+                group, start, sync, completion
+            )
+
+        # Every active lane observes the gathered value, even alias
+        # losers and link failures (their out-mask bit is simply clear).
+        for req in requests:
+            values[req.lane] = self.image.load_word(req.addr)
+
+        return (tuple(values), Mask(out_bits, width)), completion
+
+    # ------------------------------------------------------------------
+    # scatters
+    # ------------------------------------------------------------------
+
+    def scatter(
+        self,
+        slot: int,
+        base: int,
+        indices: Sequence[int],
+        values: Sequence,
+        mask: Mask,
+        now: int,
+        conditional: bool,
+        sync: bool = False,
+    ) -> Tuple[Mask, int]:
+        """Execute ``vscatter`` (conditional=False) or ``vscattercond``.
+
+        Returns ``(out_mask, completion_cycle)``.  For plain scatters
+        the out mask echoes the input mask and aliased lanes resolve
+        highest-lane-wins (undefined in the paper's ISA).
+        """
+        width = mask.width
+        requests = self._lane_requests(base, indices, mask)
+        start = self._start_generation(now, len(requests))
+        out_bits = 0
+        sync = sync or conditional
+        completion = start + self.config.gsu_assembly_cycles + len(requests)
+
+        if conditional:
+            self.stats.scattercond_count += 1
+            self.stats.scattercond_elements += len(requests)
+            survivors = requests
+            if not self.config.glsc_alias_in_gather:
+                survivors, losers = self._resolve_aliases(requests)
+                for _ in losers:
+                    self.stats.record_glsc_failure("alias")
+            groups = self._group_by_line(survivors)
+            for line_addr, group in groups.items():
+                first = group[0]
+                gen_cycle = start + first.order + 1
+                acc_start = self.port.book(gen_cycle)
+                access, ok, cause = self.coherence.write_conditional(
+                    self.core_id, slot, first.addr, acc_start
+                )
+                if ok:
+                    for req in group:
+                        self.image.store_word(req.addr, values[req.lane])
+                        out_bits |= 1 << req.lane
+                    self.stats.scattercond_successes += len(group)
+                else:
+                    self.stats.record_glsc_failure(cause, len(group))
+                completion = max(completion, acc_start + access.latency)
+                completion = self._charge_combined_lanes(
+                    group, start, sync, completion
+                )
+        else:
+            groups = self._group_by_line(requests)
+            for line_addr, group in groups.items():
+                first = group[0]
+                gen_cycle = start + first.order + 1
+                acc_start = self.port.book(gen_cycle)
+                access = self.coherence.write(
+                    self.core_id, slot, first.addr, acc_start, sync=sync
+                )
+                for req in group:
+                    self.image.store_word(req.addr, values[req.lane])
+                    out_bits |= 1 << req.lane
+                completion = max(completion, acc_start + access.latency)
+                completion = self._charge_combined_lanes(
+                    group, start, sync, completion
+                )
+
+        return Mask(out_bits, width), completion

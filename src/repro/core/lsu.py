@@ -1,0 +1,150 @@
+"""Load/store unit.
+
+Executes the scalar memory instructions and the *contiguous* SIMD
+loads/stores (``vload``/``vstore``), which touch at most a couple of
+cache lines and therefore never need the GSU's address-generation
+pipeline.
+
+Timing conventions:
+
+* loads (and ``ll``) block the thread for the full access latency —
+  the in-order core needs the value;
+* stores retire through the write buffer (Figure 1 of the paper), so
+  the thread only waits for the port slot, while the coherence state
+  change is applied immediately;
+* ``sc`` blocks for the full latency — its success flag is a result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.ports import L1Port
+from repro.isa.masks import Mask
+from repro.mem.coherence import CoherenceSystem
+from repro.mem.image import MemoryImage
+from repro.mem.layout import WORD_BYTES
+from repro.sim.config import MachineConfig
+from repro.sim.stats import MachineStats
+
+__all__ = ["Lsu"]
+
+
+class Lsu:
+    """Per-core load/store unit."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: MachineConfig,
+        coherence: CoherenceSystem,
+        image: MemoryImage,
+        stats: MachineStats,
+        port: L1Port,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.coherence = coherence
+        self.image = image
+        self.stats = stats
+        self.port = port
+
+    # -- scalar ------------------------------------------------------------
+
+    def load(
+        self, slot: int, addr: int, now: int, sync: bool = False
+    ) -> Tuple[float, int]:
+        """Scalar load; returns (value, completion cycle)."""
+        start = self.port.book(now)
+        access = self.coherence.read(
+            self.core_id, slot, addr, start, sync=sync
+        )
+        value = self.image.load_word(addr)
+        return value, start + access.latency
+
+    def store(
+        self, slot: int, addr: int, value, now: int, sync: bool = False
+    ) -> int:
+        """Scalar store; returns completion cycle (write-buffered)."""
+        start = self.port.book(now)
+        self.coherence.write(self.core_id, slot, addr, start, sync=sync)
+        self.image.store_word(addr, value)
+        return start + 1
+
+    def ll(self, slot: int, addr: int, now: int) -> Tuple[float, int]:
+        """Load-linked; returns (value, completion cycle)."""
+        start = self.port.book(now)
+        access = self.coherence.scalar_ll(self.core_id, slot, addr, start)
+        value = self.image.load_word(addr)
+        self.stats.ll_count += 1
+        return value, start + access.latency
+
+    def sc(self, slot: int, addr: int, value, now: int) -> Tuple[bool, int]:
+        """Store-conditional; returns (success, completion cycle)."""
+        start = self.port.book(now)
+        access, success = self.coherence.scalar_sc(
+            self.core_id, slot, addr, start
+        )
+        if success:
+            self.image.store_word(addr, value)
+        else:
+            self.stats.sc_failures += 1
+        self.stats.sc_count += 1
+        return success, start + access.latency
+
+    # -- contiguous SIMD -----------------------------------------------------
+
+    def vload(
+        self, slot: int, addr: int, width: int, now: int, sync: bool = False
+    ) -> Tuple[Tuple[float, ...], int]:
+        """Contiguous SIMD load; returns (values, completion cycle)."""
+        nbytes = width * WORD_BYTES
+        geometry = self.config.geometry
+        completion = now
+        line = geometry.line_addr(addr)
+        end = addr + nbytes - 1
+        offset = 0
+        while line <= geometry.line_addr(end):
+            start = self.port.book(now + offset)
+            access = self.coherence.read(
+                self.core_id, slot, max(line, addr), start, sync=sync
+            )
+            completion = max(completion, start + access.latency)
+            line += geometry.line_bytes
+            offset += 1
+        values = tuple(self.image.load_words(addr, width))
+        return values, completion
+
+    def vstore(
+        self,
+        slot: int,
+        addr: int,
+        values: Sequence,
+        mask: Optional[Mask],
+        now: int,
+        sync: bool = False,
+    ) -> int:
+        """Contiguous SIMD store under mask; write-buffered."""
+        geometry = self.config.geometry
+        width = len(values)
+        if mask is None:
+            mask = Mask.all_ones(width)
+        active = mask.active_lanes()
+        if not active:
+            return now + 1
+        touched_lines = []
+        for lane in active:
+            lane_addr = addr + lane * WORD_BYTES
+            line = geometry.line_addr(lane_addr)
+            if line not in touched_lines:
+                touched_lines.append(line)
+        completion = now
+        for offset, line in enumerate(touched_lines):
+            start = self.port.book(now + offset)
+            self.coherence.write(
+                self.core_id, slot, line, start, sync=sync
+            )
+            completion = max(completion, start + 1)
+        for lane in active:
+            self.image.store_word(addr + lane * WORD_BYTES, values[lane])
+        return completion

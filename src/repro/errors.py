@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing genuine Python bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A machine or workload configuration is invalid or inconsistent."""
+
+
+class MemoryError_(ReproError):
+    """An access to the simulated memory image is invalid.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class AlignmentError(MemoryError_):
+    """A simulated address violates an alignment requirement."""
+
+
+class AllocationError(MemoryError_):
+    """The simulated memory image cannot satisfy an allocation request."""
+
+
+class IsaError(ReproError):
+    """An instruction was constructed or executed with invalid operands."""
+
+
+class ProgramError(ReproError):
+    """A thread program misbehaved (e.g. yielded a non-instruction)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class DeadlockError(SimulationError):
+    """No thread can make progress and the machine is not finished."""
+
+
+class VerificationError(ReproError):
+    """A kernel's simulated result does not match its oracle."""

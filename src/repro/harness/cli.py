@@ -1,0 +1,149 @@
+"""Command-line harness: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro.harness table1
+    python -m repro.harness fig6 --kernels hip tms --datasets A
+    python -m repro.harness all
+
+(Installed as the ``glsc-harness`` console script.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness import experiments, report
+from repro.harness.session import Session
+from repro.kernels.registry import KERNEL_ORDER
+
+__all__ = ["main"]
+
+EXPERIMENTS = ("table1", "table3", "fig5a", "fig5b", "fig6", "fig7",
+               "fig8", "table4")
+EXTENSIONS = ("width-sweep", "latency-sweep", "resilience")
+
+
+def _render_extension(name: str, kernels) -> str:
+    from repro.harness import extensions as ext
+
+    lines = []
+    if name == "width-sweep":
+        lines.append("Extension: Base/GLSC ratio across SIMD widths (4x4)")
+        for kernel in kernels:
+            row = ext.width_sweep(kernel)
+            series = ", ".join(
+                f"W{w}={r:.2f}" for w, r in sorted(row.ratios.items())
+            )
+            crossover = row.crossover_width()
+            lines.append(
+                f"  {kernel.upper():4s} A: {series}  "
+                f"(crossover: {'W%d' % crossover if crossover else 'none'})"
+            )
+    elif name == "latency-sweep":
+        lines.append(
+            "Extension: Base/GLSC ratio vs main-memory latency (4x4, 4-wide)"
+        )
+        for kernel in kernels:
+            row = ext.latency_sensitivity(kernel)
+            series = ", ".join(
+                f"{l}cyc={r:.2f}" for l, r in sorted(row.ratios.items())
+            )
+            lines.append(f"  {kernel.upper():4s} A: {series}")
+    elif name == "resilience":
+        lines.append(
+            "Extension: GLSC under injected reservation loss (4x4, 4-wide)"
+        )
+        for kernel in kernels:
+            for row in ext.failure_resilience(kernel):
+                lines.append(
+                    f"  {kernel.upper():4s} A loss={row.loss:4.2f}: "
+                    f"cycles={row.cycles} failure={row.failure_rate:.3f} "
+                    f"slowdown={row.slowdown_vs_clean:.2f}x"
+                )
+    return "\n".join(lines)
+
+
+def _render(name: str, session: Session, kernels, datasets) -> str:
+    if name == "table1":
+        return report.render_table1(experiments.table1())
+    if name == "table3":
+        return report.render_table3(experiments.table3(kernels))
+    if name == "fig5a":
+        return report.render_fig5a(
+            experiments.fig5a(kernels, datasets, session)
+        )
+    if name == "fig5b":
+        return report.render_fig5b(
+            experiments.fig5b(kernels, datasets, session)
+        )
+    if name == "fig6":
+        return report.render_fig6(
+            experiments.fig6(kernels, datasets, session=session)
+        )
+    if name == "fig7":
+        return report.render_fig7(experiments.fig7(session=session))
+    if name == "fig8":
+        return report.render_fig8(
+            experiments.fig8(kernels, datasets, session=session)
+        )
+    if name == "table4":
+        return report.render_table4(
+            experiments.table4(kernels, datasets, session=session)
+        )
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.harness`` / ``glsc-harness``."""
+    parser = argparse.ArgumentParser(
+        prog="glsc-harness",
+        description=(
+            "Regenerate the evaluation of 'Atomic Vector Operations on "
+            "Chip Multiprocessors' (ISCA 2008) on the repro simulator."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + EXTENSIONS + ("all",),
+        help="which table/figure (or extension experiment) to regenerate",
+    )
+    parser.add_argument(
+        "--kernels",
+        nargs="+",
+        default=list(KERNEL_ORDER),
+        choices=list(KERNEL_ORDER),
+        help="subset of benchmarks (default: all seven)",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="+",
+        default=["A", "B"],
+        choices=["A", "B", "random", "tiny"],
+        help="datasets to sweep (default: A B)",
+    )
+    args = parser.parse_args(argv)
+
+    session = Session()
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    started = time.time()
+    for name in names:
+        if name in EXTENSIONS:
+            print(_render_extension(name, tuple(args.kernels)))
+        else:
+            print(_render(name, session, tuple(args.kernels),
+                          tuple(args.datasets)))
+        print()
+    elapsed = time.time() - started
+    print(
+        f"[{session.cached_runs()} simulations, {elapsed:.1f}s]",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,312 @@
+"""One entry point per table/figure of the paper's evaluation.
+
+Each function returns plain data structures (lists of row dataclasses
+or nested dicts) so tests can assert on them and
+:mod:`repro.harness.report` can format them like the paper.  Every
+number comes from a *verified* simulation via the shared
+:class:`~repro.harness.session.Session`.
+
+Paper mapping:
+
+* :func:`table1` — simulated system parameters.
+* :func:`table3` — benchmark/dataset characteristics.
+* :func:`fig5a` — % of execution time in synchronization ops
+  (1x1, 1-wide SIMD, GLSC).
+* :func:`fig5b` — SIMD efficiency: 4- and 16-wide speedup over 1-wide
+  (GLSC, 1x1).
+* :func:`fig6`  — Base vs GLSC, 4-wide SIMD, topologies
+  1x1/1x4/4x1/4x4, normalized to the 1x1 GLSC time.
+* :func:`table4` — instruction/memory-stall/L1-access reductions and
+  GLSC element failure rates.
+* :func:`fig7`  — microbenchmark scenarios A-D, Base/GLSC time ratio.
+* :func:`fig8`  — Base/GLSC time ratio for 1/4/16-wide SIMD at 4x4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.session import Session
+from repro.kernels.micro import SCENARIOS
+from repro.kernels.registry import KERNEL_ORDER, KERNELS
+from repro.sim.config import CONFIG_NAMES, MachineConfig
+from repro.workloads.datasets import TABLE3_ROWS
+
+__all__ = [
+    "DATASETS",
+    "Fig5Row",
+    "Fig6Row",
+    "Fig7Row",
+    "Fig8Row",
+    "Table4Row",
+    "table1",
+    "table3",
+    "fig5a",
+    "fig5b",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table4",
+]
+
+#: The two datasets every figure sweeps.
+DATASETS = ("A", "B")
+
+
+def _session(session: Optional[Session]) -> Session:
+    return session if session is not None else Session()
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 3 (configuration reproductions)
+# ---------------------------------------------------------------------------
+
+def table1(config: Optional[MachineConfig] = None) -> Dict[str, object]:
+    """Table 1: the simulated system parameters."""
+    return (config or MachineConfig()).describe()
+
+
+def table3(
+    kernels: Sequence[str] = KERNEL_ORDER,
+) -> List[Dict[str, str]]:
+    """Table 3: benchmark characteristics and datasets (ours vs paper)."""
+    rows = []
+    for kernel in kernels:
+        cls = KERNELS[kernel]
+        for dataset in DATASETS:
+            ours, paper = TABLE3_ROWS[(kernel, dataset)]
+            rows.append(
+                {
+                    "benchmark": kernel.upper(),
+                    "atomic_op": cls.atomic_op,
+                    "dataset": dataset,
+                    "ours": ours,
+                    "paper": paper,
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig5Row:
+    """One benchmark x dataset point of Figure 5."""
+
+    kernel: str
+    dataset: str
+    sync_percent: float = 0.0          # Fig 5a
+    speedup_4wide: float = 0.0         # Fig 5b
+    speedup_16wide: float = 0.0        # Fig 5b
+
+
+def fig5a(
+    kernels: Sequence[str] = KERNEL_ORDER,
+    datasets: Sequence[str] = DATASETS,
+    session: Optional[Session] = None,
+) -> List[Fig5Row]:
+    """Figure 5(a): % of time in synchronization, 1x1, 1-wide GLSC."""
+    session = _session(session)
+    rows = []
+    for kernel in kernels:
+        for dataset in datasets:
+            stats = session.run(kernel, dataset, "1x1", 1, "glsc")
+            rows.append(
+                Fig5Row(kernel, dataset, sync_percent=100 * stats.sync_fraction)
+            )
+    return rows
+
+
+def fig5b(
+    kernels: Sequence[str] = KERNEL_ORDER,
+    datasets: Sequence[str] = DATASETS,
+    session: Optional[Session] = None,
+) -> List[Fig5Row]:
+    """Figure 5(b): SIMD efficiency of the GLSC binaries at 1x1."""
+    session = _session(session)
+    rows = []
+    for kernel in kernels:
+        for dataset in datasets:
+            scalar = session.run(kernel, dataset, "1x1", 1, "glsc").cycles
+            wide4 = session.run(kernel, dataset, "1x1", 4, "glsc").cycles
+            wide16 = session.run(kernel, dataset, "1x1", 16, "glsc").cycles
+            rows.append(
+                Fig5Row(
+                    kernel,
+                    dataset,
+                    speedup_4wide=scalar / wide4,
+                    speedup_16wide=scalar / wide16,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig6Row:
+    """One benchmark x dataset panel of Figure 6 (4-wide SIMD).
+
+    ``base`` and ``glsc`` map topology name -> speedup normalized to
+    the 1x1 GLSC execution time of the same dataset, exactly the
+    figure's normalization.
+    """
+
+    kernel: str
+    dataset: str
+    base: Dict[str, float] = field(default_factory=dict)
+    glsc: Dict[str, float] = field(default_factory=dict)
+
+    def ratio(self, topology: str) -> float:
+        """Base/GLSC execution-time ratio at one topology."""
+        return self.glsc[topology] / self.base[topology]
+
+
+def fig6(
+    kernels: Sequence[str] = KERNEL_ORDER,
+    datasets: Sequence[str] = DATASETS,
+    topologies: Sequence[str] = CONFIG_NAMES,
+    simd_width: int = 4,
+    session: Optional[Session] = None,
+) -> List[Fig6Row]:
+    """Figure 6: Base vs GLSC speedups over 1x1 GLSC, 4-wide SIMD."""
+    session = _session(session)
+    rows = []
+    for kernel in kernels:
+        for dataset in datasets:
+            reference = session.run(
+                kernel, dataset, "1x1", simd_width, "glsc"
+            ).cycles
+            row = Fig6Row(kernel, dataset)
+            for topology in topologies:
+                for variant, into in (("base", row.base), ("glsc", row.glsc)):
+                    cycles = session.run(
+                        kernel, dataset, topology, simd_width, variant
+                    ).cycles
+                    into[topology] = reference / cycles
+            rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 4
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Table4Row:
+    """One benchmark x dataset row of Table 4 (4-wide SIMD, 4x4)."""
+
+    kernel: str
+    dataset: str
+    instruction_reduction: float       # % fewer dynamic instructions
+    mem_stall_reduction: float         # % fewer memory stall cycles
+    l1_combining_reduction: float      # % of atomic L1 accesses combined away
+    l1_sync_share: float               # % of L1 accesses due to atomics
+    failure_rate_1x1: float            # GLSC element failure rate, 1x1
+    failure_rate_4x4: float            # GLSC element failure rate, 4x4
+
+
+def table4(
+    kernels: Sequence[str] = KERNEL_ORDER,
+    datasets: Sequence[str] = DATASETS,
+    simd_width: int = 4,
+    session: Optional[Session] = None,
+) -> List[Table4Row]:
+    """Table 4: where GLSC's benefit comes from, plus failure rates."""
+    session = _session(session)
+    rows = []
+    for kernel in kernels:
+        for dataset in datasets:
+            base = session.run(kernel, dataset, "4x4", simd_width, "base")
+            glsc = session.run(kernel, dataset, "4x4", simd_width, "glsc")
+            solo = session.run(kernel, dataset, "1x1", simd_width, "glsc")
+            instr_red = 100 * (
+                1 - glsc.total_instructions / max(base.total_instructions, 1)
+            )
+            stall_red = 100 * (
+                1
+                - glsc.total_mem_stall_cycles
+                / max(base.total_mem_stall_cycles, 1)
+            )
+            rows.append(
+                Table4Row(
+                    kernel=kernel,
+                    dataset=dataset,
+                    instruction_reduction=instr_red,
+                    mem_stall_reduction=stall_red,
+                    l1_combining_reduction=100 * glsc.combining_reduction,
+                    l1_sync_share=100 * glsc.l1_sync_fraction,
+                    failure_rate_1x1=100 * solo.glsc_failure_rate,
+                    failure_rate_4x4=100 * glsc.glsc_failure_rate,
+                )
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 (microbenchmark)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig7Row:
+    """One scenario bar pair of Figure 7 (Base/GLSC time ratio, 4x4)."""
+
+    scenario: str
+    ratio_4wide: float
+    ratio_16wide: float
+
+
+def fig7(
+    scenarios: Sequence[str] = SCENARIOS,
+    widths: Tuple[int, int] = (4, 16),
+    session: Optional[Session] = None,
+) -> List[Fig7Row]:
+    """Figure 7: microbenchmark Base/GLSC ratios for scenarios A-D."""
+    session = _session(session)
+    rows = []
+    for scenario in scenarios:
+        ratios = []
+        for width in widths:
+            base = session.run_micro(scenario, "4x4", width, "base").cycles
+            glsc = session.run_micro(scenario, "4x4", width, "glsc").cycles
+            ratios.append(base / glsc)
+        rows.append(Fig7Row(scenario, ratios[0], ratios[1]))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig8Row:
+    """One benchmark x dataset bar group of Figure 8 (4x4 topology)."""
+
+    kernel: str
+    dataset: str
+    ratios: Dict[int, float] = field(default_factory=dict)  # width -> ratio
+
+
+def fig8(
+    kernels: Sequence[str] = KERNEL_ORDER,
+    datasets: Sequence[str] = DATASETS,
+    widths: Sequence[int] = (1, 4, 16),
+    session: Optional[Session] = None,
+) -> List[Fig8Row]:
+    """Figure 8: Base/GLSC ratio vs SIMD width at 4x4."""
+    session = _session(session)
+    rows = []
+    for kernel in kernels:
+        for dataset in datasets:
+            row = Fig8Row(kernel, dataset)
+            for width in widths:
+                base = session.run(kernel, dataset, "4x4", width, "base")
+                glsc = session.run(kernel, dataset, "4x4", width, "glsc")
+                row.ratios[width] = base.cycles / glsc.cycles
+            rows.append(row)
+    return rows

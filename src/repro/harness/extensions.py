@@ -1,0 +1,134 @@
+"""Extension experiments beyond the paper's evaluation.
+
+The paper's conclusion argues GLSC's benefit grows with SIMD width and
+hints at design freedoms it never measures.  These experiments follow
+those threads:
+
+* :func:`width_sweep` — Base/GLSC ratio over a *dense* range of SIMD
+  widths (the paper shows only 1/4/16), locating the crossover width
+  per kernel.
+* :func:`latency_sensitivity` — how the GLSC advantage responds to
+  main-memory latency (the miss-overlap benefit should grow with
+  memory distance).
+* :func:`failure_resilience` — performance under injected reservation
+  loss, quantifying how gracefully the best-effort model degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.session import Session
+
+__all__ = [
+    "WidthSweepRow",
+    "SensitivityRow",
+    "ResilienceRow",
+    "width_sweep",
+    "latency_sensitivity",
+    "failure_resilience",
+]
+
+
+@dataclass
+class WidthSweepRow:
+    """Base/GLSC ratio per SIMD width for one kernel x dataset."""
+
+    kernel: str
+    dataset: str
+    ratios: Dict[int, float] = field(default_factory=dict)
+
+    def crossover_width(self) -> Optional[int]:
+        """Smallest width at which GLSC clearly wins (>5%), if any."""
+        for width in sorted(self.ratios):
+            if self.ratios[width] > 1.05:
+                return width
+        return None
+
+
+def width_sweep(
+    kernel: str,
+    dataset: str = "A",
+    widths: Sequence[int] = (1, 2, 4, 8, 16),
+    topology: str = "4x4",
+    session: Optional[Session] = None,
+) -> WidthSweepRow:
+    """Base/GLSC time ratio across a dense SIMD-width range."""
+    session = session or Session()
+    row = WidthSweepRow(kernel, dataset)
+    for width in widths:
+        base = session.run(kernel, dataset, topology, width, "base").cycles
+        glsc = session.run(kernel, dataset, topology, width, "glsc").cycles
+        row.ratios[width] = base / glsc
+    return row
+
+
+@dataclass
+class SensitivityRow:
+    """GLSC advantage as a function of main-memory latency."""
+
+    kernel: str
+    dataset: str
+    ratios: Dict[int, float] = field(default_factory=dict)  # latency -> ratio
+
+
+def latency_sensitivity(
+    kernel: str,
+    dataset: str = "A",
+    latencies: Sequence[int] = (70, 140, 280, 560),
+    topology: str = "4x4",
+    simd_width: int = 4,
+) -> SensitivityRow:
+    """Sweep main-memory latency; each point is its own session."""
+    row = SensitivityRow(kernel, dataset)
+    for latency in latencies:
+        session = Session(mem_latency=latency)
+        base = session.run(
+            kernel, dataset, topology, simd_width, "base"
+        ).cycles
+        glsc = session.run(
+            kernel, dataset, topology, simd_width, "glsc"
+        ).cycles
+        row.ratios[latency] = base / glsc
+    return row
+
+
+@dataclass
+class ResilienceRow:
+    """GLSC behaviour under injected reservation loss."""
+
+    kernel: str
+    dataset: str
+    loss: float
+    cycles: int
+    failure_rate: float
+    slowdown_vs_clean: float
+
+
+def failure_resilience(
+    kernel: str,
+    dataset: str = "A",
+    losses: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
+    topology: str = "4x4",
+    simd_width: int = 4,
+) -> List[ResilienceRow]:
+    """How gracefully GLSC degrades when reservations die at random."""
+    rows: List[ResilienceRow] = []
+    clean_cycles: Optional[int] = None
+    for loss in losses:
+        session = Session(chaos_reservation_loss=loss)
+        stats = session.run(kernel, dataset, topology, simd_width, "glsc")
+        if clean_cycles is None:
+            clean_cycles = stats.cycles
+        rows.append(
+            ResilienceRow(
+                kernel=kernel,
+                dataset=dataset,
+                loss=loss,
+                cycles=stats.cycles,
+                failure_rate=stats.glsc_failure_rate,
+                slowdown_vs_clean=stats.cycles / clean_cycles,
+            )
+        )
+    return rows

@@ -1,0 +1,72 @@
+"""Run cache shared by the experiment harness.
+
+The paper's figures reuse the same (kernel, dataset, topology, SIMD
+width, variant) measurements from different angles — Figure 6's 4x4
+bars are Figure 8's width-4 ratios, Table 4 reads the same runs'
+counters.  :class:`Session` memoizes every verified run so a full
+harness invocation simulates each point exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.sim.config import MachineConfig, named_config
+from repro.sim.runner import run_kernel, run_prepared
+from repro.sim.stats import MachineStats
+
+__all__ = ["Session"]
+
+RunKey = Tuple[str, str, str, int, str]
+
+
+class Session:
+    """Memoized access to verified kernel runs.
+
+    ``overrides`` are extra :class:`MachineConfig` fields applied to
+    every run (used by the ablation benches to flip GLSC policies).
+    """
+
+    def __init__(self, **overrides) -> None:
+        self.overrides = overrides
+        self._cache: Dict[RunKey, MachineStats] = {}
+
+    def config(self, topology: str, simd_width: int) -> MachineConfig:
+        """The machine config for a paper topology name and width."""
+        return named_config(topology, simd_width=simd_width, **self.overrides)
+
+    def run(
+        self,
+        kernel: str,
+        dataset: str,
+        topology: str,
+        simd_width: int,
+        variant: str,
+    ) -> MachineStats:
+        """A verified run's stats (cached)."""
+        key = (kernel, dataset, topology, simd_width, variant)
+        if key not in self._cache:
+            result = run_kernel(
+                kernel, dataset, self.config(topology, simd_width), variant
+            )
+            self._cache[key] = result.stats
+        return self._cache[key]
+
+    def run_micro(
+        self, scenario: str, topology: str, simd_width: int, variant: str
+    ) -> MachineStats:
+        """A verified microbenchmark run (cached; warmed caches)."""
+        from repro.kernels.micro import Micro
+
+        key = (f"micro:{scenario}", "-", topology, simd_width, variant)
+        if key not in self._cache:
+            config = self.config(topology, simd_width)
+            kernel = Micro(config.n_threads, scenario=scenario)
+            self._cache[key] = run_prepared(
+                kernel, config, variant, warm=True
+            )
+        return self._cache[key]
+
+    def cached_runs(self) -> int:
+        """Number of distinct simulations performed so far."""
+        return len(self._cache)

@@ -1,0 +1,414 @@
+"""A small assembler/interpreter for the simulated ISA.
+
+The paper presents its code sequences as assembly (Figures 2 and 3);
+this module lets those sequences run on the simulator *as written*,
+instead of being hand-translated into generator code.  An assembly
+program is parsed once into an instruction list, then interpreted as a
+thread program: every architectural operation yields the corresponding
+:class:`~repro.isa.instructions.Instr`, so the timing model sees
+exactly the same dynamic stream a generator-DSL kernel would produce.
+
+Register files (all virtual, unbounded):
+
+* ``r<name>`` scalar registers, ``v<name>`` vector registers,
+  ``f<name>`` mask registers;
+* operands may also be integer literals or symbols bound through the
+  environment passed to :meth:`AsmProgram.program` (base addresses,
+  sizes, per-thread values like ``TID``).
+
+Example (the paper's Figure 3A inner loop)::
+
+    kmove     ftmp, ftodo
+    vgatherlink ftmp, vtmp, MBINS, vbins, ftmp
+    vinc      vtmp, vtmp, ftmp
+    vscattercond ftmp, vtmp, MBINS, vbins, ftmp
+    kxor      ftodo, ftodo, ftmp
+    kbnz      ftodo, retry
+
+See ``examples/paper_figures.py`` for the complete listings and
+:data:`OPCODES` for the supported mnemonics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IsaError, ProgramError
+from repro.isa.masks import Mask
+from repro.isa.program import ThreadCtx
+
+__all__ = ["AsmProgram", "assemble", "OPCODES"]
+
+
+class _Insn:
+    """One parsed assembly instruction."""
+
+    __slots__ = ("op", "args", "line")
+
+    def __init__(self, op: str, args: List[str], line: int) -> None:
+        self.op = op
+        self.args = args
+        self.line = line
+
+    def __repr__(self) -> str:
+        return f"{self.op} {', '.join(self.args)}  ; line {self.line}"
+
+
+#: Mnemonic -> (min operands, max operands).  Documented in the module
+#: docstring groups; the interpreter below is the semantic reference.
+OPCODES: Dict[str, Tuple[int, int]] = {
+    # scalar ALU / control
+    "li": (2, 2), "mov": (2, 2),
+    "add": (3, 3), "addi": (3, 3), "sub": (3, 3), "mul": (3, 3),
+    "mod": (3, 3),
+    "beq": (3, 3), "bne": (3, 3), "blt": (3, 3), "bge": (3, 3),
+    "jmp": (1, 1), "halt": (0, 0), "nop": (0, 0),
+    # scalar memory / atomics
+    "lw": (2, 3), "sw": (2, 3), "ll": (2, 2), "sc": (3, 3),
+    # vector compute
+    "vbroadcast": (2, 2), "viota": (1, 1), "vmove": (2, 2),
+    "vadd": (3, 4), "vsub": (3, 4), "vmul": (3, 4),
+    "vinc": (2, 3), "vmod": (3, 4),
+    "vcmpeq": (3, 4),
+    # vector memory
+    "vload": (2, 3), "vstore": (2, 4),
+    "vgather": (3, 4), "vscatter": (3, 4),
+    "vgatherlink": (5, 5), "vscattercond": (5, 5),
+    # masks
+    "kones": (1, 1), "kzeros": (1, 1), "kmove": (2, 2),
+    "kand": (3, 3), "kor": (3, 3), "kxor": (3, 3), "kandn": (3, 3),
+    "knot": (2, 2),
+    "kbnz": (2, 2), "kbz": (2, 2),
+    # synchronization substrate
+    "barrier": (0, 0),
+}
+
+
+def assemble(source: str) -> "AsmProgram":
+    """Parse assembly ``source`` into an executable :class:`AsmProgram`.
+
+    Syntax: one instruction per line, operands comma-separated,
+    ``label:`` lines define branch targets, ``#`` and ``;`` start
+    comments.
+    """
+    insns: List[_Insn] = []
+    labels: Dict[str, int] = {}
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        while line.endswith(":") or ":" in line.split()[0]:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise IsaError(f"line {lineno}: bad label {label!r}")
+            if label in labels:
+                raise IsaError(f"line {lineno}: duplicate label {label!r}")
+            labels[label] = len(insns)
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        op = parts[0].lower()
+        if op not in OPCODES:
+            raise IsaError(f"line {lineno}: unknown opcode {op!r}")
+        args = (
+            [a.strip() for a in parts[1].split(",")] if len(parts) > 1 else []
+        )
+        low, high = OPCODES[op]
+        if not low <= len(args) <= high:
+            raise IsaError(
+                f"line {lineno}: {op} takes {low}..{high} operands, "
+                f"got {len(args)}"
+            )
+        insns.append(_Insn(op, args, lineno))
+    return AsmProgram(insns, labels)
+
+
+class AsmProgram:
+    """A parsed assembly program, executable on the machine."""
+
+    def __init__(self, insns: List[_Insn], labels: Dict[str, int]) -> None:
+        self.insns = insns
+        self.labels = labels
+        for insn in insns:
+            if insn.op in ("jmp", "kbnz", "kbz", "beq", "bne", "blt", "bge"):
+                target = insn.args[-1]
+                if target not in labels:
+                    raise IsaError(
+                        f"line {insn.line}: undefined label {target!r}"
+                    )
+
+    def program(
+        self, env: Optional[Dict[str, float]] = None
+    ) -> Callable:
+        """A generator function suitable for ``Machine.add_program``.
+
+        ``env`` binds symbols (addresses, sizes).  The interpreter also
+        predefines ``TID``, ``NTHREADS``, and ``W`` from the thread
+        context.
+        """
+        env = dict(env or {})
+        insns, labels = self.insns, self.labels
+
+        def run(ctx: ThreadCtx):
+            state = _ThreadState(ctx, env)
+            pc = 0
+            while 0 <= pc < len(insns):
+                insn = insns[pc]
+                next_pc = yield from _execute(state, insn, pc, labels)
+                if next_pc is None:
+                    pc += 1
+                elif next_pc < 0:  # halt
+                    return
+                else:
+                    pc = next_pc
+
+        return run
+
+
+class _ThreadState:
+    """Architectural registers of one interpreted thread."""
+
+    def __init__(self, ctx: ThreadCtx, env: Dict[str, float]) -> None:
+        self.ctx = ctx
+        self.env = dict(env)
+        self.env.setdefault("TID", ctx.tid)
+        self.env.setdefault("NTHREADS", ctx.n_threads)
+        self.env.setdefault("W", ctx.w)
+        self.scalars: Dict[str, float] = {}
+        self.vectors: Dict[str, tuple] = {}
+        self.masks: Dict[str, Mask] = {}
+
+    # -- operand resolution ------------------------------------------------
+
+    def value(self, token: str) -> float:
+        """Scalar operand: register, literal, or environment symbol."""
+        if token in self.scalars:
+            return self.scalars[token]
+        try:
+            return int(token, 0)
+        except ValueError:
+            pass
+        try:
+            return float(token)
+        except ValueError:
+            pass
+        if token in self.env:
+            return self.env[token]
+        raise ProgramError(f"unbound scalar operand {token!r}")
+
+    def address(self, token: str) -> int:
+        """Operand used as a byte address (must be a non-negative int)."""
+        value = self.value(token)
+        addr = int(value)
+        if addr != value or addr < 0:
+            raise ProgramError(f"operand {token!r} is not an address")
+        return addr
+
+    def vector(self, token: str) -> tuple:
+        if token not in self.vectors:
+            raise ProgramError(f"vector register {token!r} read before set")
+        return self.vectors[token]
+
+    def mask(self, token: str) -> Mask:
+        if token not in self.masks:
+            raise ProgramError(f"mask register {token!r} read before set")
+        return self.masks[token]
+
+    def opt_mask(self, args: Sequence[str], index: int) -> Optional[Mask]:
+        """The optional trailing mask operand of vector instructions."""
+        if len(args) > index:
+            return self.mask(args[index])
+        return None
+
+    def indices(self, token: str) -> List[int]:
+        """A vector register interpreted as element indices."""
+        return [max(int(v), 0) for v in self.vector(token)]
+
+
+def _execute(state: _ThreadState, insn: _Insn, pc: int, labels):
+    """Interpret one instruction; yields Instrs; returns next pc."""
+    ctx = state.ctx
+    op, args = insn.op, insn.args
+
+    # -- scalar ALU / control ------------------------------------------------
+    if op in ("li", "mov"):
+        yield ctx.alu()
+        state.scalars[args[0]] = state.value(args[1])
+    elif op in ("add", "addi", "sub", "mul", "mod"):
+        yield ctx.alu()
+        a, b = state.value(args[1]), state.value(args[2])
+        if op in ("add", "addi"):
+            result = a + b
+        elif op == "sub":
+            result = a - b
+        elif op == "mul":
+            result = a * b
+        else:
+            result = int(a) % int(b)
+        state.scalars[args[0]] = result
+    elif op in ("beq", "bne", "blt", "bge"):
+        yield ctx.alu()
+        a, b = state.value(args[0]), state.value(args[1])
+        taken = {
+            "beq": a == b,
+            "bne": a != b,
+            "blt": a < b,
+            "bge": a >= b,
+        }[op]
+        if taken:
+            return labels[args[2]]
+    elif op == "jmp":
+        yield ctx.alu()
+        return labels[args[0]]
+    elif op == "halt":
+        return -1
+    elif op == "nop":
+        yield ctx.alu()
+
+    # -- scalar memory ------------------------------------------------------
+    elif op == "lw":
+        offset = state.value(args[2]) if len(args) > 2 else 0
+        addr = state.address(args[1]) + int(offset)
+        state.scalars[args[0]] = yield ctx.load(addr)
+    elif op == "sw":
+        offset = state.value(args[2]) if len(args) > 2 else 0
+        addr = state.address(args[1]) + int(offset)
+        yield ctx.store(addr, state.value(args[0]))
+    elif op == "ll":
+        state.scalars[args[0]] = yield ctx.ll(state.address(args[1]))
+    elif op == "sc":
+        ok = yield ctx.sc(state.address(args[1]), state.value(args[2]))
+        state.scalars[args[0]] = 1 if ok else 0
+
+    # -- vector compute --------------------------------------------------------
+    elif op == "vbroadcast":
+        value = state.value(args[1])
+        state.vectors[args[0]] = yield ctx.valu(
+            lambda v=value: (v,) * ctx.w
+        )
+    elif op == "viota":
+        state.vectors[args[0]] = yield ctx.valu(
+            lambda: tuple(range(ctx.w))
+        )
+    elif op == "vmove":
+        src = state.vector(args[1])
+        state.vectors[args[0]] = yield ctx.valu(lambda v=src: v)
+    elif op in ("vadd", "vsub", "vmul"):
+        a, b = state.vector(args[1]), state.vector(args[2])
+        mask = state.opt_mask(args, 3)
+        fn = {"vadd": lambda x, y: x + y,
+              "vsub": lambda x, y: x - y,
+              "vmul": lambda x, y: x * y}[op]
+        state.vectors[args[0]] = yield ctx.valu(
+            lambda a=a, b=b, m=mask: tuple(
+                fn(x, y) if m is None or m.lane(i) else x
+                for i, (x, y) in enumerate(zip(a, b))
+            )
+        )
+    elif op == "vinc":
+        src = state.vector(args[1])
+        mask = state.opt_mask(args, 2)
+        state.vectors[args[0]] = yield ctx.valu(
+            lambda v=src, m=mask: tuple(
+                x + 1 if m is None or m.lane(i) else x
+                for i, x in enumerate(v)
+            )
+        )
+    elif op == "vmod":
+        src = state.vector(args[1])
+        divisor = state.value(args[2])
+        mask = state.opt_mask(args, 3)
+        state.vectors[args[0]] = yield ctx.valu(
+            lambda v=src, d=int(divisor), m=mask: tuple(
+                int(x) % d if m is None or m.lane(i) else x
+                for i, x in enumerate(v)
+            )
+        )
+    elif op == "vcmpeq":
+        a, b = state.vector(args[1]), state.vector(args[2])
+        mask = state.opt_mask(args, 3)
+        state.masks[args[0]] = yield ctx.kalu(
+            lambda a=a, b=b, m=mask: Mask.from_lanes(
+                (m is None or m.lane(i)) and x == y
+                for i, (x, y) in enumerate(zip(a, b))
+            )
+        )
+
+    # -- vector memory -----------------------------------------------------------
+    elif op == "vload":
+        offset = state.value(args[2]) if len(args) > 2 else 0
+        addr = state.address(args[1]) + int(offset)
+        state.vectors[args[0]] = yield ctx.vload(addr)
+    elif op == "vstore":
+        offset = state.value(args[2]) if len(args) > 2 else 0
+        addr = state.address(args[1]) + int(offset)
+        mask = state.opt_mask(args, 3)
+        yield ctx.vstore(addr, state.vector(args[0]), mask)
+    elif op == "vgather":
+        mask = state.opt_mask(args, 3)
+        state.vectors[args[0]] = yield ctx.vgather(
+            state.address(args[1]), state.indices(args[2]), mask
+        )
+    elif op == "vscatter":
+        mask = state.opt_mask(args, 3)
+        yield ctx.vscatter(
+            state.address(args[1]),
+            state.indices(args[2]),
+            state.vector(args[0]),
+            mask,
+        )
+    elif op == "vgatherlink":
+        # vgatherlink Fdst, Vdst, base, Vindx, Fsrc  (paper operand order)
+        values, out = yield ctx.vgatherlink(
+            state.address(args[2]),
+            state.indices(args[3]),
+            state.mask(args[4]),
+        )
+        state.vectors[args[1]] = values
+        state.masks[args[0]] = out
+    elif op == "vscattercond":
+        # vscattercond Fdst, Vsrc, base, Vindx, Fsrc (paper operand order)
+        out = yield ctx.vscattercond(
+            state.address(args[2]),
+            state.indices(args[3]),
+            state.vector(args[1]),
+            state.mask(args[4]),
+        )
+        state.masks[args[0]] = out
+
+    # -- masks ---------------------------------------------------------------
+    elif op == "kones":
+        state.masks[args[0]] = yield ctx.kalu(lambda: ctx.all_ones())
+    elif op == "kzeros":
+        state.masks[args[0]] = yield ctx.kalu(lambda: ctx.zeros())
+    elif op == "kmove":
+        src = state.mask(args[1])
+        state.masks[args[0]] = yield ctx.kalu(lambda m=src: m)
+    elif op in ("kand", "kor", "kxor", "kandn"):
+        a, b = state.mask(args[1]), state.mask(args[2])
+        fn = {
+            "kand": lambda x, y: x & y,
+            "kor": lambda x, y: x | y,
+            "kxor": lambda x, y: x ^ y,
+            "kandn": lambda x, y: x.andnot(y),
+        }[op]
+        state.masks[args[0]] = yield ctx.kalu(lambda a=a, b=b: fn(a, b))
+    elif op == "knot":
+        src = state.mask(args[1])
+        state.masks[args[0]] = yield ctx.kalu(lambda m=src: ~m)
+    elif op in ("kbnz", "kbz"):
+        yield ctx.alu()
+        mask = state.mask(args[0])
+        if (op == "kbnz") == mask.any():
+            return labels[args[1]]
+
+    # -- synchronization ---------------------------------------------------------
+    elif op == "barrier":
+        yield ctx.barrier()
+    else:  # pragma: no cover - OPCODES and dispatch are kept in sync
+        raise ProgramError(f"unimplemented opcode {op!r}")
+    return None

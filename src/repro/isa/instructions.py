@@ -1,0 +1,338 @@
+"""Instruction descriptors — the ISA surface of the simulator.
+
+A thread program is a Python generator that *yields* :class:`Instr`
+objects and receives each instruction's architectural result via
+``send``.  This keeps benchmark kernels readable (Python locals play
+the role of registers) while the simulator retains full control of
+timing, memory state, and atomicity — the execution-driven style the
+paper's simulator uses.
+
+The instruction kinds mirror the paper's ISA:
+
+========================  ================================================
+``ALU`` / ``VALU``        scalar / vector compute, 1 cycle per op
+``LOAD`` / ``STORE``      scalar word access through the LSU
+``LL`` / ``SC``           scalar load-linked / store-conditional (Base)
+``VLOAD`` / ``VSTORE``    contiguous SIMD-width access through the LSU
+``VGATHER``/``VSCATTER``  indexed SIMD access through the GSU
+``VGATHERLINK``           the paper's gather-linked (Section 3.1)
+``VSCATTERCOND``          the paper's scatter-conditional (Section 3.1)
+``BARRIER``               all-thread rendezvous (substrate primitive)
+========================  ================================================
+
+Every instruction carries a ``sync`` flag so the harness can attribute
+time to synchronization operations (Figure 5a) and count atomic-op L1
+accesses (Table 4).
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.errors import IsaError
+from repro.isa.masks import Mask
+
+__all__ = ["Kind", "Instr", "GSU_KINDS", "MEMORY_KINDS", "ATOMIC_KINDS"]
+
+
+class Kind(Enum):
+    """Instruction kind; drives dispatch in the core model."""
+
+    ALU = auto()
+    VALU = auto()
+    LOAD = auto()
+    STORE = auto()
+    LL = auto()
+    SC = auto()
+    VLOAD = auto()
+    VSTORE = auto()
+    VGATHER = auto()
+    VSCATTER = auto()
+    VGATHERLINK = auto()
+    VSCATTERCOND = auto()
+    BARRIER = auto()
+
+
+#: Kinds handled by the gather/scatter unit.
+GSU_KINDS = frozenset(
+    {Kind.VGATHER, Kind.VSCATTER, Kind.VGATHERLINK, Kind.VSCATTERCOND}
+)
+
+#: Kinds that access memory at all.
+MEMORY_KINDS = frozenset(
+    {
+        Kind.LOAD,
+        Kind.STORE,
+        Kind.LL,
+        Kind.SC,
+        Kind.VLOAD,
+        Kind.VSTORE,
+    }
+) | GSU_KINDS
+
+#: Kinds with read-modify-write / reservation semantics.
+ATOMIC_KINDS = frozenset({Kind.LL, Kind.SC, Kind.VGATHERLINK, Kind.VSCATTERCOND})
+
+
+class Instr:
+    """One dynamic instruction yielded by a thread program.
+
+    Only the fields relevant to the instruction's :class:`Kind` are
+    populated; the constructors below validate the combinations, so the
+    core model can trust the operands.
+    """
+
+    __slots__ = (
+        "kind",
+        "count",
+        "fn",
+        "addr",
+        "value",
+        "base",
+        "indices",
+        "values",
+        "mask",
+        "sync",
+        "group",
+    )
+
+    def __init__(
+        self,
+        kind: Kind,
+        *,
+        count: int = 1,
+        fn: Optional[Callable] = None,
+        addr: Optional[int] = None,
+        value=None,
+        base: Optional[int] = None,
+        indices: Optional[Sequence[int]] = None,
+        values: Optional[Sequence] = None,
+        mask: Optional[Mask] = None,
+        sync: bool = False,
+        group: Optional[str] = None,
+    ) -> None:
+        self.kind = kind
+        self.count = count
+        self.fn = fn
+        self.addr = addr
+        self.value = value
+        self.base = base
+        self.indices = tuple(indices) if indices is not None else None
+        self.values = tuple(values) if values is not None else None
+        self.mask = mask
+        self.sync = sync
+        self.group = group
+
+    def __repr__(self) -> str:
+        parts = [self.kind.name.lower()]
+        if self.addr is not None:
+            parts.append(f"addr={self.addr:#x}")
+        if self.base is not None:
+            parts.append(f"base={self.base:#x}")
+        if self.mask is not None:
+            parts.append(f"mask={self.mask!r}")
+        if self.sync:
+            parts.append("sync")
+        return f"Instr({', '.join(parts)})"
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def alu(cls, count: int = 1, sync: bool = False) -> "Instr":
+        """``count`` scalar ALU operations (1 cycle each)."""
+        if count < 1:
+            raise IsaError(f"alu count must be >= 1, got {count}")
+        return cls(Kind.ALU, count=count, sync=sync)
+
+    @classmethod
+    def valu(cls, fn: Callable, count: int = 1, sync: bool = False) -> "Instr":
+        """``count`` vector ALU ops; ``fn()`` computes the result value.
+
+        The callable runs at issue time with no arguments (it closes
+        over the program's Python "registers") and its return value is
+        delivered back to the program.
+        """
+        if count < 1:
+            raise IsaError(f"valu count must be >= 1, got {count}")
+        if not callable(fn):
+            raise IsaError("valu requires a callable")
+        return cls(Kind.VALU, fn=fn, count=count, sync=sync)
+
+    @classmethod
+    def load(cls, addr: int, sync: bool = False) -> "Instr":
+        """Scalar word load."""
+        return cls(Kind.LOAD, addr=_check_addr(addr), sync=sync)
+
+    @classmethod
+    def store(cls, addr: int, value, sync: bool = False) -> "Instr":
+        """Scalar word store."""
+        return cls(Kind.STORE, addr=_check_addr(addr), value=value, sync=sync)
+
+    @classmethod
+    def ll(cls, addr: int, sync: bool = True) -> "Instr":
+        """Scalar load-linked; sets this thread's reservation."""
+        return cls(Kind.LL, addr=_check_addr(addr), sync=sync)
+
+    @classmethod
+    def sc(cls, addr: int, value, sync: bool = True) -> "Instr":
+        """Scalar store-conditional; result is a success boolean."""
+        return cls(Kind.SC, addr=_check_addr(addr), value=value, sync=sync)
+
+    @classmethod
+    def vload(cls, addr: int, width: int, sync: bool = False) -> "Instr":
+        """Contiguous SIMD load of ``width`` words starting at ``addr``."""
+        if width < 1:
+            raise IsaError(f"vload width must be >= 1, got {width}")
+        return cls(Kind.VLOAD, addr=_check_addr(addr), count=width, sync=sync)
+
+    @classmethod
+    def vstore(
+        cls,
+        addr: int,
+        values: Sequence,
+        mask: Optional[Mask] = None,
+        sync: bool = False,
+    ) -> "Instr":
+        """Contiguous SIMD store of ``values`` under ``mask``."""
+        values = tuple(values)
+        mask = _check_mask(mask, len(values))
+        return cls(
+            Kind.VSTORE, addr=_check_addr(addr), values=values, mask=mask, sync=sync
+        )
+
+    @classmethod
+    def vgather(
+        cls,
+        base: int,
+        indices: Sequence[int],
+        mask: Optional[Mask] = None,
+        sync: bool = False,
+    ) -> "Instr":
+        """Indexed SIMD load: lane i reads ``base[indices[i]]``."""
+        indices = _check_indices(indices)
+        mask = _check_mask(mask, len(indices))
+        return cls(
+            Kind.VGATHER,
+            base=_check_addr(base),
+            indices=indices,
+            mask=mask,
+            sync=sync,
+        )
+
+    @classmethod
+    def vscatter(
+        cls,
+        base: int,
+        indices: Sequence[int],
+        values: Sequence,
+        mask: Optional[Mask] = None,
+        sync: bool = False,
+    ) -> "Instr":
+        """Indexed SIMD store: lane i writes ``base[indices[i]]``.
+
+        Behaviour under element aliasing is *undefined* in the paper's
+        ISA for plain scatters; this model implements
+        highest-lane-wins and kernels must not rely on it.
+        """
+        indices = _check_indices(indices)
+        values = tuple(values)
+        if len(values) != len(indices):
+            raise IsaError(
+                f"vscatter values/indices width mismatch: "
+                f"{len(values)} vs {len(indices)}"
+            )
+        mask = _check_mask(mask, len(indices))
+        return cls(
+            Kind.VSCATTER,
+            base=_check_addr(base),
+            indices=indices,
+            values=values,
+            mask=mask,
+            sync=sync,
+        )
+
+    @classmethod
+    def vgatherlink(
+        cls,
+        base: int,
+        indices: Sequence[int],
+        mask: Optional[Mask] = None,
+        sync: bool = True,
+    ) -> "Instr":
+        """The paper's ``vgatherlink Fdst, Vdst, base, Vindx, Fsrc``.
+
+        Result is a ``(values, out_mask)`` pair: gathered lane values
+        plus the mask of lanes whose reservations were obtained.
+        """
+        indices = _check_indices(indices)
+        mask = _check_mask(mask, len(indices))
+        return cls(
+            Kind.VGATHERLINK,
+            base=_check_addr(base),
+            indices=indices,
+            mask=mask,
+            sync=sync,
+        )
+
+    @classmethod
+    def vscattercond(
+        cls,
+        base: int,
+        indices: Sequence[int],
+        values: Sequence,
+        mask: Optional[Mask] = None,
+        sync: bool = True,
+    ) -> "Instr":
+        """The paper's ``vscattercond Fdst, Vsrc, base, Vindx, Fsrc``.
+
+        Result is the output mask of lanes whose stores succeeded.
+        Exactly one of any set of aliased lanes can succeed.
+        """
+        indices = _check_indices(indices)
+        values = tuple(values)
+        if len(values) != len(indices):
+            raise IsaError(
+                f"vscattercond values/indices width mismatch: "
+                f"{len(values)} vs {len(indices)}"
+            )
+        mask = _check_mask(mask, len(indices))
+        return cls(
+            Kind.VSCATTERCOND,
+            base=_check_addr(base),
+            indices=indices,
+            values=values,
+            mask=mask,
+            sync=sync,
+        )
+
+    @classmethod
+    def barrier(cls, group: str = "all") -> "Instr":
+        """Block until every thread in ``group`` arrives."""
+        return cls(Kind.BARRIER, group=group, sync=True)
+
+
+def _check_addr(addr: int) -> int:
+    if not isinstance(addr, int) or addr < 0:
+        raise IsaError(f"address must be a non-negative int, got {addr!r}")
+    return addr
+
+
+def _check_indices(indices: Sequence[int]) -> Tuple[int, ...]:
+    indices = tuple(indices)
+    if not indices:
+        raise IsaError("index vector must have at least one lane")
+    for idx in indices:
+        if not isinstance(idx, int) or idx < 0:
+            raise IsaError(f"indices must be non-negative ints, got {idx!r}")
+    return indices
+
+
+def _check_mask(mask: Optional[Mask], width: int) -> Mask:
+    if mask is None:
+        return Mask.all_ones(width)
+    if not isinstance(mask, Mask):
+        raise IsaError(f"expected Mask, got {type(mask).__name__}")
+    if mask.width != width:
+        raise IsaError(f"mask width {mask.width} != operand width {width}")
+    return mask

@@ -1,0 +1,176 @@
+"""SIMD mask registers.
+
+The paper's ISA (Section 2.1) controls per-lane execution through bit
+masks held in dedicated mask registers.  :class:`Mask` models one such
+register value: an immutable bitmask of ``width`` lanes, where bit ``i``
+set means lane ``i`` participates.
+
+Masks are a core currency of the GLSC instructions: ``vgatherlink`` and
+``vscattercond`` take an input mask and produce an output mask of the
+lanes that succeeded (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.errors import IsaError
+
+__all__ = ["Mask"]
+
+
+class Mask:
+    """An immutable SIMD bitmask of a fixed lane width.
+
+    Supports the boolean algebra the paper's code sequences use
+    (``&``, ``|``, ``^``, ``~``), iteration over lane booleans, and
+    construction helpers mirroring the pseudo-code (``ALL_ONES`` etc.).
+    """
+
+    __slots__ = ("_bits", "_width")
+
+    def __init__(self, bits: int, width: int) -> None:
+        if width <= 0:
+            raise IsaError(f"mask width must be positive, got {width}")
+        if bits < 0:
+            raise IsaError(f"mask bits must be non-negative, got {bits}")
+        if bits >> width:
+            raise IsaError(
+                f"mask bits {bits:#x} do not fit in width {width}"
+            )
+        self._bits = bits
+        self._width = width
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def all_ones(cls, width: int) -> "Mask":
+        """The ``ALL_ONES`` immediate from the paper's pseudo-code."""
+        return cls((1 << width) - 1, width)
+
+    @classmethod
+    def zeros(cls, width: int) -> "Mask":
+        """A mask with no lanes active."""
+        return cls(0, width)
+
+    @classmethod
+    def from_lanes(cls, lanes: Iterable[bool]) -> "Mask":
+        """Build a mask from an iterable of per-lane booleans."""
+        lane_list = list(lanes)
+        if not lane_list:
+            raise IsaError("cannot build a mask from zero lanes")
+        bits = 0
+        for i, lane in enumerate(lane_list):
+            if lane:
+                bits |= 1 << i
+        return cls(bits, len(lane_list))
+
+    @classmethod
+    def single(cls, lane: int, width: int) -> "Mask":
+        """A mask with exactly one lane active."""
+        if not 0 <= lane < width:
+            raise IsaError(f"lane {lane} out of range for width {width}")
+        return cls(1 << lane, width)
+
+    # -- properties -----------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """The raw bitmask value."""
+        return self._bits
+
+    @property
+    def width(self) -> int:
+        """Number of lanes."""
+        return self._width
+
+    def lane(self, i: int) -> bool:
+        """Whether lane ``i`` is active."""
+        if not 0 <= i < self._width:
+            raise IsaError(f"lane {i} out of range for width {self._width}")
+        return bool(self._bits >> i & 1)
+
+    def lanes(self) -> List[bool]:
+        """Per-lane booleans, lane 0 first."""
+        return [bool(self._bits >> i & 1) for i in range(self._width)]
+
+    def active_lanes(self) -> List[int]:
+        """Indices of the active lanes, in ascending order."""
+        return [i for i in range(self._width) if self._bits >> i & 1]
+
+    def popcount(self) -> int:
+        """Number of active lanes."""
+        return bin(self._bits).count("1")
+
+    def any(self) -> bool:
+        """True if at least one lane is active."""
+        return self._bits != 0
+
+    def none(self) -> bool:
+        """True if no lane is active."""
+        return self._bits == 0
+
+    def all(self) -> bool:
+        """True if every lane is active."""
+        return self._bits == (1 << self._width) - 1
+
+    # -- algebra ----------------------------------------------------------
+
+    def _check_peer(self, other: "Mask") -> None:
+        if not isinstance(other, Mask):
+            raise IsaError(f"expected Mask, got {type(other).__name__}")
+        if other._width != self._width:
+            raise IsaError(
+                f"mask width mismatch: {self._width} vs {other._width}"
+            )
+
+    def __and__(self, other: "Mask") -> "Mask":
+        self._check_peer(other)
+        return Mask(self._bits & other._bits, self._width)
+
+    def __or__(self, other: "Mask") -> "Mask":
+        self._check_peer(other)
+        return Mask(self._bits | other._bits, self._width)
+
+    def __xor__(self, other: "Mask") -> "Mask":
+        self._check_peer(other)
+        return Mask(self._bits ^ other._bits, self._width)
+
+    def __invert__(self) -> "Mask":
+        return Mask(~self._bits & (1 << self._width) - 1, self._width)
+
+    def andnot(self, other: "Mask") -> "Mask":
+        """Lanes active in ``self`` but not in ``other``."""
+        self._check_peer(other)
+        return Mask(self._bits & ~other._bits, self._width)
+
+    def with_lane(self, i: int, value: bool) -> "Mask":
+        """A copy with lane ``i`` forced to ``value``."""
+        if not 0 <= i < self._width:
+            raise IsaError(f"lane {i} out of range for width {self._width}")
+        if value:
+            return Mask(self._bits | 1 << i, self._width)
+        return Mask(self._bits & ~(1 << i), self._width)
+
+    # -- dunder housekeeping ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mask):
+            return NotImplemented
+        return self._bits == other._bits and self._width == other._width
+
+    def __hash__(self) -> int:
+        return hash((self._bits, self._width))
+
+    def __iter__(self) -> Iterator[bool]:
+        return iter(self.lanes())
+
+    def __len__(self) -> int:
+        return self._width
+
+    def __bool__(self) -> bool:
+        return self.any()
+
+    def __repr__(self) -> str:
+        lane_str = "".join("1" if b else "0" for b in reversed(self.lanes()))
+        return f"Mask({lane_str})"

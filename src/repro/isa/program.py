@@ -1,0 +1,159 @@
+"""Thread programs and the kernel-authoring DSL.
+
+A *program* is a generator function taking a :class:`ThreadCtx`; the
+generator yields :class:`~repro.isa.instructions.Instr` objects and
+receives each instruction's result back from the simulator::
+
+    def histogram(ctx):
+        pixels = yield ctx.vload(input_base)
+        ...
+
+:class:`ThreadCtx` binds the thread's identity and the machine's SIMD
+width so kernels read like the paper's pseudo-code (Figure 3) without
+repeating the width on every instruction.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.errors import ProgramError
+from repro.isa.instructions import Instr
+from repro.isa.masks import Mask
+
+__all__ = ["ThreadCtx", "Program", "check_program"]
+
+#: A kernel program: generator function over a thread context.
+Program = Callable[["ThreadCtx"], Generator[Instr, Any, None]]
+
+
+class ThreadCtx:
+    """Per-thread view of the machine handed to a kernel program.
+
+    Provides the thread's identity (``tid`` of ``n_threads``), the SIMD
+    width ``w``, and instruction constructors pre-bound to that width.
+    """
+
+    def __init__(self, tid: int, n_threads: int, simd_width: int) -> None:
+        if not 0 <= tid < n_threads:
+            raise ProgramError(f"tid {tid} out of range for {n_threads} threads")
+        self.tid = tid
+        self.n_threads = n_threads
+        self.w = simd_width
+
+    # -- masks -------------------------------------------------------------
+
+    def all_ones(self) -> Mask:
+        """A full mask at this machine's SIMD width."""
+        return Mask.all_ones(self.w)
+
+    def zeros(self) -> Mask:
+        """An empty mask at this machine's SIMD width."""
+        return Mask.zeros(self.w)
+
+    def prefix_mask(self, n: int) -> Mask:
+        """A mask with the first ``n`` lanes active (tail handling)."""
+        n = max(0, min(n, self.w))
+        return Mask((1 << n) - 1, self.w)
+
+    # -- compute -------------------------------------------------------------
+
+    def alu(self, count: int = 1, sync: bool = False) -> Instr:
+        """``count`` scalar ALU operations."""
+        return Instr.alu(count=count, sync=sync)
+
+    def valu(self, fn: Callable, count: int = 1, sync: bool = False) -> Instr:
+        """Vector ALU op; ``fn()`` computes the architectural result."""
+        return Instr.valu(fn, count=count, sync=sync)
+
+    def kalu(self, fn: Callable, sync: bool = False) -> Instr:
+        """Mask-register op (same cost model as a vector ALU op)."""
+        return Instr.valu(fn, count=1, sync=sync)
+
+    # -- scalar memory -----------------------------------------------------
+
+    def load(self, addr: int, sync: bool = False) -> Instr:
+        """Scalar word load."""
+        return Instr.load(addr, sync=sync)
+
+    def store(self, addr: int, value, sync: bool = False) -> Instr:
+        """Scalar word store."""
+        return Instr.store(addr, value, sync=sync)
+
+    def ll(self, addr: int) -> Instr:
+        """Scalar load-linked."""
+        return Instr.ll(addr)
+
+    def sc(self, addr: int, value) -> Instr:
+        """Scalar store-conditional."""
+        return Instr.sc(addr, value)
+
+    # -- SIMD memory -----------------------------------------------------------
+
+    def vload(self, addr: int, sync: bool = False) -> Instr:
+        """Contiguous SIMD-width load."""
+        return Instr.vload(addr, self.w, sync=sync)
+
+    def vstore(
+        self, addr: int, values: Sequence, mask: Optional[Mask] = None,
+        sync: bool = False,
+    ) -> Instr:
+        """Contiguous SIMD-width store under mask."""
+        return Instr.vstore(addr, values, mask, sync=sync)
+
+    def vgather(
+        self, base: int, indices: Sequence[int], mask: Optional[Mask] = None,
+        sync: bool = False,
+    ) -> Instr:
+        """Indexed SIMD load."""
+        return Instr.vgather(base, indices, mask, sync=sync)
+
+    def vscatter(
+        self,
+        base: int,
+        indices: Sequence[int],
+        values: Sequence,
+        mask: Optional[Mask] = None,
+        sync: bool = False,
+    ) -> Instr:
+        """Indexed SIMD store (aliasing undefined; avoid aliased lanes)."""
+        return Instr.vscatter(base, indices, values, mask, sync=sync)
+
+    def vgatherlink(
+        self, base: int, indices: Sequence[int], mask: Optional[Mask] = None
+    ) -> Instr:
+        """Gather-linked (GLSC); result is ``(values, out_mask)``."""
+        return Instr.vgatherlink(base, indices, mask)
+
+    def vscattercond(
+        self,
+        base: int,
+        indices: Sequence[int],
+        values: Sequence,
+        mask: Optional[Mask] = None,
+    ) -> Instr:
+        """Scatter-conditional (GLSC); result is the success mask."""
+        return Instr.vscattercond(base, indices, values, mask)
+
+    # -- synchronization substrate ---------------------------------------------
+
+    def barrier(self, group: str = "all") -> Instr:
+        """All-thread rendezvous."""
+        return Instr.barrier(group)
+
+
+def check_program(program: Program) -> None:
+    """Validate that ``program`` is a generator function of one argument.
+
+    Catching this early gives kernel authors a clear error instead of a
+    confusing failure deep inside the machine loop.
+    """
+    if not callable(program):
+        raise ProgramError(f"program must be callable, got {type(program)!r}")
+    if inspect.isgeneratorfunction(program):
+        return
+    # Allow callables (e.g. functools.partial) that *return* generators;
+    # those can only be checked at call time, so accept them here.
+    if isinstance(program, type):
+        raise ProgramError("program must be a generator function, not a class")

@@ -1,0 +1,213 @@
+"""GPS — Game Physics Solver (iterative constraint solver).
+
+Paper (Table 2): a game-physics constraint solver iteratively applies
+force constraints, each updating two distinct objects, which must
+happen atomically under per-object locks ("multiple lock critical
+section").  Constraints are divided among threads, and — to avoid SIMD
+scatter aliasing — each thread reorders its constraints into groups of
+independent constraints before the main loop.
+
+* Base variant: per constraint, acquire both object locks in index
+  order (deadlock-free), apply the impulse, release.
+* GLSC variant: VLOCK the SIMD group's first objects, VLOCK the second
+  objects of the lanes that succeeded, apply impulses for lanes
+  holding both locks via masked gathers/scatters, release, retry.
+
+The impulse model is momentum-conserving (+delta / -delta), so the
+oracle is exact regardless of execution interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.program import ThreadCtx
+from repro.kernels.common import (
+    KernelBase,
+    MAX_SIMD_WIDTH,
+    chunk,
+    glsc_paired_lock_apply,
+    padded,
+    scalar_lock_acquire,
+)
+from repro.mem.image import MemoryImage
+from repro.workloads.graphs import constraint_system, group_independent
+
+__all__ = ["Gps"]
+
+
+class Gps(KernelBase):
+    """Iterative two-object constraint solver under per-object locks."""
+
+    name = "gps"
+    title = "Game Physics Solver"
+    atomic_op = "Multiple Lock Critical Section"
+
+    def __init__(
+        self,
+        n_threads: int,
+        *,
+        n_objects: int,
+        n_constraints: int,
+        iterations: int,
+        seed: int,
+        locality: int = 10,
+    ) -> None:
+        super().__init__()
+        self.n_threads = n_threads
+        self.system = constraint_system(
+            n_objects, n_constraints, iterations, seed, locality=locality
+        )
+        # Per-thread preprocessing (Table 2: "constraints within each
+        # thread are reordered into groups of independent constraints").
+        # Groups are sized for the widest SIMD so any runtime width can
+        # slice them without crossing a group boundary.
+        self._thread_groups: List[List[List[int]]] = []
+        for tid in range(n_threads):
+            lo, hi = chunk(self.system.n_constraints, n_threads, tid)
+            local = [
+                (self.system.constraints[i], i) for i in range(lo, hi)
+            ]
+            groups = group_independent(
+                [c for c, _ in local], MAX_SIMD_WIDTH
+            )
+            self._thread_groups.append(
+                [[local[g][1] for g in group] for group in groups]
+            )
+
+    def allocate(self, image: MemoryImage) -> None:
+        self._mark_allocated()
+        # Reordered per-thread constraint streams so the kernel's inner
+        # loop uses contiguous vector loads (the reorder happens once,
+        # host-side, exactly like the paper's preprocessing step).
+        self.m_a: List = []
+        self.m_b: List = []
+        self.m_delta: List = []
+        self._group_spans: List[List] = []
+        for tid in range(self.n_threads):
+            order = [i for group in self._thread_groups[tid] for i in group]
+            self.m_a.append(image.alloc_array(
+                padded([self.system.constraints[i][0] for i in order])
+            ))
+            self.m_b.append(image.alloc_array(
+                padded([self.system.constraints[i][1] for i in order])
+            ))
+            self.m_delta.append(image.alloc_array(
+                padded([self.system.deltas[i] for i in order])
+            ))
+            spans = []
+            offset = 0
+            for group in self._thread_groups[tid]:
+                spans.append((offset, len(group)))
+                offset += len(group)
+            self._group_spans.append(spans)
+        self.m_state = image.alloc_zeros(
+            len(padded([0] * self.system.n_objects))
+        )
+        self.m_lock = image.alloc_zeros(self.system.n_objects)
+
+    def base_program(self, ctx: ThreadCtx):
+        """Optimal Base (Section 4.2): everything is SIMD except locks.
+
+        The group's 2W locks are acquired scalar-ly in global index
+        order (deadlock-free), the impulses applied with regular
+        gathers/scatters (safe: the group is independent and the locks
+        are held), and the locks released with scatters.
+        """
+        self._require_allocated()
+        tid = ctx.tid
+        a_arr, b_arr = self.m_a[tid], self.m_b[tid]
+        d_arr = self.m_delta[tid]
+        for _ in range(self.system.iterations):
+            for offset, length in self._group_spans[tid]:
+                for i in range(offset, offset + length, ctx.w):
+                    active = min(ctx.w, offset + length - i)
+                    mask = ctx.prefix_mask(active)
+                    avec = yield ctx.vload(a_arr.addr(i))
+                    bvec = yield ctx.vload(b_arr.addr(i))
+                    dvec = yield ctx.vload(d_arr.addr(i))
+                    # Force-equation evaluation (same cost as GLSC).
+                    yield ctx.valu(lambda: None, count=4)
+                    a_idx = [int(v) for v in avec]
+                    b_idx = [int(v) for v in bvec]
+                    for obj in sorted(a_idx[:active] + b_idx[:active]):
+                        yield from scalar_lock_acquire(
+                            ctx, self.m_lock.addr(obj)
+                        )
+                    sa = yield ctx.vgather(self.m_state.base, a_idx, mask)
+                    new_a = yield ctx.valu(
+                        lambda: tuple(s + d for s, d in zip(sa, dvec))
+                    )
+                    yield ctx.vscatter(self.m_state.base, a_idx, new_a, mask)
+                    sb = yield ctx.vgather(self.m_state.base, b_idx, mask)
+                    new_b = yield ctx.valu(
+                        lambda: tuple(s - d for s, d in zip(sb, dvec))
+                    )
+                    yield ctx.vscatter(self.m_state.base, b_idx, new_b, mask)
+                    zeros = (0,) * ctx.w
+                    yield ctx.vscatter(
+                        self.m_lock.base, a_idx, zeros, mask, sync=True
+                    )
+                    yield ctx.vscatter(
+                        self.m_lock.base, b_idx, zeros, mask, sync=True
+                    )
+                    yield ctx.alu(1)  # loop bookkeeping
+            yield ctx.barrier()
+
+    def glsc_program(self, ctx: ThreadCtx):
+        self._require_allocated()
+        tid = ctx.tid
+        a_arr, b_arr = self.m_a[tid], self.m_b[tid]
+        d_arr = self.m_delta[tid]
+        for _ in range(self.system.iterations):
+            for offset, length in self._group_spans[tid]:
+                for i in range(offset, offset + length, ctx.w):
+                    active = min(ctx.w, offset + length - i)
+                    todo = ctx.prefix_mask(active)
+                    avec = yield ctx.vload(a_arr.addr(i))
+                    bvec = yield ctx.vload(b_arr.addr(i))
+                    dvec = yield ctx.vload(d_arr.addr(i))
+                    # Force-equation evaluation (same cost as Base).
+                    yield ctx.valu(lambda: None, count=4)
+                    a_idx = [int(v) for v in avec]
+                    b_idx = [int(v) for v in bvec]
+
+                    def work(winners, a_idx=a_idx, b_idx=b_idx, dvec=dvec):
+                        sa = yield ctx.vgather(
+                            self.m_state.base, a_idx, winners, sync=True
+                        )
+                        new_a = yield ctx.valu(
+                            lambda: tuple(
+                                s + d for s, d in zip(sa, dvec)
+                            ),
+                            sync=True,
+                        )
+                        yield ctx.vscatter(
+                            self.m_state.base, a_idx, new_a, winners,
+                            sync=True,
+                        )
+                        sb = yield ctx.vgather(
+                            self.m_state.base, b_idx, winners, sync=True
+                        )
+                        new_b = yield ctx.valu(
+                            lambda: tuple(
+                                s - d for s, d in zip(sb, dvec)
+                            ),
+                            sync=True,
+                        )
+                        yield ctx.vscatter(
+                            self.m_state.base, b_idx, new_b, winners,
+                            sync=True,
+                        )
+
+                    yield from glsc_paired_lock_apply(
+                        ctx, self.m_lock.base, a_idx, b_idx, todo, work
+                    )
+                    yield ctx.alu(1)  # loop bookkeeping
+            yield ctx.barrier()
+
+    def verify(self) -> None:
+        self._require_allocated()
+        expected = self.system.solve_oracle()
+        actual = [self.m_state[i] for i in range(self.system.n_objects)]
+        self._check_equal(actual, expected, "object state")

@@ -1,0 +1,61 @@
+"""Kernel registry: name -> kernel class / factory.
+
+The harness, runner, benches, and CLI all look kernels up here, so
+adding a benchmark is one import plus one register call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.errors import ConfigError
+from repro.kernels.common import KernelBase
+from repro.workloads.datasets import dataset_params
+
+__all__ = ["KERNELS", "KERNEL_ORDER", "make_kernel", "register_kernel"]
+
+KERNELS: Dict[str, Type[KernelBase]] = {}
+
+#: Presentation order used by the paper's tables/figures.
+KERNEL_ORDER: Tuple[str, ...] = ("gbc", "fs", "gps", "hip", "smc", "mfp", "tms")
+
+
+def register_kernel(cls: Type[KernelBase]) -> Type[KernelBase]:
+    """Class decorator/call registering a kernel under ``cls.name``."""
+    if not cls.name or cls.name == "?":
+        raise ConfigError(f"kernel class {cls.__name__} has no name")
+    KERNELS[cls.name] = cls
+    return cls
+
+
+def make_kernel(name: str, dataset: str, n_threads: int) -> KernelBase:
+    """Instantiate kernel ``name`` on dataset ``dataset``.
+
+    The instance is one-shot: allocate it into a machine's image, run,
+    verify, discard.
+    """
+    try:
+        cls = KERNELS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown kernel {name!r}; known: {sorted(KERNELS)}"
+        ) from None
+    return cls(n_threads, **dataset_params(name, dataset))
+
+
+def _register_builtin() -> None:
+    """Import and register the seven paper kernels (deferred to avoid
+    import cycles during kernel-module development)."""
+    from repro.kernels.fs import Fs
+    from repro.kernels.gbc import Gbc
+    from repro.kernels.gps import Gps
+    from repro.kernels.hip import Hip
+    from repro.kernels.mfp import Mfp
+    from repro.kernels.smc import Smc
+    from repro.kernels.tms import Tms
+
+    for cls in (Gbc, Fs, Gps, Hip, Smc, Mfp, Tms):
+        register_kernel(cls)
+
+
+_register_builtin()

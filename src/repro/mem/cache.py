@@ -1,0 +1,152 @@
+"""Private L1 data cache model.
+
+Tags-only timing cache: data words live in the flat
+:class:`~repro.mem.image.MemoryImage`; the cache tracks presence, MSI
+coherence state, LRU, and — the paper's L1 extension (Section 3.3) —
+one *GLSC entry* per line: a valid bit plus the SMT-thread id that
+holds the gather-link reservation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+from repro.errors import SimulationError
+from repro.mem.layout import LineGeometry
+
+__all__ = ["MSI_M", "MSI_S", "L1Line", "L1Cache"]
+
+#: MSI states; absence from the cache is the I state.
+MSI_M = "M"
+MSI_S = "S"
+
+
+class L1Line:
+    """One resident L1 cache line (tag + state + GLSC entry)."""
+
+    __slots__ = (
+        "line_addr",
+        "state",
+        "glsc_valid",
+        "glsc_tid",
+        "last_use",
+        "prefetched",
+    )
+
+    def __init__(self, line_addr: int, state: str, now: int) -> None:
+        self.line_addr = line_addr
+        self.state = state
+        self.glsc_valid = False
+        self.glsc_tid = -1
+        self.last_use = now
+        self.prefetched = False
+
+    def clear_glsc(self) -> None:
+        """Drop the GLSC reservation on this line, if any."""
+        self.glsc_valid = False
+        self.glsc_tid = -1
+
+    def __repr__(self) -> str:
+        glsc = f", glsc=t{self.glsc_tid}" if self.glsc_valid else ""
+        return f"L1Line({self.line_addr:#x}, {self.state}{glsc})"
+
+
+class L1Cache:
+    """A set-associative, LRU, tags-only L1 cache for one core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        n_sets: int,
+        assoc: int,
+        geometry: LineGeometry,
+    ) -> None:
+        if n_sets < 1 or assoc < 1:
+            raise SimulationError("L1 must have >= 1 set and >= 1 way")
+        self.core_id = core_id
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.geometry = geometry
+        self._sets: List[List[L1Line]] = [[] for _ in range(n_sets)]
+
+    # -- lookup ----------------------------------------------------------
+
+    def _set_for(self, line_addr: int) -> List[L1Line]:
+        return self._sets[self.geometry.set_index(line_addr, self.n_sets)]
+
+    def lookup(self, line_addr: int) -> Optional[L1Line]:
+        """The resident line for ``line_addr``, or None (I state)."""
+        for line in self._set_for(line_addr):
+            if line.line_addr == line_addr:
+                return line
+        return None
+
+    def touch(self, line: L1Line, now: int) -> None:
+        """Record a use for LRU purposes."""
+        line.last_use = now
+
+    # -- state changes -----------------------------------------------------
+
+    def install(
+        self,
+        line_addr: int,
+        state: str,
+        now: int,
+        victim_ok: Optional[Callable[[L1Line], bool]] = None,
+    ) -> Optional[L1Line]:
+        """Bring ``line_addr`` in with ``state``, evicting LRU if needed.
+
+        ``victim_ok`` filters eviction candidates; this is how the GSU
+        implements the "never evict a linked line for a gather-link"
+        policy (Section 3.2b).  Returns the evicted :class:`L1Line`
+        (caller handles its writeback and directory update), a fresh
+        sentinel with ``line_addr == -1`` when no eviction was needed,
+        or ``None`` when no acceptable victim exists (install refused).
+        """
+        cache_set = self._set_for(line_addr)
+        existing = self.lookup(line_addr)
+        if existing is not None:
+            raise SimulationError(
+                f"install of already-resident line {line_addr:#x} "
+                f"in core {self.core_id}"
+            )
+        evicted: Optional[L1Line] = None
+        if len(cache_set) >= self.assoc:
+            candidates = [
+                line
+                for line in cache_set
+                if victim_ok is None or victim_ok(line)
+            ]
+            if not candidates:
+                return None
+            evicted = min(candidates, key=lambda line: line.last_use)
+            cache_set.remove(evicted)
+        cache_set.append(L1Line(line_addr, state, now))
+        if evicted is None:
+            return L1Line(-1, MSI_S, now)  # sentinel: no victim
+        return evicted
+
+    def invalidate(self, line_addr: int) -> Optional[L1Line]:
+        """Remove ``line_addr`` (→ I).  Returns the line that was resident."""
+        cache_set = self._set_for(line_addr)
+        for line in cache_set:
+            if line.line_addr == line_addr:
+                cache_set.remove(line)
+                return line
+        return None
+
+    def downgrade(self, line_addr: int) -> Optional[L1Line]:
+        """M → S transition (remote read observed).  Returns the line."""
+        line = self.lookup(line_addr)
+        if line is not None and line.state == MSI_M:
+            line.state = MSI_S
+        return line
+
+    def resident_lines(self) -> Iterator[L1Line]:
+        """All resident lines (for invariant checks and tests)."""
+        for cache_set in self._sets:
+            yield from cache_set
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,583 @@
+"""Directory-based MSI coherence controller.
+
+This is the glue of the memory hierarchy: it owns the per-core L1s,
+the shared inclusive L2 (with directory state), main memory, the
+scalar ll/sc reservation file, the GLSC reservation tracker, and the
+stride prefetcher, and it implements the coherence *transactions* the
+core-side units (LSU and GSU) invoke:
+
+=====================  ====================================================
+``read``               load a word; line ends S (or stays M) in the L1
+``write``              store a word; line ends M; other copies invalidated;
+                       every reservation on the line is destroyed
+``read_linked``        the per-line half of ``vgatherlink``: a read that
+                       additionally takes a GLSC reservation, subject to
+                       the failure policies of Section 3.2
+``write_conditional``  the per-line half of ``vscattercond``: a write that
+                       only proceeds if the GLSC reservation is intact
+``scalar_ll/scalar_sc``  the Base architecture's primitives (Section 2.3)
+=====================  ====================================================
+
+Latency model (Table 1): 3-cycle L1 hit; +12 to reach the L2
+bank/directory; +12 for any remote-L1 forward or invalidation hop;
++280 for main memory.  Transactions are resolved synchronously — the
+caller learns the total latency and schedules its thread's wakeup —
+which preserves the *relative* timing behaviour (miss overlap happens
+in the GSU, which issues many transactions whose latencies run
+concurrently).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, NamedTuple, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.core.glsc import GlscTracker, make_tracker
+from repro.mem.cache import L1Cache, L1Line, MSI_M, MSI_S
+from repro.mem.dram import MainMemory
+from repro.mem.l2 import L2Cache
+from repro.mem.prefetch import StridePrefetcher
+from repro.mem.reservations import ReservationFile
+from repro.sim.config import MachineConfig
+from repro.sim.stats import MachineStats
+
+__all__ = ["AccessResult", "CoherenceSystem"]
+
+#: Deepest level a transaction reached (for tests and debugging).
+LEVEL_L1 = "L1"
+LEVEL_L2 = "L2"
+LEVEL_REMOTE = "REMOTE"
+LEVEL_MEM = "MEM"
+
+
+class AccessResult(NamedTuple):
+    """Outcome of one coherence transaction."""
+
+    latency: int
+    level: str
+
+
+class CoherenceSystem:
+    """Owns all shared memory-system state and implements transactions."""
+
+    def __init__(self, config: MachineConfig, stats: MachineStats) -> None:
+        self.config = config
+        self.stats = stats
+        self.geometry = config.geometry
+        self.l1s: Dict[int, L1Cache] = {
+            core: L1Cache(core, config.l1_sets, config.l1_assoc, self.geometry)
+            for core in range(config.n_cores)
+        }
+        self.l2 = L2Cache(
+            config.l2_sets, config.l2_assoc, config.l2_banks, self.geometry
+        )
+        self.dram = MainMemory(config.mem_latency)
+        self.reservations = ReservationFile(self.geometry)
+        self.glsc: GlscTracker = make_tracker(
+            self.l1s, config.n_cores, config.glsc_buffer_entries
+        )
+        self.prefetcher = StridePrefetcher(
+            config.line_bytes, config.prefetch_degree, config.prefetch_enabled
+        )
+        # Why the last valid GLSC reservation on (core, line) died; the
+        # GSU pops this to attribute scatter-conditional failures.
+        self._glsc_loss_cause: Dict[Tuple[int, int], str] = {}
+        # Failure injection (best-effort model stress test): when
+        # configured, reservations are spuriously destroyed at random —
+        # legal per Section 3, so every client must still be correct.
+        self._chaos_rng = (
+            random.Random(config.chaos_seed)
+            if config.chaos_reservation_loss > 0
+            else None
+        )
+        self.chaos_events = 0
+        # Per-bank occupancy clocks: concurrent transactions to the
+        # same L2 bank queue behind each other (the reason the paper's
+        # L2 is split into 16 banks).
+        self._bank_free = [0] * config.l2_banks
+
+    # ------------------------------------------------------------------
+    # public transactions
+    # ------------------------------------------------------------------
+
+    def read(
+        self,
+        core: int,
+        slot: int,
+        addr: int,
+        now: int,
+        *,
+        sync: bool = False,
+    ) -> AccessResult:
+        """Load transaction: line ends up S (or stays M) in ``core``'s L1."""
+        line_addr = self.geometry.line_addr(addr)
+        self._count_l1_access(sync)
+        line = self.l1s[core].lookup(line_addr)
+        if line is not None:
+            self._note_demand_hit(line)
+            self.l1s[core].touch(line, now)
+            self.stats.l1_hits += 1
+            return AccessResult(self.config.l1_hit_latency, LEVEL_L1)
+        result = self._read_miss(core, line_addr, now, victim_ok=None)
+        self._train_prefetcher(core, slot, line_addr, now)
+        return result
+
+    def write(
+        self,
+        core: int,
+        slot: int,
+        addr: int,
+        now: int,
+        *,
+        sync: bool = False,
+    ) -> AccessResult:
+        """Store transaction: obtain M, invalidate other copies.
+
+        Destroys every scalar reservation and GLSC entry on the line
+        (a store-conditional's own reservation must be consumed by the
+        caller *before* invoking this).
+        """
+        line_addr = self.geometry.line_addr(addr)
+        self._count_l1_access(sync)
+        result = self._obtain_modified(core, slot, line_addr, now)
+        self._kill_reservations_on_write(core, line_addr)
+        return result
+
+    def read_linked(
+        self,
+        core: int,
+        slot: int,
+        addr: int,
+        now: int,
+    ) -> Tuple[AccessResult, bool, Optional[str]]:
+        """Per-line gather-link: read + take a GLSC reservation.
+
+        Returns ``(access, linked, failure_cause)``.  Failure causes
+        follow Section 3.2's design freedoms:
+
+        * ``link_stolen`` — another SMT thread on this core already
+          holds the line's GLSC entry (freedom (a));
+        * ``eviction`` — filling the line would evict a linked line and
+          ``glsc_fail_on_link_eviction`` protects it (freedom (b));
+        * ``miss_policy`` — the lane missed in the L1 and
+          ``glsc_fail_on_miss`` chose to fail it rather than wait
+          (freedom (c)); the fill still happens so a retry will hit.
+        """
+        line_addr = self.geometry.line_addr(addr)
+        self._count_l1_access(sync=True)
+        cfg = self.config
+        line = self.l1s[core].lookup(line_addr)
+        if line is not None:
+            holder = self.glsc.holder(core, line_addr)
+            if holder is not None and holder != slot:
+                return (
+                    AccessResult(cfg.l1_hit_latency, LEVEL_L1),
+                    False,
+                    "link_stolen",
+                )
+            self._note_demand_hit(line)
+            self.l1s[core].touch(line, now)
+            self.stats.l1_hits += 1
+            self.glsc.link(core, slot, line_addr)
+            self._glsc_loss_cause.pop((core, line_addr), None)
+            return (AccessResult(cfg.l1_hit_latency, LEVEL_L1), True, None)
+
+        if cfg.glsc_fail_on_miss:
+            # Fail the lane fast but start the fill in the background,
+            # so the retry iteration finds the line resident.
+            self._read_miss(core, line_addr, now, victim_ok=self._victim_filter(core))
+            self._train_prefetcher(core, slot, line_addr, now)
+            return (
+                AccessResult(cfg.l1_hit_latency, LEVEL_L1),
+                False,
+                "miss_policy",
+            )
+
+        victim_ok = (
+            self._victim_filter(core) if cfg.glsc_fail_on_link_eviction else None
+        )
+        result = self._read_miss(core, line_addr, now, victim_ok=victim_ok)
+        self._train_prefetcher(core, slot, line_addr, now)
+        if result is None:
+            # No evictable way in the set: every candidate holds a live
+            # GLSC reservation.  The element fails (best-effort).
+            return (
+                AccessResult(cfg.l1_hit_latency + cfg.l2_latency, LEVEL_L2),
+                False,
+                "eviction",
+            )
+        self.glsc.link(core, slot, line_addr)
+        self._glsc_loss_cause.pop((core, line_addr), None)
+        return (result, True, None)
+
+    def write_conditional(
+        self,
+        core: int,
+        slot: int,
+        addr: int,
+        now: int,
+    ) -> Tuple[AccessResult, bool, Optional[str]]:
+        """Per-line scatter-conditional: write iff the reservation holds.
+
+        Returns ``(access, success, failure_cause)``.  On success the
+        GLSC entry is consumed, the line is brought to M, and all other
+        reservations on the line are destroyed.
+        """
+        line_addr = self.geometry.line_addr(addr)
+        self._count_l1_access(sync=True)
+        if not self.glsc.check(core, slot, line_addr):
+            cause = self._glsc_loss_cause.pop(
+                (core, line_addr), "thread_conflict"
+            )
+            return (
+                AccessResult(self.config.l1_hit_latency, LEVEL_L1),
+                False,
+                cause,
+            )
+        # Reservation intact: the line is resident (evictions clear the
+        # entry), so this is at worst an S -> M upgrade.
+        self.glsc.clear(core, line_addr)
+        result = self._obtain_modified(core, slot, line_addr, now)
+        self._kill_reservations_on_write(core, line_addr)
+        return (result, True, None)
+
+    def scalar_ll(
+        self, core: int, slot: int, addr: int, now: int
+    ) -> AccessResult:
+        """Scalar load-linked: a read that sets this thread's reservation."""
+        result = self.read(core, slot, addr, now, sync=True)
+        self.reservations.set(core, slot, addr)
+        return result
+
+    def scalar_sc(
+        self, core: int, slot: int, addr: int, now: int
+    ) -> Tuple[AccessResult, bool]:
+        """Scalar store-conditional; consumes the reservation either way."""
+        held = self.reservations.holds(core, slot, addr)
+        self.reservations.clear_thread(core, slot)
+        if not held:
+            self._count_l1_access(sync=True)
+            return AccessResult(self.config.l1_hit_latency, LEVEL_L1), False
+        result = self.write(core, slot, addr, now, sync=True)
+        return result, True
+
+    # ------------------------------------------------------------------
+    # transaction internals
+    # ------------------------------------------------------------------
+
+    def _book_l2_bank(self, line_addr: int, now: int) -> int:
+        """Queue on the line's L2 bank; returns added waiting cycles."""
+        bank = self.l2.bank_of(line_addr)
+        start = max(now, self._bank_free[bank])
+        self._bank_free[bank] = start + self.config.l2_bank_busy_cycles
+        return start - now
+
+    def _count_l1_access(self, sync: bool) -> None:
+        self.stats.l1_accesses += 1
+        if sync:
+            self.stats.l1_sync_accesses += 1
+        if self._chaos_rng is not None:
+            self._maybe_inject_loss()
+
+    def _maybe_inject_loss(self) -> None:
+        """Spuriously destroy random reservations (failure injection)."""
+        probability = self.config.chaos_reservation_loss
+        if self._chaos_rng.random() < probability:
+            victims = self.reservations.live_keys()
+            if victims:
+                core, slot = self._chaos_rng.choice(victims)
+                self.reservations.clear_thread(core, slot)
+                self.chaos_events += 1
+        if self._chaos_rng.random() < probability:
+            entries = self.glsc.live_entries()
+            if entries:
+                core, line_addr = self._chaos_rng.choice(entries)
+                self._kill_glsc(core, line_addr, "eviction")
+                self.chaos_events += 1
+
+    def _note_demand_hit(self, line: L1Line) -> None:
+        if line.prefetched:
+            self.stats.prefetch_hits += 1
+            line.prefetched = False
+
+    def _victim_filter(self, core: int):
+        """Eviction filter that protects lines with live GLSC entries."""
+
+        def ok(line: L1Line) -> bool:
+            return self.glsc.holder(core, line.line_addr) is None
+
+        return ok
+
+    def _read_miss(
+        self,
+        core: int,
+        line_addr: int,
+        now: int,
+        victim_ok,
+        prefetch: bool = False,
+    ) -> Optional[AccessResult]:
+        """Service a read miss; returns None if the install was refused."""
+        cfg = self.config
+        if not prefetch:
+            self.stats.l1_misses += 1
+        latency = cfg.l1_hit_latency + cfg.l2_latency
+        latency += self._book_l2_bank(line_addr, now)
+        level = LEVEL_L2
+        entry, l2_hit, l2_victim = self.l2.fetch(line_addr, now)
+        self.stats.l2_accesses += 1
+        if l2_victim is not None:
+            self._back_invalidate(l2_victim)
+        if not l2_hit:
+            self.stats.l2_misses += 1
+            latency += self.dram.access()
+            self.stats.mem_accesses += 1
+            level = LEVEL_MEM
+        if entry.owner is not None and entry.owner != core:
+            # Dirty in a remote L1: forward + downgrade (M -> S) and
+            # write the data back to the L2.  Reservations survive a
+            # remote *read*; only writes kill them.
+            owner = entry.owner
+            if self.l1s[owner].downgrade(line_addr) is None:
+                raise SimulationError(
+                    f"directory says core {owner} owns {line_addr:#x} "
+                    f"but its L1 does not hold it"
+                )
+            self.stats.writebacks += 1
+            entry.clear_owner()
+            latency += cfg.remote_l1_latency
+            if level != LEVEL_MEM:
+                level = LEVEL_REMOTE
+        installed = self._install_l1(core, line_addr, MSI_S, now, victim_ok)
+        if not installed:
+            return None
+        entry.add_sharer(core)
+        return AccessResult(latency, level)
+
+    def _obtain_modified(
+        self, core: int, slot: int, line_addr: int, now: int
+    ) -> AccessResult:
+        """Bring ``line_addr`` to M state in ``core``'s L1."""
+        cfg = self.config
+        line = self.l1s[core].lookup(line_addr)
+        if line is not None and line.state == MSI_M:
+            self.l1s[core].touch(line, now)
+            self.stats.l1_hits += 1
+            return AccessResult(cfg.l1_hit_latency, LEVEL_L1)
+
+        if line is not None:  # S -> M upgrade
+            latency = cfg.l1_hit_latency + cfg.l2_latency
+            latency += self._book_l2_bank(line_addr, now)
+            level = LEVEL_L2
+            self.stats.l2_accesses += 1
+            entry = self.l2.lookup(line_addr)
+            if entry is None:
+                raise SimulationError(
+                    f"L1 of core {core} holds {line_addr:#x} but the "
+                    f"inclusive L2 does not"
+                )
+            others = entry.sharers - {core}
+            if others:
+                latency += cfg.remote_l1_latency
+                level = LEVEL_REMOTE
+                for other in sorted(others):
+                    self._invalidate_l1(other, line_addr)
+            entry.set_owner(core)
+            entry.last_use = now
+            line.state = MSI_M
+            self.l1s[core].touch(line, now)
+            return AccessResult(latency, level)
+
+        # Write miss: read-for-ownership.
+        self.stats.l1_misses += 1
+        self._train_prefetcher(core, slot, line_addr, now)
+        latency = cfg.l1_hit_latency + cfg.l2_latency
+        latency += self._book_l2_bank(line_addr, now)
+        level = LEVEL_L2
+        entry, l2_hit, l2_victim = self.l2.fetch(line_addr, now)
+        self.stats.l2_accesses += 1
+        if l2_victim is not None:
+            self._back_invalidate(l2_victim)
+        if not l2_hit:
+            self.stats.l2_misses += 1
+            latency += self.dram.access()
+            self.stats.mem_accesses += 1
+            level = LEVEL_MEM
+        holders = set(entry.sharers)
+        if holders - {core}:
+            latency += cfg.remote_l1_latency
+            if level != LEVEL_MEM:
+                level = LEVEL_REMOTE
+            for other in sorted(holders - {core}):
+                self._invalidate_l1(other, line_addr)
+        if not self._install_l1(core, line_addr, MSI_M, now, victim_ok=None):
+            raise SimulationError("unfiltered L1 install refused")
+        entry.set_owner(core)
+        return AccessResult(latency, level)
+
+    def _install_l1(
+        self,
+        core: int,
+        line_addr: int,
+        state: str,
+        now: int,
+        victim_ok,
+        prefetched: bool = False,
+    ) -> bool:
+        """Install a line into an L1, handling the victim's bookkeeping."""
+        evicted = self.l1s[core].install(line_addr, state, now, victim_ok)
+        if evicted is None:
+            return False
+        if evicted.line_addr >= 0:
+            self._retire_l1_line(core, evicted)
+        new_line = self.l1s[core].lookup(line_addr)
+        new_line.prefetched = prefetched
+        return True
+
+    def _retire_l1_line(self, core: int, line: L1Line) -> None:
+        """A line left ``core``'s L1 by eviction: fix directory + reservations."""
+        if line.state == MSI_M:
+            self.stats.writebacks += 1
+        entry = self.l2.lookup(line.line_addr)
+        if entry is None:
+            raise SimulationError(
+                f"evicting {line.line_addr:#x} from core {core} but the "
+                f"inclusive L2 does not hold it"
+            )
+        entry.drop(core)
+        self.reservations.clear_core_line(core, line.line_addr)
+        self._kill_glsc_departed(core, line, "eviction")
+
+    def _invalidate_l1(self, core: int, line_addr: int) -> None:
+        """Invalidate one L1 copy (remote write observed)."""
+        line = self.l1s[core].invalidate(line_addr)
+        if line is None:
+            raise SimulationError(
+                f"directory says core {core} shares {line_addr:#x} but "
+                f"its L1 does not hold it"
+            )
+        if line.state == MSI_M:
+            self.stats.writebacks += 1
+        self.stats.invalidations_sent += 1
+        self.reservations.clear_core_line(core, line_addr)
+        self._kill_glsc_departed(core, line, "thread_conflict")
+
+    def _back_invalidate(self, victim_entry) -> None:
+        """Inclusive-L2 eviction: remove every L1 copy of the victim."""
+        for core in sorted(victim_entry.sharers):
+            line = self.l1s[core].invalidate(victim_entry.line_addr)
+            if line is None:
+                raise SimulationError(
+                    f"L2 victim {victim_entry.line_addr:#x}: directory "
+                    f"lists core {core} but its L1 lacks the line"
+                )
+            if line.state == MSI_M:
+                self.stats.writebacks += 1
+            self.stats.invalidations_sent += 1
+            self.reservations.clear_core_line(core, victim_entry.line_addr)
+            self._kill_glsc_departed(core, line, "eviction")
+
+    def _kill_glsc(self, core: int, line_addr: int, cause: str) -> None:
+        """Clear a GLSC entry, remembering why it died (for Table 4)."""
+        if self.glsc.holder(core, line_addr) is not None:
+            self._glsc_loss_cause[(core, line_addr)] = cause
+        self.glsc.clear(core, line_addr)
+
+    def _kill_glsc_departed(self, core: int, line: L1Line, cause: str) -> None:
+        """Like :meth:`_kill_glsc`, for a line already removed from the L1.
+
+        The tag tracker's state left with the line object, so consult
+        its GLSC bits directly; the buffer tracker still needs an
+        explicit clear.
+        """
+        had_entry = (
+            line.glsc_valid or self.glsc.holder(core, line.line_addr) is not None
+        )
+        if had_entry:
+            self._glsc_loss_cause[(core, line.line_addr)] = cause
+        self.glsc.clear(core, line.line_addr)
+
+    def _kill_reservations_on_write(self, writer_core: int, line_addr: int) -> None:
+        """A word on ``line_addr`` was written: destroy every reservation."""
+        self.reservations.clear_line(line_addr)
+        # Other cores' GLSC entries died with their invalidations; the
+        # writer's own core may still hold one (another SMT thread, or
+        # a stale own link) — normal stores clear it too (Section 3.3).
+        self._kill_glsc(writer_core, line_addr, "thread_conflict")
+
+    # ------------------------------------------------------------------
+    # prefetcher
+    # ------------------------------------------------------------------
+
+    def _train_prefetcher(
+        self, core: int, slot: int, line_addr: int, now: int
+    ) -> None:
+        targets = self.prefetcher.on_demand_miss(core, slot, line_addr)
+        for target in targets:
+            if self.l1s[core].lookup(target) is not None:
+                continue
+            self.stats.prefetches_issued += 1
+            self._prefetch_fill(core, target, now)
+
+    def _prefetch_fill(self, core: int, line_addr: int, now: int) -> None:
+        """Install a prefetched line as S with no thread-visible latency."""
+        entry, l2_hit, l2_victim = self.l2.fetch(line_addr, now)
+        self.stats.l2_accesses += 1
+        if l2_victim is not None:
+            self._back_invalidate(l2_victim)
+        if not l2_hit:
+            self.stats.l2_misses += 1
+            self.dram.access()
+            self.stats.mem_accesses += 1
+        if entry.owner is not None and entry.owner != core:
+            owner = entry.owner
+            if self.l1s[owner].downgrade(line_addr) is None:
+                raise SimulationError(
+                    f"directory/L1 disagree on owner of {line_addr:#x}"
+                )
+            self.stats.writebacks += 1
+            entry.clear_owner()
+        if self._install_l1(
+            core,
+            line_addr,
+            MSI_S,
+            now,
+            victim_ok=self._victim_filter(core),
+            prefetched=True,
+        ):
+            entry.add_sharer(core)
+
+    # ------------------------------------------------------------------
+    # invariant checking (used by property tests)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the coherence invariants; raises SimulationError."""
+        for entry in self.l2.entries():
+            entry.check()
+            for core in entry.sharers:
+                line = self.l1s[core].lookup(entry.line_addr)
+                if line is None:
+                    raise SimulationError(
+                        f"directory lists core {core} for "
+                        f"{entry.line_addr:#x} but L1 lacks it"
+                    )
+                expected = MSI_M if entry.owner == core else MSI_S
+                if line.state != expected:
+                    raise SimulationError(
+                        f"core {core} holds {entry.line_addr:#x} in "
+                        f"{line.state}, directory implies {expected}"
+                    )
+        for core, l1 in self.l1s.items():
+            for line in l1.resident_lines():
+                entry = self.l2.lookup(line.line_addr)
+                if entry is None:
+                    raise SimulationError(
+                        f"L1 of core {core} holds {line.line_addr:#x} "
+                        f"not present in the inclusive L2"
+                    )
+                if core not in entry.sharers:
+                    raise SimulationError(
+                        f"L1 of core {core} holds {line.line_addr:#x} "
+                        f"but the directory does not list it"
+                    )

@@ -1,0 +1,65 @@
+"""Directory state for the shared L2.
+
+Each L2-resident line carries the coherence directory information the
+paper describes ("The shared cache holds directory information for each
+cache line to maintain coherence amongst the private caches"): the set
+of L1 sharers and the owning core when some L1 holds the line modified.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.errors import SimulationError
+
+__all__ = ["DirectoryEntry"]
+
+
+class DirectoryEntry:
+    """Directory record for one L2-resident line."""
+
+    __slots__ = ("line_addr", "sharers", "owner", "last_use")
+
+    def __init__(self, line_addr: int, now: int) -> None:
+        self.line_addr = line_addr
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+        self.last_use = now
+
+    def add_sharer(self, core_id: int) -> None:
+        """Record that ``core_id`` holds the line in S state."""
+        if self.owner is not None and self.owner != core_id:
+            raise SimulationError(
+                f"line {self.line_addr:#x}: adding sharer {core_id} while "
+                f"owned by {self.owner}"
+            )
+        self.sharers.add(core_id)
+
+    def set_owner(self, core_id: int) -> None:
+        """Record that ``core_id`` holds the line in M state (sole copy)."""
+        self.sharers = {core_id}
+        self.owner = core_id
+
+    def clear_owner(self) -> None:
+        """Owner downgraded to S (sharers keep the owner's entry)."""
+        self.owner = None
+
+    def drop(self, core_id: int) -> None:
+        """``core_id`` no longer holds the line (eviction/invalidation)."""
+        self.sharers.discard(core_id)
+        if self.owner == core_id:
+            self.owner = None
+
+    def check(self) -> None:
+        """Assert internal consistency (used by invariant tests)."""
+        if self.owner is not None and self.sharers != {self.owner}:
+            raise SimulationError(
+                f"line {self.line_addr:#x}: owner {self.owner} but "
+                f"sharers {sorted(self.sharers)}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectoryEntry({self.line_addr:#x}, sharers={sorted(self.sharers)}, "
+            f"owner={self.owner})"
+        )

@@ -1,0 +1,24 @@
+"""Main-memory model.
+
+The paper models main memory as a flat 280-cycle access (Table 1); so
+do we.  The class exists (rather than a bare constant) so the access
+counter and latency live behind one seam, and so tests/ablations can
+swap in a different latency profile.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MainMemory"]
+
+
+class MainMemory:
+    """Fixed-latency DRAM backstop behind the L2."""
+
+    def __init__(self, access_latency: int) -> None:
+        self.access_latency = access_latency
+        self.accesses = 0
+
+    def access(self) -> int:
+        """Perform one line fetch/writeback; returns its latency."""
+        self.accesses += 1
+        return self.access_latency

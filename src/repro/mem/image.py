@@ -1,0 +1,181 @@
+"""The simulated flat memory image.
+
+Benchmark kernels allocate their data structures here, and every memory
+instruction executed by the simulator reads or writes these words.
+Keeping a single authoritative word array means atomicity properties are
+*observed*, not assumed: if two simulated threads race on a word, the
+simulated outcome is whatever the modeled hardware allows.
+
+:class:`MemoryImage` provides:
+
+* a bump allocator (``alloc`` / ``alloc_array``) with line-alignment,
+* word-granularity load/store used by the memory hierarchy,
+* :class:`ArrayView`, a convenience wrapper kernels use to initialize
+  and read back arrays without manual address arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import AllocationError, MemoryError_
+from repro.mem.layout import WORD_BYTES, LineGeometry
+
+__all__ = ["MemoryImage", "ArrayView"]
+
+Number = Union[int, float]
+
+
+class MemoryImage:
+    """A flat, word-addressable simulated memory with a bump allocator."""
+
+    def __init__(
+        self,
+        size_bytes: int = 1 << 24,
+        geometry: Optional[LineGeometry] = None,
+    ) -> None:
+        if size_bytes <= 0 or size_bytes % WORD_BYTES:
+            raise AllocationError(
+                f"size_bytes must be a positive multiple of {WORD_BYTES}, "
+                f"got {size_bytes}"
+            )
+        self.geometry = geometry or LineGeometry()
+        self.size_bytes = size_bytes
+        self._n_words = size_bytes // WORD_BYTES
+        # Sparse storage: unwritten words read as zero.  A 16MB image
+        # would otherwise cost a 4M-entry list per machine.
+        self._words: Dict[int, Number] = {}
+        # Leave address 0 unallocated so it can serve as a null sentinel.
+        self._brk = self.geometry.line_bytes
+
+    # -- allocation -----------------------------------------------------
+
+    def alloc(self, nbytes: int, align: Optional[int] = None) -> int:
+        """Reserve ``nbytes`` and return the base byte address.
+
+        The default alignment is one cache line, which mirrors how the
+        paper's benchmarks lay out shared arrays (and keeps false
+        sharing a deliberate choice rather than an allocator accident).
+        """
+        if nbytes <= 0:
+            raise AllocationError(f"nbytes must be positive, got {nbytes}")
+        align = align or self.geometry.line_bytes
+        if align <= 0 or align % WORD_BYTES:
+            raise AllocationError(
+                f"align must be a positive multiple of {WORD_BYTES}, "
+                f"got {align}"
+            )
+        base = self._brk + (-self._brk) % align
+        end = base + nbytes
+        if end > self.size_bytes:
+            raise AllocationError(
+                f"out of simulated memory: need {end} bytes, "
+                f"have {self.size_bytes}"
+            )
+        self._brk = end
+        return base
+
+    def alloc_words(self, nwords: int, align: Optional[int] = None) -> int:
+        """Reserve ``nwords`` 32-bit words and return the base address."""
+        return self.alloc(nwords * WORD_BYTES, align)
+
+    def alloc_array(
+        self,
+        values: Sequence[Number],
+        align: Optional[int] = None,
+    ) -> "ArrayView":
+        """Allocate and initialize an array, returning a view over it."""
+        base = self.alloc_words(max(len(values), 1), align)
+        view = ArrayView(self, base, len(values))
+        for i, value in enumerate(values):
+            view[i] = value
+        return view
+
+    def alloc_zeros(self, nwords: int, align: Optional[int] = None) -> "ArrayView":
+        """Allocate an array of ``nwords`` zero words."""
+        base = self.alloc_words(nwords, align)
+        return ArrayView(self, base, nwords)
+
+    @property
+    def bytes_allocated(self) -> int:
+        """Current bump-pointer position (bytes handed out so far)."""
+        return self._brk
+
+    # -- word access ------------------------------------------------------
+
+    def _word_index(self, addr: int) -> int:
+        index = self.geometry.word_index(addr)
+        if index >= self._n_words:
+            raise MemoryError_(
+                f"address {addr:#x} beyond simulated memory "
+                f"({self.size_bytes} bytes)"
+            )
+        return index
+
+    def load_word(self, addr: int) -> Number:
+        """Read the 32-bit word at byte address ``addr``."""
+        return self._words.get(self._word_index(addr), 0)
+
+    def store_word(self, addr: int, value: Number) -> None:
+        """Write the 32-bit word at byte address ``addr``."""
+        self._words[self._word_index(addr)] = value
+
+    def load_words(self, addr: int, count: int) -> List[Number]:
+        """Read ``count`` consecutive words starting at ``addr``."""
+        start = self._word_index(addr)
+        if start + count > self._n_words:
+            raise MemoryError_(
+                f"range [{addr:#x}, +{count} words) beyond simulated memory"
+            )
+        words = self._words
+        return [words.get(i, 0) for i in range(start, start + count)]
+
+
+class ArrayView:
+    """A word-array window into a :class:`MemoryImage`.
+
+    Kernels use views to initialize inputs and to read back results for
+    verification; the *simulated* program only ever sees the base
+    address.
+    """
+
+    __slots__ = ("_image", "base", "length")
+
+    def __init__(self, image: MemoryImage, base: int, length: int) -> None:
+        self._image = image
+        self.base = base
+        self.length = length
+
+    def addr(self, index: int) -> int:
+        """Byte address of element ``index``."""
+        if not 0 <= index < self.length:
+            raise MemoryError_(
+                f"index {index} out of range for array of {self.length}"
+            )
+        return self.base + index * WORD_BYTES
+
+    def __getitem__(self, index: int) -> Number:
+        return self._image.load_word(self.addr(index))
+
+    def __setitem__(self, index: int, value: Number) -> None:
+        self._image.store_word(self.addr(index), value)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[Number]:
+        return (self[i] for i in range(self.length))
+
+    def to_list(self) -> List[Number]:
+        """Materialize the array contents."""
+        return list(self)
+
+    def fill(self, values: Iterable[Number]) -> None:
+        """Overwrite the array with ``values`` (must match length)."""
+        values = list(values)
+        if len(values) != self.length:
+            raise MemoryError_(
+                f"fill length {len(values)} != array length {self.length}"
+            )
+        for i, value in enumerate(values):
+            self[i] = value

@@ -1,0 +1,102 @@
+"""Shared, inclusive, banked L2 cache with integrated directory.
+
+The paper's L2 (Table 1): 16 MB, 8-way, 16 banks, physically
+distributed, inclusive of the private L1s, holding the directory
+information for each resident line.  We model tags + directory state;
+data words live in the flat memory image.
+
+Inclusivity matters for GLSC: when an L2 victim is chosen, every L1
+copy must be back-invalidated, which silently destroys any gather-link
+reservations on that line — one of the legal reservation-loss causes
+the best-effort model permits (Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.mem.directory import DirectoryEntry
+from repro.mem.layout import LineGeometry
+
+__all__ = ["L2Cache"]
+
+
+class L2Cache:
+    """Set-associative inclusive L2 with per-line directory entries."""
+
+    def __init__(
+        self,
+        n_sets: int,
+        assoc: int,
+        n_banks: int,
+        geometry: LineGeometry,
+    ) -> None:
+        if n_sets < 1 or assoc < 1 or n_banks < 1:
+            raise SimulationError("L2 must have >= 1 set, way, and bank")
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.n_banks = n_banks
+        self.geometry = geometry
+        # Sets materialize lazily: a 16MB L2 has 32k sets, of which a
+        # simulation touches a tiny fraction.
+        self._sets: Dict[int, List[DirectoryEntry]] = {}
+
+    def _set_for(self, line_addr: int) -> List[DirectoryEntry]:
+        index = self.geometry.set_index(line_addr, self.n_sets)
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = []
+        return cache_set
+
+    def bank_of(self, line_addr: int) -> int:
+        """Which bank serves ``line_addr`` (lines interleave across banks)."""
+        return self.geometry.bank_index(line_addr, self.n_banks)
+
+    def lookup(self, line_addr: int) -> Optional[DirectoryEntry]:
+        """The directory entry for a resident line, or None (L2 miss)."""
+        for entry in self._set_for(line_addr):
+            if entry.line_addr == line_addr:
+                return entry
+        return None
+
+    def fetch(
+        self, line_addr: int, now: int
+    ) -> Tuple[DirectoryEntry, bool, Optional[DirectoryEntry]]:
+        """Return ``(entry, l2_hit, victim)`` for ``line_addr``.
+
+        On a miss the line is fetched (caller charges main-memory
+        latency) and installed; if the set is full, the LRU entry is
+        evicted and returned as ``victim`` so the coherence controller
+        can back-invalidate its L1 copies (inclusivity).
+        """
+        entry = self.lookup(line_addr)
+        if entry is not None:
+            entry.last_use = now
+            return entry, True, None
+        cache_set = self._set_for(line_addr)
+        victim: Optional[DirectoryEntry] = None
+        if len(cache_set) >= self.assoc:
+            victim = min(cache_set, key=lambda e: e.last_use)
+            cache_set.remove(victim)
+        entry = DirectoryEntry(line_addr, now)
+        cache_set.append(entry)
+        return entry, False, victim
+
+    def evict_for_test(self, line_addr: int) -> Optional[DirectoryEntry]:
+        """Force-evict a line (testing hook for inclusion behaviour)."""
+        cache_set = self._set_for(line_addr)
+        for entry in cache_set:
+            if entry.line_addr == line_addr:
+                cache_set.remove(entry)
+                return entry
+        return None
+
+    def entries(self) -> Iterator[DirectoryEntry]:
+        """All resident directory entries (for invariant checks)."""
+        for cache_set in self._sets.values():
+            yield from cache_set
+
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(s) for s in self._sets.values())

@@ -1,0 +1,94 @@
+"""Per-thread multi-stream stride prefetcher.
+
+The paper's L1s have "a hardware stride prefetcher"; we model the
+standard stream-table design: each hardware thread owns a small table
+of active streams.  A demand miss either *advances* the stream that
+predicted it (issuing ``degree`` prefetches ahead), *retrains* a
+nearby stream (new stride), or *allocates* a new stream, evicting the
+least-recently-used entry.  Multiple interleaved array walks — the
+common kernel pattern ``for i: use(a[i], b[i], c[i])`` — therefore
+train independently, as PC-indexed hardware tables achieve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["StridePrefetcher"]
+
+ThreadKey = Tuple[int, int]  # (core_id, smt_slot)
+
+#: Streams tracked per hardware thread.
+TABLE_SIZE = 8
+
+#: A miss within this many lines of a stream's head retrains it
+#: instead of allocating a new stream.
+MATCH_WINDOW = 4
+
+
+class _Stream:
+    __slots__ = ("last_line", "stride", "confident", "last_use")
+
+    def __init__(self, line: int, now: int) -> None:
+        self.last_line = line
+        self.stride = 0
+        self.confident = False
+        self.last_use = now
+
+
+class StridePrefetcher:
+    """Stream-table stride detection over demand-miss line addresses."""
+
+    def __init__(self, line_bytes: int, degree: int, enabled: bool = True) -> None:
+        self.line_bytes = line_bytes
+        self.degree = degree
+        self.enabled = enabled
+        self._tables: Dict[ThreadKey, List[_Stream]] = {}
+        self._clock = 0
+
+    def on_demand_miss(
+        self, core_id: int, slot: int, line_addr: int
+    ) -> List[int]:
+        """Train on a demand miss; return line addresses to prefetch."""
+        if not self.enabled:
+            return []
+        self._clock += 1
+        table = self._tables.setdefault((core_id, slot), [])
+        stream = self._match(table, line_addr)
+        if stream is None:
+            if len(table) >= TABLE_SIZE:
+                table.remove(min(table, key=lambda s: s.last_use))
+            table.append(_Stream(line_addr, self._clock))
+            return []
+        stream.last_use = self._clock
+        stride = line_addr - stream.last_line
+        targets: List[int] = []
+        if stride != 0 and stride == stream.stride:
+            stream.confident = True
+            targets = [
+                line_addr + stride * k
+                for k in range(1, self.degree + 1)
+                if line_addr + stride * k >= 0
+            ]
+        else:
+            stream.confident = False
+            stream.stride = stride
+        stream.last_line = line_addr
+        return targets
+
+    def _match(self, table: List[_Stream], line_addr: int):
+        """The stream this miss belongs to, preferring exact prediction."""
+        window = MATCH_WINDOW * self.line_bytes
+        best = None
+        for stream in table:
+            if stream.confident and line_addr == stream.last_line + stream.stride:
+                return stream
+            if abs(line_addr - stream.last_line) <= window:
+                if best is None or stream.last_use > best.last_use:
+                    best = stream
+        return best
+
+    def reset(self) -> None:
+        """Forget all training state."""
+        self._tables.clear()
+        self._clock = 0

@@ -1,0 +1,78 @@
+"""Scalar load-linked / store-conditional reservation file.
+
+The Base architecture's atomic primitive (Section 2.3): ``ll`` sets a
+reservation on the accessed cache line for the issuing hardware
+thread; ``sc`` succeeds only if the reservation is still held.  A
+reservation dies when the line is written by anyone, invalidated, or
+evicted from the reserver's L1 — the classic conservative semantics
+the paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.mem.layout import LineGeometry
+
+__all__ = ["ReservationFile"]
+
+ThreadKey = Tuple[int, int]  # (core_id, smt_slot)
+
+
+class ReservationFile:
+    """Per-hardware-thread line reservations for scalar ll/sc."""
+
+    def __init__(self, geometry: LineGeometry) -> None:
+        self.geometry = geometry
+        self._held: Dict[ThreadKey, int] = {}
+
+    def set(self, core_id: int, slot: int, addr: int) -> None:
+        """``ll``: reserve the line containing ``addr`` for this thread."""
+        self._held[(core_id, slot)] = self.geometry.line_addr(addr)
+
+    def holds(self, core_id: int, slot: int, addr: int) -> bool:
+        """Whether the thread still holds a reservation covering ``addr``."""
+        line_addr = self.geometry.line_addr(addr)
+        return self._held.get((core_id, slot)) == line_addr
+
+    def clear_thread(self, core_id: int, slot: int) -> None:
+        """Drop this thread's reservation (``sc`` consumes it either way)."""
+        self._held.pop((core_id, slot), None)
+
+    def clear_line(self, line_addr: int) -> int:
+        """A write hit ``line_addr``: kill every reservation on it.
+
+        Returns how many reservations were destroyed (stat hook).
+        """
+        victims = [
+            key for key, held in self._held.items() if held == line_addr
+        ]
+        for key in victims:
+            del self._held[key]
+        return len(victims)
+
+    def clear_core_line(self, core_id: int, line_addr: int) -> int:
+        """Line left ``core_id``'s L1 (eviction/invalidation).
+
+        Only that core's threads lose their reservations.
+        """
+        victims = [
+            key
+            for key, held in self._held.items()
+            if key[0] == core_id and held == line_addr
+        ]
+        for key in victims:
+            del self._held[key]
+        return len(victims)
+
+    def holder_count(self) -> int:
+        """Number of live reservations (test/debug hook)."""
+        return len(self._held)
+
+    def held_line(self, core_id: int, slot: int) -> Optional[int]:
+        """The line this thread has reserved, or None."""
+        return self._held.get((core_id, slot))
+
+    def live_keys(self) -> "list[ThreadKey]":
+        """Threads currently holding reservations (failure injection)."""
+        return list(self._held)

@@ -1,0 +1,191 @@
+"""Top-level machine: cores + memory hierarchy + cycle loop.
+
+:class:`Machine` wires the configured number of cores to a shared
+coherence system over one flat memory image, accepts one program per
+hardware thread, and runs the cycle loop to completion.
+
+The loop is cycle-quantized but event-skipping: when no thread can
+issue at the current cycle, time jumps to the earliest wakeup.  This
+keeps long memory stalls cheap to simulate without changing observable
+timing.
+
+Barriers are resolved here: a thread executing a ``barrier``
+instruction parks until every live thread in its group has arrived,
+then all are released together after a small rendezvous cost.  The
+wait shows up as synchronization time, which is exactly how the
+paper accounts for it (Figure 5a).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError, DeadlockError, SimulationError
+from repro.core.core import Core, HwThread, T_BARRIER, T_DONE, T_READY
+from repro.isa.program import Program, ThreadCtx, check_program
+from repro.mem.coherence import CoherenceSystem
+from repro.mem.image import MemoryImage
+from repro.sim.config import MachineConfig
+from repro.sim.stats import MachineStats
+
+__all__ = ["Machine"]
+
+#: Cycles between the last barrier arrival and the group's release;
+#: approximates the chip-crossing notification of a hardware barrier.
+BARRIER_RELEASE_COST = 24
+
+
+class Machine:
+    """A simulated CMP executing one program per hardware thread."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        image: Optional[MemoryImage] = None,
+        tracer=None,
+    ) -> None:
+        self.config = config
+        self.image = image or MemoryImage(
+            config.mem_size_bytes, config.geometry
+        )
+        if self.image.geometry.line_bytes != config.line_bytes:
+            raise ConfigError(
+                "memory image line size disagrees with machine config"
+            )
+        self.stats = MachineStats()
+        self.coherence = CoherenceSystem(config, self.stats)
+        self.tracer = tracer
+        self.cores: List[Core] = [
+            Core(
+                core_id, config, self.coherence, self.image, self.stats,
+                tracer=tracer,
+            )
+            for core_id in range(config.n_cores)
+        ]
+        self.threads: List[HwThread] = []
+        self._ran = False
+
+    # -- setup ----------------------------------------------------------
+
+    def add_program(self, program: Program) -> int:
+        """Attach ``program`` to the next hardware thread; returns its tid.
+
+        Threads are distributed cyclically over cores (thread ``t`` runs
+        on core ``t mod n_cores``), matching the even work split the
+        paper's benchmarks use.
+        """
+        check_program(program)
+        tid = len(self.threads)
+        if tid >= self.config.n_threads:
+            raise ConfigError(
+                f"machine has only {self.config.n_threads} hardware threads"
+            )
+        core = self.cores[tid % self.config.n_cores]
+        slot = len(core.threads)
+        ctx = ThreadCtx(tid, self.config.n_threads, self.config.simd_width)
+        thread = HwThread(tid, slot, program, ctx, self.stats.new_thread())
+        core.add_thread(thread)
+        self.threads.append(thread)
+        return tid
+
+    def add_programs(self, programs: List[Program]) -> None:
+        """Attach one program per hardware thread (must fill the machine)."""
+        if len(programs) != self.config.n_threads:
+            raise ConfigError(
+                f"expected {self.config.n_threads} programs, "
+                f"got {len(programs)}"
+            )
+        for program in programs:
+            self.add_program(program)
+
+    def warm_caches(self) -> None:
+        """Pre-load every allocated line into every core's L1 (S state).
+
+        The paper warms caches before measuring (Section 5.2), and its
+        datasets are large enough that cold misses amortize away; our
+        scaled-down datasets would otherwise be dominated by compulsory
+        misses.  Warming traffic is excluded from the statistics.
+        """
+        if self._ran:
+            raise SimulationError("cannot warm caches after run()")
+        line_bytes = self.config.line_bytes
+        first = line_bytes  # line 0 is the allocator's null sentinel
+        for core_id in range(self.config.n_cores):
+            for line in range(first, self.image.bytes_allocated, line_bytes):
+                self.coherence.read(core_id, 0, line, now=0)
+        self.coherence.prefetcher.reset()
+        self.stats.reset_counters()
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> MachineStats:
+        """Run all programs to completion; returns the machine stats."""
+        if self._ran:
+            raise SimulationError("a Machine can only be run once")
+        self._ran = True
+        if not self.threads:
+            raise SimulationError("no programs attached")
+        cycle = 0
+        while not all(core.all_done() for core in self.cores):
+            for core in self.cores:
+                core.tick(cycle)
+            self._resolve_barriers(cycle)
+            cycle = self._advance_clock(cycle)
+            if cycle > self.config.max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={self.config.max_cycles}; "
+                    f"likely livelock"
+                )
+        self.stats.cycles = max(
+            (t.stats.finish_cycle for t in self.threads), default=cycle
+        )
+        return self.stats
+
+    # -- internals --------------------------------------------------------------
+
+    def _resolve_barriers(self, now: int) -> None:
+        """Release every barrier group whose live members all arrived."""
+        waiting: Dict[str, List[HwThread]] = defaultdict(list)
+        live_by_group: Dict[str, int] = defaultdict(int)
+        for thread in self.threads:
+            if thread.state == T_BARRIER:
+                waiting[thread.barrier_group].append(thread)
+            if thread.state != T_DONE:
+                live_by_group["all"] += 1
+        for group, members in waiting.items():
+            expected = (
+                live_by_group["all"] if group == "all" else None
+            )
+            if expected is None:
+                raise SimulationError(
+                    f"unknown barrier group {group!r}; only 'all' is "
+                    f"supported by the machine barrier"
+                )
+            if len(members) == expected:
+                release = now + BARRIER_RELEASE_COST
+                for thread in members:
+                    wait = release - thread.barrier_since
+                    thread.stats.sync_cycles += wait
+                    thread.stats.busy_cycles += wait
+                    thread.state = T_READY
+                    thread.ready_at = release
+                    thread.barrier_group = None
+
+    def _advance_clock(self, cycle: int) -> int:
+        """Next cycle to simulate, skipping idle gaps."""
+        wakeups = []
+        for core in self.cores:
+            ready = core.next_ready_cycle()
+            if ready is not None:
+                wakeups.append(ready)
+        if not wakeups:
+            if all(core.all_done() for core in self.cores):
+                return cycle + 1
+            # Threads exist but none is READY: they must all be parked
+            # at barriers that cannot release.
+            raise DeadlockError(
+                "all live threads are blocked at barriers that cannot "
+                "be released"
+            )
+        return max(cycle + 1, min(wakeups))

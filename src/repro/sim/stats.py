@@ -1,0 +1,225 @@
+"""Simulation statistics.
+
+The counters here are exactly the quantities the paper's evaluation
+reports:
+
+* dynamic instruction counts (Table 4, "Instructions" column),
+* memory stall cycles (Table 4, "Memory Stalls"),
+* L1 accesses, split into those caused by atomic/synchronization
+  operations, plus the accesses *saved* by GSU line combining
+  (Table 4, "L1 Accesses"),
+* GLSC element attempts/failures broken down by cause (Table 4 failure
+  rates; Section 5.1 attributes failures to aliasing, cross-thread
+  collisions, and evictions),
+* cycles spent in synchronization operations (Figure 5a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["ThreadStats", "MachineStats", "FAILURE_CAUSES"]
+
+#: Causes for a GLSC element failing, per Section 5.1's analysis.
+FAILURE_CAUSES = (
+    "alias",          # two lanes of one instruction target the same word
+    "thread_conflict",  # reservation lost to another thread's write
+    "link_stolen",    # another SMT thread on this core held the line's link
+    "eviction",       # linked line evicted / would evict a linked line
+    "miss_policy",    # policy chose to fail a missing lane (Section 3.2c)
+)
+
+
+@dataclass
+class ThreadStats:
+    """Counters for one software thread."""
+
+    instructions: int = 0
+    sync_instructions: int = 0
+    mem_instructions: int = 0
+    mem_stall_cycles: int = 0
+    sync_cycles: int = 0
+    busy_cycles: int = 0
+    finish_cycle: int = 0
+
+
+@dataclass
+class MachineStats:
+    """Counters for the whole machine plus per-thread detail."""
+
+    cycles: int = 0
+    threads: List[ThreadStats] = field(default_factory=list)
+
+    # -- cache/memory hierarchy ------------------------------------------
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l1_sync_accesses: int = 0
+    l1_accesses_saved_by_combining: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    mem_accesses: int = 0
+    invalidations_sent: int = 0
+    writebacks: int = 0
+    prefetches_issued: int = 0
+    prefetch_hits: int = 0
+
+    # -- scalar atomics ---------------------------------------------------
+    ll_count: int = 0
+    sc_count: int = 0
+    sc_failures: int = 0
+
+    # -- GLSC ----------------------------------------------------------------
+    gatherlink_count: int = 0
+    scattercond_count: int = 0
+    gatherlink_elements: int = 0
+    scattercond_elements: int = 0
+    scattercond_successes: int = 0
+    glsc_element_failures: Dict[str, int] = field(
+        default_factory=lambda: {cause: 0 for cause in FAILURE_CAUSES}
+    )
+
+    # -- derived ---------------------------------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        """Dynamic instructions summed over all threads."""
+        return sum(t.instructions for t in self.threads)
+
+    @property
+    def total_mem_stall_cycles(self) -> int:
+        """Memory stall cycles summed over all threads."""
+        return sum(t.mem_stall_cycles for t in self.threads)
+
+    @property
+    def total_sync_cycles(self) -> int:
+        """Cycles in synchronization operations, summed over threads."""
+        return sum(t.sync_cycles for t in self.threads)
+
+    @property
+    def glsc_element_attempts(self) -> int:
+        """Total lanes that entered a gather-link instruction.
+
+        The paper's failure rate counts atomic *element operations*; a
+        retried lane counts again, so the denominator is attempts, not
+        unique elements.
+        """
+        return self.gatherlink_elements
+
+    @property
+    def glsc_failures_total(self) -> int:
+        """Total failed GLSC element operations across all causes."""
+        return sum(self.glsc_element_failures.values())
+
+    @property
+    def glsc_failure_rate(self) -> float:
+        """Fraction of GLSC element operations that failed (Table 4).
+
+        An element operation is one lane's gather-link -> scatter-cond
+        attempt; it fails if the lane does not complete its update this
+        iteration (lost reservation, alias loser, contended lock, ...).
+        Computed as 1 - completions/attempts so that failures the GSU
+        cannot observe directly (a lane the kernel masked out after
+        seeing a taken lock) are still counted, matching Table 4.
+        """
+        if self.gatherlink_elements == 0:
+            return 0.0
+        rate = 1.0 - self.scattercond_successes / self.gatherlink_elements
+        return max(0.0, rate)
+
+    @property
+    def sync_fraction(self) -> float:
+        """Fraction of execution time in synchronization ops (Figure 5a).
+
+        Normalized per thread-cycle: total sync cycles over
+        (machine cycles x thread count).
+        """
+        if self.cycles == 0 or not self.threads:
+            return 0.0
+        return self.total_sync_cycles / (self.cycles * len(self.threads))
+
+    @property
+    def l1_sync_fraction(self) -> float:
+        """Fraction of L1 accesses caused by atomic operations (Table 4)."""
+        if self.l1_accesses == 0:
+            return 0.0
+        return self.l1_sync_accesses / self.l1_accesses
+
+    @property
+    def combining_reduction(self) -> float:
+        """Fraction of atomic-op L1 accesses removed by line combining.
+
+        Table 4 reports this as the first number of its "L1 Accesses"
+        column: saved / (saved + issued-for-atomics).
+        """
+        saved = self.l1_accesses_saved_by_combining
+        base = saved + self.l1_sync_accesses
+        if base == 0:
+            return 0.0
+        return saved / base
+
+    def reset_counters(self) -> None:
+        """Zero every counter in place (identity preserved).
+
+        Used after cache warming so measurements exclude the warm-up
+        traffic; the per-thread stats list survives because cores hold
+        references into it.
+        """
+        self.cycles = 0
+        self.l1_accesses = 0
+        self.l1_hits = 0
+        self.l1_misses = 0
+        self.l1_sync_accesses = 0
+        self.l1_accesses_saved_by_combining = 0
+        self.l2_accesses = 0
+        self.l2_misses = 0
+        self.mem_accesses = 0
+        self.invalidations_sent = 0
+        self.writebacks = 0
+        self.prefetches_issued = 0
+        self.prefetch_hits = 0
+        self.ll_count = 0
+        self.sc_count = 0
+        self.sc_failures = 0
+        self.gatherlink_count = 0
+        self.scattercond_count = 0
+        self.gatherlink_elements = 0
+        self.scattercond_elements = 0
+        self.scattercond_successes = 0
+        for cause in self.glsc_element_failures:
+            self.glsc_element_failures[cause] = 0
+
+    def new_thread(self) -> ThreadStats:
+        """Register (and return) stats storage for one more thread."""
+        stats = ThreadStats()
+        self.threads.append(stats)
+        return stats
+
+    def record_glsc_failure(self, cause: str, count: int = 1) -> None:
+        """Count ``count`` element failures attributed to ``cause``."""
+        if cause not in self.glsc_element_failures:
+            raise KeyError(f"unknown GLSC failure cause {cause!r}")
+        self.glsc_element_failures[cause] += count
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of headline numbers, for reports and tests."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.total_instructions,
+            "mem_stall_cycles": self.total_mem_stall_cycles,
+            "sync_cycles": self.total_sync_cycles,
+            "sync_fraction": self.sync_fraction,
+            "l1_accesses": self.l1_accesses,
+            "l1_misses": self.l1_misses,
+            "l1_sync_accesses": self.l1_sync_accesses,
+            "l1_saved_by_combining": self.l1_accesses_saved_by_combining,
+            "l2_accesses": self.l2_accesses,
+            "mem_accesses": self.mem_accesses,
+            "ll_count": self.ll_count,
+            "sc_count": self.sc_count,
+            "sc_failures": self.sc_failures,
+            "gatherlink_count": self.gatherlink_count,
+            "scattercond_count": self.scattercond_count,
+            "glsc_failure_rate": self.glsc_failure_rate,
+        }

@@ -1,0 +1,105 @@
+"""Unit tests for GLSC reservation trackers (tag and buffer designs)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.core.glsc import BufferGlscTracker, TagGlscTracker, make_tracker
+from repro.mem.cache import L1Cache, MSI_S
+from repro.mem.layout import LineGeometry
+
+
+@pytest.fixture
+def l1s():
+    geom = LineGeometry(64)
+    return {core: L1Cache(core, 8, 2, geom) for core in range(2)}
+
+
+class TestTagTracker:
+    def test_link_requires_resident_line(self, l1s):
+        tracker = TagGlscTracker(l1s)
+        tracker.link(0, 1, 0x100)  # not resident: silently not taken
+        assert tracker.holder(0, 0x100) is None
+
+    def test_link_check_clear(self, l1s):
+        l1s[0].install(0x100, MSI_S, now=0)
+        tracker = TagGlscTracker(l1s)
+        tracker.link(0, 1, 0x100)
+        assert tracker.holder(0, 0x100) == 1
+        assert tracker.check(0, 1, 0x100)
+        assert not tracker.check(0, 2, 0x100)
+        tracker.clear(0, 0x100)
+        assert tracker.holder(0, 0x100) is None
+
+    def test_entries_are_per_core(self, l1s):
+        for core in range(2):
+            l1s[core].install(0x100, MSI_S, now=0)
+        tracker = TagGlscTracker(l1s)
+        tracker.link(0, 0, 0x100)
+        assert tracker.holder(1, 0x100) is None
+
+    def test_eviction_destroys_entry(self, l1s):
+        l1s[0].install(0x100, MSI_S, now=0)
+        tracker = TagGlscTracker(l1s)
+        tracker.link(0, 0, 0x100)
+        l1s[0].invalidate(0x100)
+        assert tracker.holder(0, 0x100) is None
+
+    def test_relink_overwrites_thread(self, l1s):
+        l1s[0].install(0x100, MSI_S, now=0)
+        tracker = TagGlscTracker(l1s)
+        tracker.link(0, 0, 0x100)
+        tracker.link(0, 3, 0x100)
+        assert tracker.holder(0, 0x100) == 3
+
+
+class TestBufferTracker:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigError):
+            BufferGlscTracker(n_cores=1, capacity=0)
+
+    def test_link_without_line(self):
+        tracker = BufferGlscTracker(n_cores=1, capacity=4)
+        tracker.link(0, 2, 0x100)
+        assert tracker.check(0, 2, 0x100)
+
+    def test_fifo_overflow_drops_oldest(self):
+        tracker = BufferGlscTracker(n_cores=1, capacity=2)
+        tracker.link(0, 0, 0x100)
+        tracker.link(0, 0, 0x140)
+        tracker.link(0, 0, 0x180)
+        assert tracker.holder(0, 0x100) is None
+        assert tracker.holder(0, 0x140) == 0
+        assert tracker.overflow_drops == 1
+
+    def test_relink_refreshes_age(self):
+        tracker = BufferGlscTracker(n_cores=1, capacity=2)
+        tracker.link(0, 0, 0x100)
+        tracker.link(0, 0, 0x140)
+        tracker.link(0, 0, 0x100)  # refresh
+        tracker.link(0, 0, 0x180)  # evicts 0x140, not 0x100
+        assert tracker.holder(0, 0x100) == 0
+        assert tracker.holder(0, 0x140) is None
+
+    def test_clear_and_occupancy(self):
+        tracker = BufferGlscTracker(n_cores=1, capacity=2)
+        tracker.link(0, 0, 0x100)
+        assert tracker.occupancy(0) == 1
+        tracker.clear(0, 0x100)
+        assert tracker.occupancy(0) == 0
+
+    def test_per_core_buffers(self):
+        tracker = BufferGlscTracker(n_cores=2, capacity=1)
+        tracker.link(0, 0, 0x100)
+        tracker.link(1, 0, 0x140)
+        assert tracker.check(0, 0, 0x100)
+        assert tracker.check(1, 0, 0x140)
+
+
+class TestFactory:
+    def test_selects_tag_by_default(self, l1s):
+        assert isinstance(make_tracker(l1s, 2, 0), TagGlscTracker)
+
+    def test_selects_buffer_when_sized(self, l1s):
+        tracker = make_tracker(l1s, 2, 8)
+        assert isinstance(tracker, BufferGlscTracker)
+        assert tracker.capacity == 8

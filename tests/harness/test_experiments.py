@@ -1,0 +1,127 @@
+"""Harness tests: each experiment returns the full row structure.
+
+Uses a reduced kernel/dataset sweep so the suite stays fast; the
+structure and invariants are what is under test, not the calibrated
+numbers (EXPERIMENTS.md records those).
+"""
+
+import pytest
+
+from repro.harness import experiments, report
+from repro.harness.session import Session
+from repro.sim.config import CONFIG_NAMES
+
+KERNELS = ("hip", "tms")
+DATASETS = ("tiny",)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+class TestTables:
+    def test_table1_matches_paper_parameters(self):
+        params = experiments.table1()
+        assert params["l1_latency"] == 3
+        assert params["min_l2_latency"] == 12
+        assert params["mem_latency"] == 280
+        assert params["min_glsc_latency"] == 4 + params["simd_width"]
+
+    def test_table3_rows_complete(self):
+        rows = experiments.table3()
+        assert len(rows) == 7 * 2
+        assert all(r["paper"] != "-" for r in rows)
+
+    def test_table4_rows(self, session):
+        rows = experiments.table4(KERNELS, DATASETS, session=session)
+        assert len(rows) == len(KERNELS) * len(DATASETS)
+        for row in rows:
+            assert 0 <= row.failure_rate_1x1 <= 100
+            assert 0 <= row.failure_rate_4x4 <= 100
+            assert 0 <= row.l1_combining_reduction <= 100
+            assert 0 <= row.l1_sync_share <= 100
+
+
+class TestFigures:
+    def test_fig5a_rows(self, session):
+        rows = experiments.fig5a(KERNELS, DATASETS, session)
+        assert len(rows) == len(KERNELS)
+        for row in rows:
+            assert 0 < row.sync_percent < 100
+
+    def test_fig5b_rows(self, session):
+        rows = experiments.fig5b(KERNELS, DATASETS, session)
+        for row in rows:
+            assert row.speedup_4wide > 0.5
+            assert row.speedup_16wide > 0.5
+
+    def test_fig6_normalization(self, session):
+        rows = experiments.fig6(KERNELS, DATASETS, session=session)
+        for row in rows:
+            assert set(row.base) == set(CONFIG_NAMES)
+            # By construction the 1x1 GLSC bar is exactly 1.0.
+            assert row.glsc["1x1"] == pytest.approx(1.0)
+            # More hardware never slows these kernels down.
+            assert row.glsc["4x4"] > row.glsc["1x1"] * 0.9
+            assert row.ratio("1x1") > 0
+
+    def test_fig7_rows(self, session):
+        rows = experiments.fig7(scenarios=("B", "D"), session=session)
+        assert [r.scenario for r in rows] == ["B", "D"]
+        by_name = {r.scenario: r for r in rows}
+        # Scenario D has no SIMD parallelism: GLSC cannot be much
+        # faster, and degrades with width relative to B.
+        assert by_name["D"].ratio_4wide < by_name["B"].ratio_4wide + 0.5
+
+    def test_fig8_rows(self, session):
+        rows = experiments.fig8(KERNELS, DATASETS, widths=(1, 4),
+                                session=session)
+        for row in rows:
+            assert set(row.ratios) == {1, 4}
+
+    def test_session_caches_across_experiments(self):
+        session = Session()
+        experiments.fig5b(("hip",), DATASETS, session)
+        count = session.cached_runs()
+        experiments.fig5b(("hip",), DATASETS, session)
+        assert session.cached_runs() == count
+
+
+class TestReport:
+    def test_all_renderers_produce_tables(self, session):
+        outputs = [
+            report.render_table1(experiments.table1()),
+            report.render_table3(experiments.table3()),
+            report.render_fig5a(
+                experiments.fig5a(KERNELS, DATASETS, session)
+            ),
+            report.render_fig5b(
+                experiments.fig5b(KERNELS, DATASETS, session)
+            ),
+            report.render_fig6(
+                experiments.fig6(KERNELS, DATASETS, session=session)
+            ),
+            report.render_fig7(
+                experiments.fig7(scenarios=("B",), session=session)
+            ),
+            report.render_fig8(
+                experiments.fig8(KERNELS, DATASETS, widths=(1, 4),
+                                 session=session)
+            ),
+            report.render_table4(
+                experiments.table4(KERNELS, DATASETS, session=session)
+            ),
+        ]
+        for text in outputs:
+            lines = text.splitlines()
+            assert len(lines) >= 3  # title, header, separator, rows
+            assert "-" in lines[2] or "-" in lines[1]
+
+    def test_cli_runs_one_experiment(self, capsys):
+        from repro.harness.cli import main
+
+        code = main(["table1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out

@@ -1,0 +1,80 @@
+"""Unit tests for report formatting (tables and ASCII charts)."""
+
+import pytest
+
+from repro.harness.experiments import Fig5Row, Fig6Row, Fig7Row, Fig8Row
+from repro.harness.report import (
+    ascii_bars,
+    chart_fig5a,
+    chart_fig7,
+    chart_fig8,
+    render_fig5a,
+    render_fig6,
+    render_fig8,
+)
+
+
+class TestAsciiBars:
+    def test_scales_to_peak(self):
+        chart = ascii_bars([("a", 1.0), ("b", 2.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_labels_aligned(self):
+        chart = ascii_bars([("long-label", 1.0), ("x", 1.0)])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_empty(self):
+        assert ascii_bars([]) == "(no data)"
+
+    def test_zero_values(self):
+        chart = ascii_bars([("a", 0.0)])
+        assert "0.00" in chart
+
+    def test_unit_suffix(self):
+        assert "1.00x" in ascii_bars([("a", 1.0)], unit="x")
+
+
+class TestCharts:
+    def test_chart_fig5a(self):
+        rows = [Fig5Row("hip", "A", sync_percent=40.0)]
+        chart = chart_fig5a(rows)
+        assert "HIP-A" in chart and "#" in chart
+
+    def test_chart_fig7(self):
+        rows = [Fig7Row("A", 1.5, 2.5)]
+        chart = chart_fig7(rows)
+        assert "A (4-wide)" in chart and "A (16-wide)" in chart
+
+    def test_chart_fig8(self):
+        rows = [Fig8Row("tms", "A", ratios={1: 1.0, 4: 2.0})]
+        chart = chart_fig8(rows)
+        assert "TMS-A W1" in chart and "TMS-A W4" in chart
+
+
+class TestTableRenderers:
+    def test_fig5a_table(self):
+        text = render_fig5a([Fig5Row("gbc", "A", sync_percent=12.5)])
+        assert "GBC" in text and "12.5%" in text
+
+    def test_fig6_table_has_all_topologies(self):
+        row = Fig6Row(
+            "hip",
+            "A",
+            base={"1x1": 0.8, "1x4": 2.0, "4x1": 2.1, "4x4": 5.0},
+            glsc={"1x1": 1.0, "1x4": 2.5, "4x1": 2.6, "4x4": 6.0},
+        )
+        text = render_fig6([row])
+        for topology in ("1x1", "1x4", "4x1", "4x4"):
+            assert topology in text
+        assert "Base" in text and "GLSC" in text
+
+    def test_fig6_ratio_helper(self):
+        row = Fig6Row("hip", "A", base={"4x4": 5.0}, glsc={"4x4": 6.0})
+        assert row.ratio("4x4") == pytest.approx(1.2)
+
+    def test_fig8_table(self):
+        text = render_fig8([Fig8Row("tms", "B", ratios={1: 1.0, 16: 3.0})])
+        assert "1-wide" in text and "16-wide" in text and "3.00" in text

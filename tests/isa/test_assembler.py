@@ -1,0 +1,236 @@
+"""Tests for the assembly parser and interpreter."""
+
+import pytest
+
+from repro.errors import IsaError, ProgramError
+from repro.isa.assembler import OPCODES, assemble
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+
+
+def run_asm(source, env=None, n_threads=1, simd_width=4, **cfg):
+    defaults = dict(
+        n_cores=1, threads_per_core=max(n_threads, 1), simd_width=simd_width
+    )
+    defaults.update(cfg)
+    machine = Machine(MachineConfig(**defaults))
+    program = assemble(source)
+    envs = env if isinstance(env, list) else [env] * max(n_threads, 1)
+    for tid in range(max(n_threads, 1)):
+        machine.add_program(program.program(envs[tid]))
+    return machine, machine.run()
+
+
+class TestParsing:
+    def test_labels_and_comments(self):
+        program = assemble("""
+        # leading comment
+        start:  li r0, 1     ; trailing comment
+                jmp end
+                li r0, 2
+        end:    halt
+        """)
+        assert program.labels == {"start": 0, "end": 3}
+        assert len(program.insns) == 4
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(IsaError):
+            assemble("frobnicate r0")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(IsaError):
+            assemble("add r0, r1")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(IsaError):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(IsaError):
+            assemble("a: nop\na: nop")
+
+    def test_every_opcode_has_bounds(self):
+        for op, (low, high) in OPCODES.items():
+            assert 0 <= low <= high
+
+
+class TestScalarExecution:
+    def test_arithmetic_and_branches(self):
+        machine, _ = run_asm("""
+            li   r0, 0
+            li   ri, 0
+        loop:
+            bge  ri, 5, done
+            add  r0, r0, ri
+            addi ri, ri, 1
+            jmp  loop
+        done:
+            mul  r0, r0, 2
+            sw   r0, OUT
+            halt
+        """, env={"OUT": 64})
+        assert machine.image.load_word(64) == 20  # (0+1+2+3+4)*2
+
+    def test_memory_roundtrip(self):
+        machine, _ = run_asm("""
+            li  r0, 42
+            sw  r0, OUT
+            lw  r1, OUT
+            addi r1, r1, 1
+            sw  r1, OUT, 4
+            halt
+        """, env={"OUT": 128})
+        assert machine.image.load_word(128) == 42
+        assert machine.image.load_word(132) == 43
+
+    def test_ll_sc(self):
+        machine, stats = run_asm("""
+        retry:
+            ll   r0, ADDR
+            addi r0, r0, 1
+            sc   rok, ADDR, r0
+            beq  rok, 0, retry
+            halt
+        """, env={"ADDR": 256})
+        assert machine.image.load_word(256) == 1
+        assert stats.sc_count == 1
+
+    def test_unbound_operand_raises(self):
+        with pytest.raises(ProgramError):
+            run_asm("lw r0, NOWHERE\nhalt")
+
+    def test_env_symbols_and_builtins(self):
+        machine, _ = run_asm("""
+            add r0, TID, W
+            add r0, r0, BONUS
+            sw  r0, OUT
+            halt
+        """, env={"OUT": 192, "BONUS": 100})
+        assert machine.image.load_word(192) == 0 + 4 + 100
+
+
+class TestVectorExecution:
+    def test_vload_vmod_vstore(self):
+        machine = Machine(MachineConfig(simd_width=4))
+        data = machine.image.alloc_array([10, 21, 32, 43])
+        out = machine.image.alloc_zeros(4)
+        program = assemble("""
+            vload  v0, IN
+            vmod   v1, v0, 10
+            vstore v1, OUT
+            halt
+        """)
+        machine.add_program(program.program({"IN": data.base, "OUT": out.base}))
+        machine.run()
+        assert out.to_list() == [0, 1, 2, 3]
+
+    def test_gatherlink_scattercond_loop(self):
+        machine = Machine(MachineConfig(simd_width=4))
+        bins = machine.image.alloc_zeros(8)
+        idx = machine.image.alloc_array([1, 1, 3, 5])
+        program = assemble("""
+            vload v_idx, IDX
+            kones ftodo
+        retry:
+            kmove ftmp, ftodo
+            vgatherlink  ftmp, vtmp, BINS, v_idx, ftmp
+            vinc  vtmp, vtmp, ftmp
+            vscattercond ftmp, vtmp, BINS, v_idx, ftmp
+            kxor  ftodo, ftodo, ftmp
+            kbnz  ftodo, retry
+            halt
+        """)
+        machine.add_program(program.program({"BINS": bins.base,
+                                             "IDX": idx.base}))
+        stats = machine.run()
+        assert bins.to_list() == [0, 2, 0, 1, 0, 1, 0, 0]
+        assert stats.glsc_element_failures["alias"] == 1
+
+    def test_vector_arith_under_mask(self):
+        machine = Machine(MachineConfig(simd_width=4))
+        out = machine.image.alloc_zeros(4)
+        program = assemble("""
+            vbroadcast v0, 5
+            viota      v1
+            kones      fall
+            vadd       v2, v0, v1, fall
+            vstore     v2, OUT
+            halt
+        """)
+        machine.add_program(program.program({"OUT": out.base}))
+        machine.run()
+        assert out.to_list() == [5, 6, 7, 8]
+
+    def test_vcmpeq_and_mask_ops(self):
+        machine = Machine(MachineConfig(simd_width=4))
+        out = machine.image.alloc_zeros(4)
+        program = assemble("""
+            vbroadcast v0, 2
+            viota      v1
+            vcmpeq     feq, v0, v1      # lane 2 only
+            knot       fne, feq
+            kand       fboth, feq, fne  # empty
+            kbz        fboth, good
+            jmp        bad
+        good:
+            vbroadcast v2, 9
+            vstore     v2, OUT, 0, feq
+            halt
+        bad:
+            halt
+        """)
+        machine.add_program(program.program({"OUT": out.base}))
+        machine.run()
+        assert out.to_list() == [0, 0, 9, 0]
+
+    def test_read_before_set_raises(self):
+        with pytest.raises(ProgramError):
+            run_asm("vinc v0, v1\nhalt")
+
+
+class TestMultithreaded:
+    def test_parallel_llsc_counter(self):
+        machine = Machine(
+            MachineConfig(n_cores=2, threads_per_core=2, simd_width=1)
+        )
+        counter = machine.image.alloc_zeros(1)
+        program = assemble("""
+            li ri, 0
+        loop:
+            bge ri, 10, done
+        retry:
+            ll   r0, ADDR
+            addi r0, r0, 1
+            sc   rok, ADDR, r0
+            beq  rok, 0, retry
+            addi ri, ri, 1
+            jmp  loop
+        done:
+            halt
+        """)
+        for _ in range(4):
+            machine.add_program(program.program({"ADDR": counter.base}))
+        machine.run()
+        assert counter[0] == 40
+
+    def test_barrier(self):
+        machine = Machine(MachineConfig(n_cores=2, threads_per_core=1))
+        flags = machine.image.alloc_zeros(2)
+        out = machine.image.alloc_zeros(2)
+        program = assemble("""
+            li   r0, 1
+            mul  roff, TID, 4
+            sw   r0, FLAGS, roff
+            barrier
+            lw   r1, FLAGS, 0
+            lw   r2, FLAGS, 4
+            add  r3, r1, r2
+            sw   r3, OUT, roff
+            halt
+        """)
+        for _ in range(2):
+            machine.add_program(
+                program.program({"FLAGS": flags.base, "OUT": out.base})
+            )
+        machine.run()
+        assert out.to_list() == [2, 2]

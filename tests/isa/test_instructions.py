@@ -1,0 +1,115 @@
+"""Unit tests for instruction descriptors and the program DSL."""
+
+import pytest
+
+from repro.errors import IsaError, ProgramError
+from repro.isa.instructions import (
+    ATOMIC_KINDS,
+    GSU_KINDS,
+    Instr,
+    Kind,
+    MEMORY_KINDS,
+)
+from repro.isa.masks import Mask
+from repro.isa.program import ThreadCtx, check_program
+
+
+class TestInstrConstruction:
+    def test_alu_count(self):
+        assert Instr.alu(3).count == 3
+        with pytest.raises(IsaError):
+            Instr.alu(0)
+
+    def test_valu_requires_callable(self):
+        with pytest.raises(IsaError):
+            Instr.valu("not callable")
+
+    def test_load_store(self):
+        load = Instr.load(0x100)
+        assert load.kind is Kind.LOAD and load.addr == 0x100
+        store = Instr.store(0x104, 7)
+        assert store.value == 7
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(IsaError):
+            Instr.load(-4)
+
+    def test_ll_sc_default_sync(self):
+        assert Instr.ll(0x10).sync
+        assert Instr.sc(0x10, 1).sync
+
+    def test_vgather_defaults_full_mask(self):
+        g = Instr.vgather(0x100, [0, 1, 2, 3])
+        assert g.mask == Mask.all_ones(4)
+
+    def test_vscatter_width_mismatch(self):
+        with pytest.raises(IsaError):
+            Instr.vscatter(0x100, [0, 1], [1.0])
+
+    def test_vscattercond_mask_width_checked(self):
+        with pytest.raises(IsaError):
+            Instr.vscattercond(0x100, [0, 1], [1, 2], Mask.all_ones(3))
+
+    def test_glsc_instructions_default_sync(self):
+        gl = Instr.vgatherlink(0x100, [0, 1])
+        sc = Instr.vscattercond(0x100, [0, 1], [5, 6])
+        assert gl.sync and sc.sync
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(IsaError):
+            Instr.vgather(0x100, [0, -1])
+
+    def test_empty_indices_rejected(self):
+        with pytest.raises(IsaError):
+            Instr.vgather(0x100, [])
+
+    def test_barrier(self):
+        b = Instr.barrier("all")
+        assert b.kind is Kind.BARRIER and b.group == "all" and b.sync
+
+    def test_repr_mentions_kind(self):
+        assert "vgatherlink" in repr(Instr.vgatherlink(0x40, [0]))
+
+
+class TestKindSets:
+    def test_gsu_kinds_are_memory_kinds(self):
+        assert GSU_KINDS <= MEMORY_KINDS
+
+    def test_atomic_kinds(self):
+        assert Kind.LL in ATOMIC_KINDS
+        assert Kind.VSCATTERCOND in ATOMIC_KINDS
+        assert Kind.VGATHER not in ATOMIC_KINDS
+
+
+class TestThreadCtx:
+    def test_identity_validation(self):
+        with pytest.raises(ProgramError):
+            ThreadCtx(4, 4, 4)
+
+    def test_masks(self):
+        ctx = ThreadCtx(0, 1, 4)
+        assert ctx.all_ones() == Mask.all_ones(4)
+        assert ctx.zeros() == Mask.zeros(4)
+        assert ctx.prefix_mask(2) == Mask(0b0011, 4)
+        assert ctx.prefix_mask(99) == Mask.all_ones(4)
+        assert ctx.prefix_mask(0) == Mask.zeros(4)
+
+    def test_vload_uses_ctx_width(self):
+        ctx = ThreadCtx(0, 1, 8)
+        assert ctx.vload(0x100).count == 8
+
+    def test_vgatherlink_builds_instr(self):
+        ctx = ThreadCtx(0, 1, 2)
+        instr = ctx.vgatherlink(0x100, [3, 5])
+        assert instr.kind is Kind.VGATHERLINK
+        assert instr.indices == (3, 5)
+
+    def test_check_program_accepts_generator_fn(self):
+        def prog(ctx):
+            yield ctx.alu()
+
+        check_program(prog)
+
+    def test_check_program_rejects_non_callable(self):
+        with pytest.raises(ProgramError):
+            check_program(42)

@@ -1,0 +1,124 @@
+"""Unit and property tests for SIMD masks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa.masks import Mask
+
+
+def mask_strategy(width: int):
+    return st.integers(min_value=0, max_value=(1 << width) - 1).map(
+        lambda bits: Mask(bits, width)
+    )
+
+
+class TestConstruction:
+    def test_all_ones(self):
+        m = Mask.all_ones(4)
+        assert m.bits == 0b1111
+        assert m.all() and m.any() and not m.none()
+
+    def test_zeros(self):
+        m = Mask.zeros(4)
+        assert m.none() and not m.any() and not m.all()
+
+    def test_from_lanes(self):
+        m = Mask.from_lanes([True, False, True, True])
+        assert m.bits == 0b1101
+        assert m.lanes() == [True, False, True, True]
+
+    def test_single(self):
+        assert Mask.single(2, 4).bits == 0b100
+
+    def test_bits_must_fit(self):
+        with pytest.raises(IsaError):
+            Mask(0b10000, 4)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(IsaError):
+            Mask(-1, 4)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(IsaError):
+            Mask(0, 0)
+
+    def test_from_empty_lanes_rejected(self):
+        with pytest.raises(IsaError):
+            Mask.from_lanes([])
+
+
+class TestQueries:
+    def test_active_lanes(self):
+        assert Mask(0b1010, 4).active_lanes() == [1, 3]
+
+    def test_popcount(self):
+        assert Mask(0b1011, 4).popcount() == 3
+
+    def test_lane_out_of_range(self):
+        with pytest.raises(IsaError):
+            Mask.all_ones(4).lane(4)
+
+    def test_len_and_iter(self):
+        m = Mask(0b01, 2)
+        assert len(m) == 2
+        assert list(m) == [True, False]
+
+    def test_bool(self):
+        assert Mask(0b1, 1)
+        assert not Mask(0, 1)
+
+
+class TestAlgebra:
+    def test_and_or_xor(self):
+        a, b = Mask(0b1100, 4), Mask(0b1010, 4)
+        assert (a & b).bits == 0b1000
+        assert (a | b).bits == 0b1110
+        assert (a ^ b).bits == 0b0110
+
+    def test_invert(self):
+        assert (~Mask(0b0011, 4)).bits == 0b1100
+
+    def test_andnot(self):
+        assert Mask(0b1110, 4).andnot(Mask(0b0110, 4)).bits == 0b1000
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(IsaError):
+            Mask.all_ones(4) & Mask.all_ones(8)
+
+    def test_with_lane(self):
+        m = Mask(0b0000, 4).with_lane(2, True)
+        assert m.bits == 0b100
+        assert m.with_lane(2, False).bits == 0
+
+    def test_equality_and_hash(self):
+        assert Mask(0b01, 2) == Mask(0b01, 2)
+        assert Mask(0b01, 2) != Mask(0b01, 4)
+        assert hash(Mask(0b01, 2)) == hash(Mask(0b01, 2))
+
+
+class TestProperties:
+    @given(mask_strategy(8))
+    def test_double_invert_is_identity(self, m):
+        assert ~~m == m
+
+    @given(mask_strategy(8), mask_strategy(8))
+    def test_de_morgan(self, a, b):
+        assert ~(a & b) == (~a | ~b)
+
+    @given(mask_strategy(8), mask_strategy(8))
+    def test_xor_via_andnot(self, a, b):
+        assert (a ^ b) == (a.andnot(b) | b.andnot(a))
+
+    @given(mask_strategy(8))
+    def test_popcount_matches_active_lanes(self, m):
+        assert m.popcount() == len(m.active_lanes())
+
+    @given(mask_strategy(8), mask_strategy(8))
+    def test_retry_loop_update_partitions(self, todo, ok):
+        """FtoDo ^= Ftmp in Figure 3 never resurrects finished lanes."""
+        done = ok & todo
+        remaining = todo.andnot(done)
+        assert (remaining & done).none()
+        assert (remaining | done) == todo

@@ -1,0 +1,96 @@
+"""Unit and property tests for SIMD vector helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa.masks import Mask
+from repro.isa import vectors as V
+
+
+class TestConstructors:
+    def test_vbroadcast(self):
+        assert V.vbroadcast(7, 4) == (7, 7, 7, 7)
+
+    def test_viota(self):
+        assert V.viota(4) == (0, 1, 2, 3)
+        assert V.viota(3, start=10, step=2) == (10, 12, 14)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(IsaError):
+            V.vbroadcast(1, 0)
+
+
+class TestMaskedOps:
+    def test_vinc_full(self):
+        assert V.vinc((1, 2, 3)) == (2, 3, 4)
+
+    def test_vinc_masked_passthrough(self):
+        m = Mask(0b101, 3)
+        assert V.vinc((1, 2, 3), m) == (2, 2, 4)
+
+    def test_vadd_masked(self):
+        m = Mask(0b01, 2)
+        assert V.vadd((1, 2), (10, 20), m) == (11, 2)
+
+    def test_vmod(self):
+        assert V.vmod((5, 9, 13), 4) == (1, 1, 1)
+
+    def test_vmod_zero_divisor(self):
+        with pytest.raises(IsaError):
+            V.vmod((1,), 0)
+
+    def test_vmul_vsub(self):
+        assert V.vmul((2, 3), (4, 5)) == (8, 15)
+        assert V.vsub((4, 5), (1, 1)) == (3, 4)
+
+    def test_vmin_vmax(self):
+        assert V.vmin((1, 5), (2, 4)) == (1, 4)
+        assert V.vmax((1, 5), (2, 4)) == (2, 5)
+
+    def test_width_mismatch(self):
+        with pytest.raises(IsaError):
+            V.vadd((1, 2), (1, 2, 3))
+
+    def test_mask_width_mismatch(self):
+        with pytest.raises(IsaError):
+            V.vinc((1, 2), Mask.all_ones(3))
+
+
+class TestCompareAndBlend:
+    def test_vcompare_equal(self):
+        m = V.vcompare_equal((0, 1, 0, 1), (0, 0, 0, 0))
+        assert m == Mask(0b0101, 4)
+
+    def test_vcompare_equal_under_mask(self):
+        # Lanes outside the input mask must compare false (VLOCK relies
+        # on this: unlinked lanes must not look like free locks).
+        m = V.vcompare_equal((0, 0), (0, 0), Mask(0b01, 2))
+        assert m == Mask(0b01, 2)
+
+    def test_vblend(self):
+        assert V.vblend((1, 2, 3), (9, 9, 9), Mask(0b010, 3)) == (1, 9, 3)
+
+
+class TestProperties:
+    vecs = st.lists(
+        st.integers(min_value=-1000, max_value=1000), min_size=4, max_size=4
+    ).map(tuple)
+
+    @given(vecs, st.integers(0, 15))
+    def test_masked_op_only_touches_active_lanes(self, vec, bits):
+        mask = Mask(bits, 4)
+        out = V.vinc(vec, mask)
+        for lane in range(4):
+            if mask.lane(lane):
+                assert out[lane] == vec[lane] + 1
+            else:
+                assert out[lane] == vec[lane]
+
+    @given(vecs, vecs)
+    def test_compare_equal_reflexive(self, a, b):
+        assert V.vcompare_equal(a, a).all()
+        eq = V.vcompare_equal(a, b)
+        for lane in range(4):
+            assert eq.lane(lane) == (a[lane] == b[lane])

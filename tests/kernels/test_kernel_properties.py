@@ -1,0 +1,156 @@
+"""Property-based kernel correctness: random datasets, random machines.
+
+Each test draws a random workload and machine shape and checks that
+the simulated kernel produces the oracle answer.  This is the widest
+net over the atomicity machinery: lost updates, broken reservations,
+mis-resolved aliases, or barrier bugs all surface as verification
+failures here.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.fs import Fs
+from repro.kernels.gbc import Gbc
+from repro.kernels.gps import Gps
+from repro.kernels.hip import Hip
+from repro.kernels.mfp import Mfp
+from repro.kernels.smc import Smc
+from repro.kernels.tms import Tms
+from repro.sim.config import MachineConfig
+from repro.sim.runner import run_prepared
+
+# Every machine carries a tight cycle cap: the tiny workloads finish in
+# well under 100k cycles, so a pathological draw (extreme contention)
+# surfaces as a reproducible SimulationError instead of an hours-long
+# grind toward the default 200M-cycle guard.
+MACHINES = st.sampled_from(
+    [
+        dict(n_cores=1, threads_per_core=1, simd_width=4, max_cycles=3_000_000),
+        dict(n_cores=1, threads_per_core=4, simd_width=4, max_cycles=3_000_000),
+        dict(n_cores=4, threads_per_core=1, simd_width=4, max_cycles=3_000_000),
+        dict(n_cores=2, threads_per_core=2, simd_width=1, max_cycles=3_000_000),
+        dict(n_cores=2, threads_per_core=2, simd_width=16, max_cycles=3_000_000),
+    ]
+)
+VARIANTS = st.sampled_from(["base", "glsc"])
+
+COMMON = dict(
+    deadline=None,
+    max_examples=12,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@settings(**COMMON)
+@given(machine=MACHINES, variant=VARIANTS, seed=st.integers(0, 1000),
+       n_bins=st.integers(4, 40), coherence=st.floats(0, 0.8))
+def test_hip_random(machine, variant, seed, n_bins, coherence):
+    config = MachineConfig(**machine)
+    kernel = Hip(
+        config.n_threads,
+        n_pixels=96,
+        n_bins=n_bins,
+        coherence=coherence,
+        skew=0.7,
+        seed=seed,
+    )
+    run_prepared(kernel, config, variant)
+
+
+@settings(**COMMON)
+@given(machine=MACHINES, variant=VARIANTS, seed=st.integers(0, 1000),
+       density=st.floats(0.02, 0.2))
+def test_tms_random(machine, variant, seed, density):
+    config = MachineConfig(**machine)
+    kernel = Tms(
+        config.n_threads, rows=24, cols=48, density=density, seed=seed
+    )
+    run_prepared(kernel, config, variant)
+
+
+@settings(**COMMON)
+@given(machine=MACHINES, variant=VARIANTS, seed=st.integers(0, 1000),
+       run_mean=st.floats(1.0, 4.0))
+def test_gbc_random(machine, variant, seed, run_mean):
+    config = MachineConfig(**machine)
+    kernel = Gbc(
+        config.n_threads,
+        n_objects=80,
+        n_cells=48,
+        run_mean=run_mean,
+        seed=seed,
+    )
+    run_prepared(kernel, config, variant)
+
+
+@settings(**COMMON)
+@given(machine=MACHINES, variant=VARIANTS, seed=st.integers(0, 1000))
+def test_smc_random(machine, variant, seed):
+    config = MachineConfig(**machine)
+    kernel = Smc(config.n_threads, n_particles=48, dim=5, seed=seed)
+    run_prepared(kernel, config, variant)
+
+
+@settings(**COMMON)
+@given(machine=MACHINES, variant=VARIANTS, seed=st.integers(0, 1000))
+def test_gps_random(machine, variant, seed):
+    config = MachineConfig(**machine)
+    kernel = Gps(
+        config.n_threads,
+        n_objects=40,
+        n_constraints=60,
+        iterations=2,
+        locality=8,
+        seed=seed,
+    )
+    run_prepared(kernel, config, variant)
+
+
+@settings(**COMMON)
+@given(machine=MACHINES, variant=VARIANTS, seed=st.integers(0, 1000))
+def test_mfp_random(machine, variant, seed):
+    config = MachineConfig(**machine)
+    kernel = Mfp(
+        config.n_threads, n_nodes=30, n_edges=50, locality=6, seed=seed
+    )
+    run_prepared(kernel, config, variant)
+
+
+@settings(**COMMON)
+@given(machine=MACHINES, variant=VARIANTS, seed=st.integers(0, 1000),
+       fill=st.floats(0.1, 0.8))
+def test_fs_random(machine, variant, seed, fill):
+    config = MachineConfig(**machine)
+    kernel = Fs(
+        config.n_threads, n_blocks=5, block=4, fill=fill, seed=seed
+    )
+    run_prepared(kernel, config, variant)
+
+
+@settings(deadline=None, max_examples=8,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 1000), variant=VARIANTS)
+def test_glsc_policies_preserve_correctness(seed, variant):
+    """Every GLSC policy combination must still be *correct*."""
+    for overrides in (
+        dict(glsc_fail_on_miss=True),
+        dict(glsc_alias_in_gather=True),
+        dict(glsc_fail_on_link_eviction=False),
+        dict(glsc_buffer_entries=4),
+        dict(gsu_combine_lines=False),
+        dict(prefetch_enabled=False),
+    ):
+        config = MachineConfig(
+            n_cores=2, threads_per_core=2, simd_width=4,
+            max_cycles=3_000_000, **overrides,
+        )
+        kernel = Hip(
+            config.n_threads,
+            n_pixels=64,
+            n_bins=8,
+            coherence=0.5,
+            skew=0.5,
+            seed=seed,
+        )
+        run_prepared(kernel, config, variant)

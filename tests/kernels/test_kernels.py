@@ -1,0 +1,136 @@
+"""Correctness tests for all seven benchmark kernels + microbenchmark.
+
+Every kernel must produce oracle-correct results in both variants,
+across SIMD widths and topologies — this is the load-bearing test that
+the atomicity machinery (ll/sc, GLSC reservations, locks) actually
+protects the kernels' shared state.
+"""
+
+import pytest
+
+from repro.kernels.micro import SCENARIOS, Micro
+from repro.kernels.registry import KERNEL_ORDER, KERNELS, make_kernel
+from repro.sim.config import MachineConfig
+from repro.sim.runner import run_kernel, run_prepared
+
+TOPOLOGIES = [
+    dict(n_cores=1, threads_per_core=1),
+    dict(n_cores=2, threads_per_core=2),
+    dict(n_cores=4, threads_per_core=4),
+]
+
+
+@pytest.mark.parametrize("kernel", KERNEL_ORDER)
+@pytest.mark.parametrize("variant", ["base", "glsc"])
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=["1x1", "2x2", "4x4"])
+def test_kernel_verifies(kernel, variant, topo):
+    config = MachineConfig(simd_width=4, **topo)
+    result = run_kernel(kernel, "tiny", config, variant)
+    assert result.stats.cycles > 0
+
+
+@pytest.mark.parametrize("kernel", KERNEL_ORDER)
+@pytest.mark.parametrize("width", [1, 4, 16])
+def test_kernel_verifies_across_widths(kernel, width):
+    config = MachineConfig(n_cores=2, threads_per_core=2, simd_width=width)
+    run_kernel(kernel, "tiny", config, "glsc")
+
+
+@pytest.mark.parametrize("kernel", KERNEL_ORDER)
+def test_glsc_reduces_instructions_or_matches(kernel):
+    """GLSC must not blow up the instruction count on tiny datasets
+    beyond the retry overhead its failure rate implies."""
+    config = MachineConfig(n_cores=1, threads_per_core=1, simd_width=4)
+    base = run_kernel(kernel, "tiny", config, "base").stats
+    glsc = run_kernel(kernel, "tiny", config, "glsc").stats
+    assert glsc.total_instructions < 2.5 * base.total_instructions
+
+
+@pytest.mark.parametrize("kernel", KERNEL_ORDER)
+def test_base_variant_never_fails_glsc_ops(kernel):
+    config = MachineConfig(n_cores=2, threads_per_core=1, simd_width=4)
+    stats = run_kernel(kernel, "tiny", config, "base").stats
+    assert stats.gatherlink_count == 0
+    assert stats.scattercond_count == 0
+
+
+@pytest.mark.parametrize("kernel", KERNEL_ORDER)
+def test_glsc_variant_uses_glsc(kernel):
+    config = MachineConfig(n_cores=1, threads_per_core=1, simd_width=4)
+    stats = run_kernel(kernel, "tiny", config, "glsc").stats
+    assert stats.gatherlink_count > 0
+    assert stats.scattercond_count > 0
+
+
+def test_failure_rate_zero_without_contention_or_aliasing():
+    """TMS tiny at 1x1 with unique columns -> no element failures."""
+    config = MachineConfig(n_cores=1, threads_per_core=1, simd_width=1)
+    stats = run_kernel("tms", "tiny", config, "glsc").stats
+    assert stats.glsc_failure_rate == 0.0
+
+
+def test_hip_alias_rate_tracks_dataset():
+    config = MachineConfig(n_cores=1, threads_per_core=1, simd_width=4)
+    a = run_kernel("hip", "A", config, "glsc").stats
+    random = run_kernel("hip", "random", config, "glsc").stats
+    assert a.glsc_failure_rate > 0.25
+    assert random.glsc_failure_rate < 0.10
+
+
+def test_gbc_failures_are_aliases_at_1x1():
+    config = MachineConfig(n_cores=1, threads_per_core=1, simd_width=4)
+    stats = run_kernel("gbc", "tiny", config, "glsc").stats
+    failures = stats.glsc_element_failures
+    assert failures["thread_conflict"] == 0
+    assert failures["eviction"] == 0
+
+
+def test_kernel_one_shot_lifecycle():
+    kernel = make_kernel("hip", "tiny", 1)
+    config = MachineConfig(n_cores=1, threads_per_core=1, simd_width=4)
+    run_prepared(kernel, config, "base")
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        run_prepared(kernel, config, "base")  # already allocated
+
+
+def test_registry_contents():
+    assert set(KERNEL_ORDER) == set(KERNELS)
+    for name, cls in KERNELS.items():
+        assert cls.name == name
+        assert cls.atomic_op != "?"
+
+
+class TestMicro:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    @pytest.mark.parametrize("variant", ["base", "glsc"])
+    def test_scenarios_verify(self, scenario, variant):
+        config = MachineConfig(n_cores=2, threads_per_core=2, simd_width=4)
+        kernel = Micro(config.n_threads, scenario=scenario, iterations=8)
+        run_prepared(kernel, config, variant, warm=True)
+
+    def test_scenario_b_combines_lines(self):
+        config = MachineConfig(n_cores=1, threads_per_core=1, simd_width=4)
+        kernel = Micro(1, scenario="B", iterations=16)
+        stats = run_prepared(kernel, config, "glsc", warm=True)
+        assert stats.l1_accesses_saved_by_combining > 0
+
+    def test_scenario_c_does_not_combine(self):
+        config = MachineConfig(n_cores=1, threads_per_core=1, simd_width=4)
+        kernel = Micro(1, scenario="C", iterations=16)
+        stats = run_prepared(kernel, config, "glsc", warm=True)
+        assert stats.l1_accesses_saved_by_combining == 0
+
+    def test_scenario_d_serializes_aliases(self):
+        config = MachineConfig(n_cores=1, threads_per_core=1, simd_width=4)
+        kernel = Micro(1, scenario="D", iterations=8)
+        stats = run_prepared(kernel, config, "glsc", warm=True)
+        # All lanes alias: 3 of 4 elements fail per attempt round.
+        assert stats.glsc_element_failures["alias"] > 0
+
+    def test_invalid_scenario_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            Micro(1, scenario="Z")

@@ -1,0 +1,110 @@
+"""Unit tests for the simulated memory image and allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, MemoryError_
+from repro.mem.image import MemoryImage
+
+
+@pytest.fixture
+def image():
+    return MemoryImage(size_bytes=1 << 16)
+
+
+class TestAllocator:
+    def test_line_aligned_by_default(self, image):
+        a = image.alloc(4)
+        b = image.alloc(4)
+        assert a % 64 == 0 and b % 64 == 0
+        assert a != b
+
+    def test_null_line_reserved(self, image):
+        assert image.alloc(4) >= 64
+
+    def test_custom_alignment(self, image):
+        addr = image.alloc(4, align=256)
+        assert addr % 256 == 0
+
+    def test_word_alignment_required_for_align(self, image):
+        with pytest.raises(AllocationError):
+            image.alloc(4, align=3)
+
+    def test_exhaustion(self):
+        image = MemoryImage(size_bytes=256)
+        with pytest.raises(AllocationError):
+            image.alloc(1024)
+
+    def test_zero_bytes_rejected(self, image):
+        with pytest.raises(AllocationError):
+            image.alloc(0)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(AllocationError):
+            MemoryImage(size_bytes=10)
+
+
+class TestWordAccess:
+    def test_store_load_roundtrip(self, image):
+        addr = image.alloc(4)
+        image.store_word(addr, 3.5)
+        assert image.load_word(addr) == 3.5
+
+    def test_initial_zero(self, image):
+        addr = image.alloc(64)
+        assert image.load_word(addr + 32) == 0
+
+    def test_out_of_range(self, image):
+        with pytest.raises(MemoryError_):
+            image.load_word(1 << 20)
+
+    def test_load_words(self, image):
+        view = image.alloc_array([1, 2, 3, 4])
+        assert image.load_words(view.base, 4) == [1, 2, 3, 4]
+
+    def test_load_words_range_check(self, image):
+        with pytest.raises(MemoryError_):
+            image.load_words(image.size_bytes - 8, 100)
+
+
+class TestArrayView:
+    def test_alloc_array(self, image):
+        view = image.alloc_array([5, 6, 7])
+        assert view.to_list() == [5, 6, 7]
+        assert len(view) == 3
+
+    def test_addr_arithmetic(self, image):
+        view = image.alloc_array([0, 0])
+        assert view.addr(1) == view.base + 4
+        with pytest.raises(MemoryError_):
+            view.addr(2)
+
+    def test_setitem(self, image):
+        view = image.alloc_zeros(4)
+        view[2] = 9
+        assert image.load_word(view.base + 8) == 9
+
+    def test_fill_length_checked(self, image):
+        view = image.alloc_zeros(2)
+        with pytest.raises(MemoryError_):
+            view.fill([1, 2, 3])
+        view.fill([4, 5])
+        assert view.to_list() == [4, 5]
+
+    def test_iter(self, image):
+        view = image.alloc_array([1, 2])
+        assert list(view) == [1, 2]
+
+
+class TestAllocatorProperties:
+    @given(st.lists(st.integers(1, 300), min_size=1, max_size=30))
+    def test_allocations_never_overlap(self, sizes):
+        image = MemoryImage(size_bytes=1 << 18)
+        regions = []
+        for size in sizes:
+            base = image.alloc(size)
+            regions.append((base, base + size))
+        regions.sort()
+        for (_, end_a), (start_b, _) in zip(regions, regions[1:]):
+            assert end_a <= start_b

@@ -1,0 +1,86 @@
+"""Unit tests for the per-thread multi-stream stride prefetcher."""
+
+from repro.mem.prefetch import StridePrefetcher, TABLE_SIZE
+
+
+def test_needs_two_matching_strides_to_arm():
+    pf = StridePrefetcher(line_bytes=64, degree=2)
+    assert pf.on_demand_miss(0, 0, 0) == []
+    assert pf.on_demand_miss(0, 0, 64) == []  # first stride observed
+    assert pf.on_demand_miss(0, 0, 128) == [192, 256]  # confirmed
+
+
+def test_interleaved_streams_train_independently():
+    """Three interleaved array walks (a[i], b[i], c[i]) each get their
+    own stream — the pattern the single-stream design failed on."""
+    pf = StridePrefetcher(line_bytes=64, degree=1)
+    bases = (0, 1 << 20, 2 << 20)
+    fired = {base: 0 for base in bases}
+    for step in range(4):
+        for base in bases:
+            targets = pf.on_demand_miss(0, 0, base + step * 64)
+            if targets:
+                fired[base] += 1
+                assert targets == [base + (step + 1) * 64]
+    assert all(count >= 2 for count in fired.values())
+
+
+def test_far_miss_allocates_new_stream():
+    pf = StridePrefetcher(line_bytes=64, degree=1)
+    pf.on_demand_miss(0, 0, 0)
+    pf.on_demand_miss(0, 0, 64)
+    assert pf.on_demand_miss(0, 0, 128) == [192]
+    # A jump far outside the match window starts a fresh stream and
+    # must not emit a bogus prefetch.
+    assert pf.on_demand_miss(0, 0, 1 << 20) == []
+    # The original stream is still trained.
+    assert pf.on_demand_miss(0, 0, 192) == [256]
+
+
+def test_negative_stride_supported():
+    pf = StridePrefetcher(line_bytes=64, degree=1)
+    pf.on_demand_miss(0, 0, 1024)
+    pf.on_demand_miss(0, 0, 960)
+    assert pf.on_demand_miss(0, 0, 896) == [832]
+
+
+def test_negative_targets_dropped():
+    pf = StridePrefetcher(line_bytes=64, degree=2)
+    pf.on_demand_miss(0, 0, 128)
+    pf.on_demand_miss(0, 0, 64)
+    assert pf.on_demand_miss(0, 0, 0) == []  # -64, -128 both negative
+
+
+def test_streams_are_per_thread():
+    pf = StridePrefetcher(line_bytes=64, degree=1)
+    pf.on_demand_miss(0, 0, 0)
+    pf.on_demand_miss(0, 1, 64)   # different slot: separate table
+    pf.on_demand_miss(0, 0, 64)
+    assert pf.on_demand_miss(0, 0, 128) == [192]
+
+
+def test_table_eviction_is_lru():
+    pf = StridePrefetcher(line_bytes=64, degree=1)
+    # Fill the table with far-apart streams.
+    for k in range(TABLE_SIZE):
+        pf.on_demand_miss(0, 0, k << 20)
+    # Touch stream 0 so it is recently used.
+    pf.on_demand_miss(0, 0, (0 << 20) + 64)
+    # Allocate one more: stream for (1 << 20) is the LRU victim.
+    pf.on_demand_miss(0, 0, 100 << 20)
+    # Stream 0 survived and keeps training.
+    assert pf.on_demand_miss(0, 0, (0 << 20) + 128) == [(0 << 20) + 192]
+
+
+def test_disabled_prefetcher_is_silent():
+    pf = StridePrefetcher(line_bytes=64, degree=2, enabled=False)
+    for line in (0, 64, 128, 192):
+        assert pf.on_demand_miss(0, 0, line) == []
+
+
+def test_reset_forgets_training():
+    pf = StridePrefetcher(line_bytes=64, degree=1)
+    pf.on_demand_miss(0, 0, 0)
+    pf.on_demand_miss(0, 0, 64)
+    pf.reset()
+    assert pf.on_demand_miss(0, 0, 128) == []

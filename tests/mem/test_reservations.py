@@ -1,0 +1,57 @@
+"""Unit tests for the scalar ll/sc reservation file."""
+
+import pytest
+
+from repro.mem.layout import LineGeometry
+from repro.mem.reservations import ReservationFile
+
+
+@pytest.fixture
+def resfile():
+    return ReservationFile(LineGeometry(64))
+
+
+class TestReservations:
+    def test_set_and_hold(self, resfile):
+        resfile.set(0, 1, 0x104)
+        assert resfile.holds(0, 1, 0x104)
+        # Same line, different word: still held (line granularity).
+        assert resfile.holds(0, 1, 0x13C)
+        assert not resfile.holds(0, 1, 0x140)
+
+    def test_one_reservation_per_thread(self, resfile):
+        resfile.set(0, 0, 0x100)
+        resfile.set(0, 0, 0x200)
+        assert not resfile.holds(0, 0, 0x100)
+        assert resfile.holds(0, 0, 0x200)
+
+    def test_clear_thread(self, resfile):
+        resfile.set(0, 0, 0x100)
+        resfile.clear_thread(0, 0)
+        assert not resfile.holds(0, 0, 0x100)
+        resfile.clear_thread(0, 0)  # idempotent
+
+    def test_clear_line_kills_all_threads(self, resfile):
+        resfile.set(0, 0, 0x100)
+        resfile.set(1, 2, 0x11C)
+        resfile.set(0, 1, 0x200)
+        killed = resfile.clear_line(0x100)
+        assert killed == 2
+        assert not resfile.holds(0, 0, 0x100)
+        assert not resfile.holds(1, 2, 0x100)
+        assert resfile.holds(0, 1, 0x200)
+
+    def test_clear_core_line_is_core_local(self, resfile):
+        resfile.set(0, 0, 0x100)
+        resfile.set(1, 0, 0x100)
+        killed = resfile.clear_core_line(0, 0x100)
+        assert killed == 1
+        assert not resfile.holds(0, 0, 0x100)
+        assert resfile.holds(1, 0, 0x100)
+
+    def test_holder_count_and_held_line(self, resfile):
+        assert resfile.holder_count() == 0
+        resfile.set(2, 3, 0x1C0)
+        assert resfile.holder_count() == 1
+        assert resfile.held_line(2, 3) == 0x1C0
+        assert resfile.held_line(0, 0) is None

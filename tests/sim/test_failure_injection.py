@@ -1,0 +1,98 @@
+"""Failure injection: the best-effort model under spurious loss.
+
+Section 3 of the paper: "an implementation is correct as long as it is
+conservative enough — it is acceptable to have reservations invalidated
+for other reasons, such as cache line evictions."  These tests destroy
+reservations *at random* during execution and require that
+
+* every kernel still produces the oracle answer (retry loops absorb
+  the loss), and
+* the GLSC failure rate rises accordingly (the loss is visible, not
+  silently ignored).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.kernels.registry import KERNEL_ORDER
+from repro.sim.config import MachineConfig
+from repro.sim.runner import run_kernel
+
+
+def chaotic_config(loss: float, **kwargs) -> MachineConfig:
+    defaults = dict(
+        n_cores=2,
+        threads_per_core=2,
+        simd_width=4,
+        chaos_reservation_loss=loss,
+        # Tight cap: a pathological loss pattern should fail fast and
+        # reproducibly, not hang the suite.
+        max_cycles=5_000_000,
+    )
+    defaults.update(kwargs)
+    return MachineConfig(**defaults)
+
+
+@pytest.mark.parametrize("kernel", KERNEL_ORDER)
+@pytest.mark.parametrize("variant", ["base", "glsc"])
+def test_kernels_correct_under_reservation_loss(kernel, variant):
+    config = chaotic_config(0.05)
+    result = run_kernel(kernel, "tiny", config, variant)
+    assert result.stats.cycles > 0  # verified inside run_kernel
+
+
+def test_chaos_events_actually_fire():
+    config = chaotic_config(0.2)
+    from repro.kernels.registry import make_kernel
+    from repro.sim.machine import Machine
+
+    kernel = make_kernel("tms", "tiny", config.n_threads)
+    machine = Machine(config)
+    kernel.allocate(machine.image)
+    for _ in range(config.n_threads):
+        machine.add_program(kernel.program("glsc"))
+    machine.run()
+    kernel.verify()
+    assert machine.coherence.chaos_events > 0
+
+
+def test_loss_raises_failure_rate():
+    calm = run_kernel(
+        "tms", "tiny", chaotic_config(0.0), "glsc"
+    ).stats
+    stormy = run_kernel(
+        "tms", "tiny", chaotic_config(0.3), "glsc"
+    ).stats
+    assert stormy.glsc_failure_rate > calm.glsc_failure_rate
+
+
+def test_loss_also_breaks_scalar_reservations():
+    calm = run_kernel(
+        "tms", "tiny", chaotic_config(0.0), "base"
+    ).stats
+    stormy = run_kernel(
+        "tms", "tiny", chaotic_config(0.3), "base"
+    ).stats
+    assert stormy.sc_failures > calm.sc_failures
+
+
+def test_total_loss_rejected():
+    with pytest.raises(ConfigError):
+        MachineConfig(chaos_reservation_loss=1.0)
+
+
+@settings(
+    deadline=None, max_examples=10,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    loss=st.floats(0.0, 0.4),
+    seed=st.integers(0, 10_000),
+    kernel=st.sampled_from(["hip", "gbc", "smc"]),
+)
+def test_random_loss_property(loss, seed, kernel):
+    """Any loss rate below 1 preserves correctness (verified inside)."""
+    config = chaotic_config(loss, chaos_seed=seed)
+    run_kernel(kernel, "tiny", config, "glsc")

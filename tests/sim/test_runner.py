@@ -1,0 +1,57 @@
+"""Tests for the high-level run API."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import MachineConfig, named_config
+from repro.sim.runner import RunResult, run_kernel
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig(n_cores=2, threads_per_core=2, simd_width=4)
+
+
+def test_run_kernel_returns_result(config):
+    result = run_kernel("hip", "tiny", config, "glsc")
+    assert isinstance(result, RunResult)
+    assert result.kernel_name == "hip"
+    assert result.dataset == "tiny"
+    assert result.variant == "glsc"
+    assert result.cycles == result.stats.cycles > 0
+
+
+def test_unknown_kernel_rejected(config):
+    with pytest.raises(ConfigError):
+        run_kernel("nope", "tiny", config, "base")
+
+
+def test_unknown_dataset_rejected(config):
+    with pytest.raises(ConfigError):
+        run_kernel("hip", "nope", config, "base")
+
+
+def test_unknown_variant_rejected(config):
+    with pytest.raises(ConfigError):
+        run_kernel("hip", "tiny", config, "turbo")
+
+
+def test_warm_run_has_fewer_mem_accesses(config):
+    cold = run_kernel("tms", "tiny", config, "glsc", warm=False)
+    warm = run_kernel("tms", "tiny", config, "glsc", warm=True)
+    assert warm.stats.mem_accesses < cold.stats.mem_accesses
+    assert warm.stats.cycles < cold.stats.cycles
+
+
+def test_runs_are_deterministic(config):
+    a = run_kernel("gbc", "tiny", config, "glsc")
+    b = run_kernel("gbc", "tiny", config, "glsc")
+    assert a.stats.summary() == b.stats.summary()
+
+
+def test_named_config_topologies_match_footnote2():
+    for name, cores, threads in (
+        ("1x1", 1, 1), ("1x4", 1, 4), ("4x1", 4, 1), ("4x4", 4, 4)
+    ):
+        cfg = named_config(name)
+        assert (cfg.n_cores, cfg.threads_per_core) == (cores, threads)

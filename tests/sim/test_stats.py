@@ -1,0 +1,95 @@
+"""Unit tests for the statistics counters and derived metrics."""
+
+import pytest
+
+from repro.sim.stats import FAILURE_CAUSES, MachineStats, ThreadStats
+
+
+@pytest.fixture
+def stats():
+    return MachineStats()
+
+
+class TestThreadAggregation:
+    def test_new_thread_registers(self, stats):
+        t = stats.new_thread()
+        assert isinstance(t, ThreadStats)
+        assert stats.threads == [t]
+
+    def test_totals_sum_over_threads(self, stats):
+        for n in (3, 5):
+            t = stats.new_thread()
+            t.instructions = n
+            t.mem_stall_cycles = 10 * n
+            t.sync_cycles = 100 * n
+        assert stats.total_instructions == 8
+        assert stats.total_mem_stall_cycles == 80
+        assert stats.total_sync_cycles == 800
+
+
+class TestGlscMetrics:
+    def test_failure_rate_zero_without_attempts(self, stats):
+        assert stats.glsc_failure_rate == 0.0
+
+    def test_failure_rate_formula(self, stats):
+        stats.gatherlink_elements = 100
+        stats.scattercond_successes = 80
+        assert stats.glsc_failure_rate == pytest.approx(0.2)
+
+    def test_failure_rate_clamped_nonnegative(self, stats):
+        stats.gatherlink_elements = 10
+        stats.scattercond_successes = 12  # shouldn't happen, but clamp
+        assert stats.glsc_failure_rate == 0.0
+
+    def test_record_failure_by_cause(self, stats):
+        for cause in FAILURE_CAUSES:
+            stats.record_glsc_failure(cause, 2)
+        assert stats.glsc_failures_total == 2 * len(FAILURE_CAUSES)
+
+    def test_unknown_cause_rejected(self, stats):
+        with pytest.raises(KeyError):
+            stats.record_glsc_failure("cosmic_rays")
+
+
+class TestDerivedFractions:
+    def test_sync_fraction(self, stats):
+        stats.cycles = 100
+        t = stats.new_thread()
+        t.sync_cycles = 25
+        assert stats.sync_fraction == pytest.approx(0.25)
+
+    def test_sync_fraction_empty(self, stats):
+        assert stats.sync_fraction == 0.0
+
+    def test_l1_sync_fraction(self, stats):
+        stats.l1_accesses = 200
+        stats.l1_sync_accesses = 50
+        assert stats.l1_sync_fraction == pytest.approx(0.25)
+
+    def test_combining_reduction(self, stats):
+        stats.l1_sync_accesses = 60
+        stats.l1_accesses_saved_by_combining = 40
+        assert stats.combining_reduction == pytest.approx(0.4)
+
+    def test_combining_reduction_empty(self, stats):
+        assert stats.combining_reduction == 0.0
+
+
+class TestReset:
+    def test_reset_zeroes_counters_but_keeps_threads(self, stats):
+        t = stats.new_thread()
+        stats.l1_accesses = 5
+        stats.mem_accesses = 2
+        stats.gatherlink_elements = 9
+        stats.record_glsc_failure("alias", 3)
+        stats.reset_counters()
+        assert stats.l1_accesses == 0
+        assert stats.mem_accesses == 0
+        assert stats.gatherlink_elements == 0
+        assert stats.glsc_failures_total == 0
+        assert stats.threads == [t]
+
+    def test_summary_keys_stable(self, stats):
+        stats.new_thread()
+        summary = stats.summary()
+        assert {"cycles", "instructions", "glsc_failure_rate"} <= set(summary)

@@ -1,0 +1,62 @@
+"""Unit tests for the synthetic image generator (HIP workload)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads.images import alias_fraction, generate_image
+
+
+class TestGenerateImage:
+    def test_shape_and_range(self):
+        pixels = generate_image(500, 16, coherence=0.3, skew=1.0, seed=1)
+        assert len(pixels) == 500
+        assert all(0 <= p < 16 for p in pixels)
+
+    def test_deterministic(self):
+        a = generate_image(200, 8, coherence=0.5, skew=1.0, seed=7)
+        b = generate_image(200, 8, coherence=0.5, skew=1.0, seed=7)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = generate_image(200, 8, coherence=0.5, skew=1.0, seed=7)
+        b = generate_image(200, 8, coherence=0.5, skew=1.0, seed=8)
+        assert a != b
+
+    def test_coherence_increases_aliasing(self):
+        low = generate_image(4000, 64, coherence=0.0, skew=0.0, seed=3)
+        high = generate_image(4000, 64, coherence=0.6, skew=0.0, seed=3)
+        assert alias_fraction(high, 4) > alias_fraction(low, 4) + 0.2
+
+    def test_uniform_random_has_low_aliasing(self):
+        pixels = generate_image(4000, 64, coherence=0.0, skew=0.0, seed=4)
+        assert alias_fraction(pixels, 4) < 0.08
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            generate_image(0, 8, 0.1, 1.0, 1)
+        with pytest.raises(ConfigError):
+            generate_image(10, 8, 1.0, 1.0, 1)  # coherence must be < 1
+        with pytest.raises(ConfigError):
+            generate_image(10, 8, 0.1, -1.0, 1)
+
+
+class TestAliasFraction:
+    def test_no_aliases(self):
+        assert alias_fraction([0, 1, 2, 3, 4, 5, 6, 7], 4) == 0.0
+
+    def test_full_aliases(self):
+        assert alias_fraction([5, 5, 5, 5], 4) == pytest.approx(0.75)
+
+    def test_scalar_width_is_zero(self):
+        assert alias_fraction([1, 1, 1], 1) == 0.0
+
+    def test_empty(self):
+        assert alias_fraction([], 4) == 0.0
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 3), min_size=8, max_size=64))
+    def test_bounded(self, pixels):
+        fraction = alias_fraction(pixels, 4)
+        assert 0.0 <= fraction <= 0.75 + 1e-9

@@ -1,0 +1,111 @@
+"""Unit tests for sparse-matrix workloads (TMS, FS)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads.sparse import (
+    block_triangular,
+    forward_substitute,
+    random_sparse,
+)
+
+
+class TestRandomSparse:
+    def test_nnz_close_to_density(self):
+        m = random_sparse(100, 100, 0.05, seed=1)
+        assert 400 <= m.nnz <= 600
+        assert m.rows == 100 and m.cols == 100
+
+    def test_positions_unique_and_in_range(self):
+        m = random_sparse(20, 30, 0.2, seed=2)
+        positions = [(r, c) for r, c, _ in m.nonzeros]
+        assert len(set(positions)) == len(positions)
+        assert all(0 <= r < 20 and 0 <= c < 30 for r, c in positions)
+
+    def test_sorted_row_major(self):
+        m = random_sparse(20, 30, 0.2, seed=3)
+        positions = [(r, c) for r, c, _ in m.nonzeros]
+        assert positions == sorted(positions)
+
+    def test_band_concentrates_columns(self):
+        m = random_sparse(200, 2000, 0.002, seed=4, band=50.0)
+        for row, col, _ in m.nonzeros:
+            center = row * 2000 / 200
+            assert abs(col - center) < 50 * 6  # six sigma
+
+    def test_transpose_matvec_oracle(self):
+        m = random_sparse(10, 8, 0.3, seed=5)
+        x = [1.0] * 10
+        y = m.transpose_matvec(x)
+        assert len(y) == 8
+        assert sum(y) == pytest.approx(sum(v for _, _, v in m.nonzeros))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            random_sparse(0, 10, 0.1, 1)
+        with pytest.raises(ConfigError):
+            random_sparse(10, 10, 0.0, 1)
+
+
+class TestForwardSubstitute:
+    def test_identity(self):
+        assert forward_substitute([[1.0, 0], [0, 1.0]], [3.0, 4.0]) == [3.0, 4.0]
+
+    def test_lower_triangle(self):
+        lower = [[1.0, 0.0], [2.0, 1.0]]
+        x = forward_substitute(lower, [1.0, 4.0])
+        assert x == [1.0, 2.0]
+
+
+class TestBlockTriangular:
+    def test_structure(self):
+        system = block_triangular(6, 4, 0.4, seed=6)
+        assert system.n == 24
+        assert len(system.diag) == 6
+        for (i, j) in system.off_blocks:
+            assert i > j
+
+    def test_unit_diagonal(self):
+        system = block_triangular(4, 4, 0.3, seed=7)
+        for block in system.diag:
+            for r in range(4):
+                assert block[r][r] == 1.0
+                for c in range(r + 1, 4):
+                    assert block[r][c] == 0.0
+
+    def test_levels_respect_dependencies(self):
+        system = block_triangular(8, 4, 0.5, seed=8)
+        for (i, j) in system.off_blocks:
+            assert system.levels[i] > system.levels[j]
+
+    def test_level_schedule_partitions_columns(self):
+        system = block_triangular(8, 4, 0.5, seed=9)
+        schedule = system.level_schedule()
+        seen = [j for level in schedule for j in level]
+        assert sorted(seen) == list(range(8))
+
+    def test_oracle_solves_system(self):
+        system = block_triangular(5, 4, 0.5, seed=10)
+        x = system.solve_oracle()
+        # Recompute L @ x and compare against the rhs.
+        n, b = system.n, system.block
+        residual = list(system.rhs)
+        for j in range(system.n_blocks):
+            for r in range(b):
+                row = j * b + r
+                acc = 0.0
+                for k in range(b):
+                    acc += system.diag[j][r][k] * x[j * b + k]
+                for (i, jj), blk in system.off_blocks.items():
+                    if i == j:
+                        acc += sum(
+                            blk[r][k] * x[jj * b + k] for k in range(b)
+                        )
+                residual[row] -= acc
+        assert all(abs(v) < 1e-6 for v in residual)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            block_triangular(0, 4, 0.5, 1)
+        with pytest.raises(ConfigError):
+            block_triangular(4, 4, 1.5, 1)
