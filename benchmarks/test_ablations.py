@@ -10,21 +10,30 @@ choices the paper *discusses* and DESIGN.md calls out:
 * GLSC entries in the L1 tags vs a small associative buffer
   (Section 3.3's alternative implementation),
 * the stride prefetcher's contribution.
+
+Each policy flip is a per-spec config override on one shared
+:class:`~repro.sim.executor.Executor`, so the baseline run is
+simulated once no matter how many ablations compare against it.
 """
 
-from repro.harness.session import Session
+from repro.sim.executor import Executor, RunSpec
 
 
-def _cycles(session, kernel="tms", dataset="A", topology="4x4", width=4):
-    return session.run(kernel, dataset, topology, width, "glsc").cycles
+def _run(executor, kernel="tms", variant="glsc", **overrides):
+    return executor.run(
+        RunSpec(kernel, "A", "4x4", 4, variant, overrides=overrides)
+    )
 
 
 def test_ablation_line_combining(benchmark, show):
+    executor = Executor()
+
     def run():
-        on = Session()
-        off = Session(gsu_combine_lines=False)
         return {
-            kernel: (_cycles(on, kernel), _cycles(off, kernel))
+            kernel: (
+                _run(executor, kernel).cycles,
+                _run(executor, kernel, gsu_combine_lines=False).cycles,
+            )
             for kernel in ("tms", "gbc", "hip")
         }
 
@@ -39,12 +48,12 @@ def test_ablation_line_combining(benchmark, show):
 
 
 def test_ablation_alias_side(benchmark, show):
+    executor = Executor()
+
     def run():
-        scatter_side = Session()
-        gather_side = Session(glsc_alias_in_gather=True)
         return (
-            _cycles(scatter_side, "hip"),
-            _cycles(gather_side, "hip"),
+            _run(executor, "hip").cycles,
+            _run(executor, "hip", glsc_alias_in_gather=True).cycles,
         )
 
     at_scatter, at_gather = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -59,12 +68,13 @@ def test_ablation_alias_side(benchmark, show):
 
 
 def test_ablation_fail_on_miss(benchmark, show):
+    executor = Executor()
+
     def run():
-        wait = Session()
-        fail = Session(glsc_fail_on_miss=True)
-        stats_wait = wait.run("tms", "A", "4x4", 4, "glsc")
-        stats_fail = fail.run("tms", "A", "4x4", 4, "glsc")
-        return stats_wait, stats_fail
+        return (
+            _run(executor, "tms"),
+            _run(executor, "tms", glsc_fail_on_miss=True),
+        )
 
     stats_wait, stats_fail = benchmark.pedantic(run, rounds=1, iterations=1)
     show(
@@ -79,14 +89,13 @@ def test_ablation_fail_on_miss(benchmark, show):
 
 
 def test_ablation_buffer_tracker(benchmark, show):
+    executor = Executor()
+
     def run():
-        tags = Session()
-        small = Session(glsc_buffer_entries=4)
-        large = Session(glsc_buffer_entries=64)
         return {
-            "tag-array": tags.run("gbc", "A", "4x4", 4, "glsc"),
-            "buffer-4": small.run("gbc", "A", "4x4", 4, "glsc"),
-            "buffer-64": large.run("gbc", "A", "4x4", 4, "glsc"),
+            "tag-array": _run(executor, "gbc"),
+            "buffer-4": _run(executor, "gbc", glsc_buffer_entries=4),
+            "buffer-64": _run(executor, "gbc", glsc_buffer_entries=64),
         }
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -106,12 +115,12 @@ def test_ablation_buffer_tracker(benchmark, show):
 
 
 def test_ablation_prefetcher(benchmark, show):
+    executor = Executor()
+
     def run():
-        on = Session()
-        off = Session(prefetch_enabled=False)
         return (
-            on.run("tms", "A", "4x4", 4, "base"),
-            off.run("tms", "A", "4x4", 4, "base"),
+            _run(executor, "tms", variant="base"),
+            _run(executor, "tms", variant="base", prefetch_enabled=False),
         )
 
     with_pf, without_pf = benchmark.pedantic(run, rounds=1, iterations=1)

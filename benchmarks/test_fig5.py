@@ -6,13 +6,13 @@ binaries over 1-wide.
 """
 
 from repro.harness import experiments, report
-from repro.harness.session import Session
+from repro.sim.executor import Executor
 
 
 def test_fig5a_sync_time(benchmark, show):
-    session = Session()
+    executor = Executor()
     rows = benchmark.pedantic(
-        lambda: experiments.fig5a(session=session), rounds=1, iterations=1
+        lambda: experiments.fig5a(executor=executor), rounds=1, iterations=1
     )
     show(report.render_fig5a(rows))
     # Shape check (paper: every kernel spends visible time in sync ops).
@@ -20,9 +20,9 @@ def test_fig5a_sync_time(benchmark, show):
 
 
 def test_fig5b_simd_efficiency(benchmark, show):
-    session = Session()
+    executor = Executor()
     rows = benchmark.pedantic(
-        lambda: experiments.fig5b(session=session), rounds=1, iterations=1
+        lambda: experiments.fig5b(executor=executor), rounds=1, iterations=1
     )
     show(report.render_fig5b(rows))
     # Shape check (paper: every benchmark gains from 4-wide SIMD).

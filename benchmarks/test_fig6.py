@@ -8,13 +8,13 @@ almost everywhere, with HIP the documented exception on skewed images.
 import statistics
 
 from repro.harness import experiments, report
-from repro.harness.session import Session
+from repro.sim.executor import Executor
 
 
 def test_fig6_base_vs_glsc(benchmark, show):
-    session = Session()
+    executor = Executor()
     rows = benchmark.pedantic(
-        lambda: experiments.fig6(session=session), rounds=1, iterations=1
+        lambda: experiments.fig6(executor=executor), rounds=1, iterations=1
     )
     show(report.render_fig6(rows))
 

@@ -7,13 +7,13 @@ exactly as the paper observes.
 """
 
 from repro.harness import experiments, report
-from repro.harness.session import Session
+from repro.sim.executor import Executor
 
 
 def test_fig7_microbenchmark(benchmark, show):
-    session = Session()
+    executor = Executor()
     rows = benchmark.pedantic(
-        lambda: experiments.fig7(session=session), rounds=1, iterations=1
+        lambda: experiments.fig7(executor=executor), rounds=1, iterations=1
     )
     show(report.render_fig7(rows))
 

@@ -8,13 +8,13 @@ with high SIMD efficiency.
 import statistics
 
 from repro.harness import experiments, report
-from repro.harness.session import Session
+from repro.sim.executor import Executor
 
 
 def test_fig8_simd_width_scaling(benchmark, show):
-    session = Session()
+    executor = Executor()
     rows = benchmark.pedantic(
-        lambda: experiments.fig8(session=session), rounds=1, iterations=1
+        lambda: experiments.fig8(executor=executor), rounds=1, iterations=1
     )
     show(report.render_fig8(rows))
 

@@ -6,13 +6,13 @@ accesses), and the GLSC element failure rates at 1x1 and 4x4.
 """
 
 from repro.harness import experiments, report
-from repro.harness.session import Session
+from repro.sim.executor import Executor
 
 
 def test_table4_analysis(benchmark, show):
-    session = Session()
+    executor = Executor()
     rows = benchmark.pedantic(
-        lambda: experiments.table4(session=session), rounds=1, iterations=1
+        lambda: experiments.table4(executor=executor), rounds=1, iterations=1
     )
     show(report.render_table4(rows))
 

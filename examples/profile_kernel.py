@@ -1,33 +1,27 @@
 #!/usr/bin/env python
 """Profile a kernel with the instruction tracer.
 
-Attaches an :class:`~repro.sim.trace.InstructionTrace` to the machine,
-runs the TMS kernel in both variants, and prints per-instruction-kind
-latency profiles — the view that explains *where* GLSC's cycles go
+Declares the run as a :class:`~repro.sim.executor.RunSpec` and executes
+it through :func:`~repro.sim.executor.execute_spec` — the same path the
+parallel executor's workers use — with an
+:class:`~repro.sim.trace.InstructionTrace` attached.  The per-
+instruction-kind latency profiles explain *where* GLSC's cycles go
 (Base burns serial ll/sc round-trips; GLSC concentrates time in a few
 long-latency gather/scatter instructions that overlap their misses).
 
 Run:  python examples/profile_kernel.py
 """
 
-from repro.kernels.registry import make_kernel
-from repro.sim.config import MachineConfig
-from repro.sim.machine import Machine
+from repro.sim.executor import RunSpec, execute_spec
 from repro.sim.trace import InstructionTrace
 
 
 def profile(variant: str) -> None:
-    config = MachineConfig(n_cores=4, threads_per_core=4, simd_width=4)
+    spec = RunSpec("tms", "A", "4x4", 4, variant)
     trace = InstructionTrace(limit=50_000)
-    kernel = make_kernel("tms", "A", config.n_threads)
-    machine = Machine(config, tracer=trace)
-    kernel.allocate(machine.image)
-    for _ in range(config.n_threads):
-        machine.add_program(kernel.program(variant))
-    stats = machine.run()
-    kernel.verify()
+    stats = execute_spec(spec, tracer=trace)
 
-    print(f"--- {variant.upper()} ---")
+    print(f"--- {variant.upper()} ---  ({spec.label()})")
     print(f"cycles: {stats.cycles}   "
           f"instructions: {stats.total_instructions}   "
           f"sync share of occupancy: {trace.sync_share():.1%}")

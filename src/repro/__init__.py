@@ -27,9 +27,11 @@ Quickstart::
         machine.add_program(program)
     stats = machine.run()
 
-Higher-level entry points live in :mod:`repro.sim.runner` (run a named
-kernel on a named dataset) and :mod:`repro.harness` (regenerate the
-paper's tables and figures).
+Higher-level entry points live in :mod:`repro.sim.executor` (declare
+runs as :class:`~repro.sim.executor.RunSpec` values and execute them —
+deduplicated, in parallel, persisted to a result store),
+:mod:`repro.sim.runner` (run a named kernel on a named dataset), and
+:mod:`repro.harness` (regenerate the paper's tables and figures).
 """
 
 from repro.errors import (

@@ -4,9 +4,16 @@ Usage::
 
     python -m repro.harness table1
     python -m repro.harness fig6 --kernels hip tms --datasets A
-    python -m repro.harness all
+    python -m repro.harness all --jobs 4
+    python -m repro.harness fig8 --no-cache
 
 (Installed as the ``glsc-harness`` console script.)
+
+Runs go through the :class:`~repro.sim.executor.Executor`:
+``--jobs N`` fans independent simulations out over N worker
+processes, and results persist in an on-disk store (default
+``.glsc-cache/``; change with ``--cache-dir`` or disable with
+``--no-cache``), so repeating an invocation re-simulates nothing.
 """
 
 from __future__ import annotations
@@ -14,11 +21,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.harness import experiments, report
-from repro.harness.session import Session
 from repro.kernels.registry import KERNEL_ORDER
+from repro.sim.executor import Executor
+from repro.sim.store import ResultStore, default_cache_dir
 
 __all__ = ["main"]
 
@@ -27,14 +36,14 @@ EXPERIMENTS = ("table1", "table3", "fig5a", "fig5b", "fig6", "fig7",
 EXTENSIONS = ("width-sweep", "latency-sweep", "resilience")
 
 
-def _render_extension(name: str, kernels) -> str:
+def _render_extension(name: str, kernels, executor: Executor) -> str:
     from repro.harness import extensions as ext
 
     lines = []
     if name == "width-sweep":
         lines.append("Extension: Base/GLSC ratio across SIMD widths (4x4)")
         for kernel in kernels:
-            row = ext.width_sweep(kernel)
+            row = ext.width_sweep(kernel, executor=executor)
             series = ", ".join(
                 f"W{w}={r:.2f}" for w, r in sorted(row.ratios.items())
             )
@@ -48,7 +57,7 @@ def _render_extension(name: str, kernels) -> str:
             "Extension: Base/GLSC ratio vs main-memory latency (4x4, 4-wide)"
         )
         for kernel in kernels:
-            row = ext.latency_sensitivity(kernel)
+            row = ext.latency_sensitivity(kernel, executor=executor)
             series = ", ".join(
                 f"{l}cyc={r:.2f}" for l, r in sorted(row.ratios.items())
             )
@@ -58,7 +67,7 @@ def _render_extension(name: str, kernels) -> str:
             "Extension: GLSC under injected reservation loss (4x4, 4-wide)"
         )
         for kernel in kernels:
-            for row in ext.failure_resilience(kernel):
+            for row in ext.failure_resilience(kernel, executor=executor):
                 lines.append(
                     f"  {kernel.upper():4s} A loss={row.loss:4.2f}: "
                     f"cycles={row.cycles} failure={row.failure_rate:.3f} "
@@ -67,32 +76,32 @@ def _render_extension(name: str, kernels) -> str:
     return "\n".join(lines)
 
 
-def _render(name: str, session: Session, kernels, datasets) -> str:
+def _render(name: str, executor: Executor, kernels, datasets) -> str:
     if name == "table1":
         return report.render_table1(experiments.table1())
     if name == "table3":
         return report.render_table3(experiments.table3(kernels))
     if name == "fig5a":
         return report.render_fig5a(
-            experiments.fig5a(kernels, datasets, session)
+            experiments.fig5a(kernels, datasets, executor=executor)
         )
     if name == "fig5b":
         return report.render_fig5b(
-            experiments.fig5b(kernels, datasets, session)
+            experiments.fig5b(kernels, datasets, executor=executor)
         )
     if name == "fig6":
         return report.render_fig6(
-            experiments.fig6(kernels, datasets, session=session)
+            experiments.fig6(kernels, datasets, executor=executor)
         )
     if name == "fig7":
-        return report.render_fig7(experiments.fig7(session=session))
+        return report.render_fig7(experiments.fig7(executor=executor))
     if name == "fig8":
         return report.render_fig8(
-            experiments.fig8(kernels, datasets, session=session)
+            experiments.fig8(kernels, datasets, executor=executor)
         )
     if name == "table4":
         return report.render_table4(
-            experiments.table4(kernels, datasets, session=session)
+            experiments.table4(kernels, datasets, executor=executor)
         )
     raise ValueError(f"unknown experiment {name!r}")
 
@@ -125,21 +134,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=["A", "B", "random", "tiny"],
         help="datasets to sweep (default: A B)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent simulations (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "result-store directory (default: $REPRO_CACHE_DIR or "
+            f"{default_cache_dir()})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result store",
+    )
     args = parser.parse_args(argv)
 
-    session = Session()
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    store = None
+    if not args.no_cache:
+        store = ResultStore(args.cache_dir)
+        if store.root.exists() and not store.root.is_dir():
+            parser.error(
+                f"--cache-dir {store.root} exists and is not a directory"
+            )
+    executor = Executor(jobs=args.jobs, store=store)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     started = time.time()
     for name in names:
         if name in EXTENSIONS:
-            print(_render_extension(name, tuple(args.kernels)))
+            print(_render_extension(name, tuple(args.kernels), executor))
         else:
-            print(_render(name, session, tuple(args.kernels),
+            print(_render(name, executor, tuple(args.kernels),
                           tuple(args.datasets)))
         print()
     elapsed = time.time() - started
     print(
-        f"[{session.cached_runs()} simulations, {elapsed:.1f}s]",
+        f"[{executor.simulations} simulations, "
+        f"{executor.store_hits} from store, {elapsed:.1f}s]",
         file=sys.stderr,
     )
     return 0

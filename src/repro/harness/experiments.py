@@ -3,8 +3,22 @@
 Each function returns plain data structures (lists of row dataclasses
 or nested dicts) so tests can assert on them and
 :mod:`repro.harness.report` can format them like the paper.  Every
-number comes from a *verified* simulation via the shared
-:class:`~repro.harness.session.Session`.
+number comes from a *verified* simulation.
+
+Experiments are written in two halves:
+
+1. a ``sweep_*`` builder that *declares* the figure's complete set of
+   runs as a :class:`~repro.sim.executor.Sweep` of
+   :class:`~repro.sim.executor.RunSpec` values, and
+2. the figure function, which executes the sweep through a shared
+   :class:`~repro.sim.executor.Executor` (dedup + parallel dispatch +
+   persistent store) and assembles rows from the resulting
+   ``{spec: stats}`` mapping.
+
+Because the executor deduplicates by content digest across calls, a
+full ``fig6`` + ``fig8`` + ``table4`` invocation simulates each
+distinct (kernel, dataset, topology, width, variant) point exactly
+once — in parallel the first time, from the store thereafter.
 
 Paper mapping:
 
@@ -31,6 +45,7 @@ from repro.harness.session import Session
 from repro.kernels.micro import SCENARIOS
 from repro.kernels.registry import KERNEL_ORDER, KERNELS
 from repro.sim.config import CONFIG_NAMES, MachineConfig
+from repro.sim.executor import Executor, RunSpec, Sweep
 from repro.workloads.datasets import TABLE3_ROWS
 
 __all__ = [
@@ -48,14 +63,31 @@ __all__ = [
     "fig7",
     "fig8",
     "table4",
+    "sweep_fig5a",
+    "sweep_fig5b",
+    "sweep_fig6",
+    "sweep_fig7",
+    "sweep_fig8",
+    "sweep_table4",
 ]
 
 #: The two datasets every figure sweeps.
 DATASETS = ("A", "B")
 
+#: The SIMD widths Figures 5(b) and 8 sweep.
+WIDTHS = (1, 4, 16)
 
-def _session(session: Optional[Session]) -> Session:
-    return session if session is not None else Session()
+
+def _executor(
+    session: Optional[Session] = None,
+    executor: Optional[Executor] = None,
+) -> Executor:
+    """Resolve the executor to run on (new API, façade, or fresh)."""
+    if executor is not None:
+        return executor
+    if session is not None:
+        return session.executor
+    return Executor()
 
 
 # ---------------------------------------------------------------------------
@@ -103,45 +135,71 @@ class Fig5Row:
     speedup_16wide: float = 0.0        # Fig 5b
 
 
+def sweep_fig5a(
+    kernels: Sequence[str] = KERNEL_ORDER,
+    datasets: Sequence[str] = DATASETS,
+) -> Sweep:
+    """Figure 5(a)'s runs: every kernel x dataset, 1x1, 1-wide GLSC."""
+    return Sweep.product(kernels, datasets, ("1x1",), (1,), ("glsc",))
+
+
 def fig5a(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
     session: Optional[Session] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Fig5Row]:
     """Figure 5(a): % of time in synchronization, 1x1, 1-wide GLSC."""
-    session = _session(session)
-    rows = []
-    for kernel in kernels:
-        for dataset in datasets:
-            stats = session.run(kernel, dataset, "1x1", 1, "glsc")
-            rows.append(
-                Fig5Row(kernel, dataset, sync_percent=100 * stats.sync_fraction)
-            )
-    return rows
+    stats = _executor(session, executor).run_sweep(
+        sweep_fig5a(kernels, datasets)
+    )
+    return [
+        Fig5Row(
+            kernel,
+            dataset,
+            sync_percent=100
+            * stats[RunSpec(kernel, dataset, "1x1", 1, "glsc")].sync_fraction,
+        )
+        for kernel in kernels
+        for dataset in datasets
+    ]
+
+
+def sweep_fig5b(
+    kernels: Sequence[str] = KERNEL_ORDER,
+    datasets: Sequence[str] = DATASETS,
+    widths: Sequence[int] = WIDTHS,
+) -> Sweep:
+    """Figure 5(b)'s runs: the GLSC binaries at 1x1 across widths."""
+    return Sweep.product(kernels, datasets, ("1x1",), widths, ("glsc",))
 
 
 def fig5b(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
     session: Optional[Session] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Fig5Row]:
     """Figure 5(b): SIMD efficiency of the GLSC binaries at 1x1."""
-    session = _session(session)
-    rows = []
-    for kernel in kernels:
-        for dataset in datasets:
-            scalar = session.run(kernel, dataset, "1x1", 1, "glsc").cycles
-            wide4 = session.run(kernel, dataset, "1x1", 4, "glsc").cycles
-            wide16 = session.run(kernel, dataset, "1x1", 16, "glsc").cycles
-            rows.append(
-                Fig5Row(
-                    kernel,
-                    dataset,
-                    speedup_4wide=scalar / wide4,
-                    speedup_16wide=scalar / wide16,
-                )
-            )
-    return rows
+    stats = _executor(session, executor).run_sweep(
+        sweep_fig5b(kernels, datasets)
+    )
+
+    def cycles(kernel: str, dataset: str, width: int) -> int:
+        return stats[RunSpec(kernel, dataset, "1x1", width, "glsc")].cycles
+
+    return [
+        Fig5Row(
+            kernel,
+            dataset,
+            speedup_4wide=cycles(kernel, dataset, 1)
+            / cycles(kernel, dataset, 4),
+            speedup_16wide=cycles(kernel, dataset, 1)
+            / cycles(kernel, dataset, 16),
+        )
+        for kernel in kernels
+        for dataset in datasets
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -167,27 +225,46 @@ class Fig6Row:
         return self.glsc[topology] / self.base[topology]
 
 
+def sweep_fig6(
+    kernels: Sequence[str] = KERNEL_ORDER,
+    datasets: Sequence[str] = DATASETS,
+    topologies: Sequence[str] = CONFIG_NAMES,
+    simd_width: int = 4,
+) -> Sweep:
+    """Figure 6's runs: both variants over every topology, plus the
+    1x1 GLSC reference every bar is normalized to."""
+    sweep = Sweep.product(
+        kernels, datasets, ("1x1",), (simd_width,), ("glsc",)
+    )
+    return sweep + Sweep.product(
+        kernels, datasets, topologies, (simd_width,), ("base", "glsc")
+    )
+
+
 def fig6(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
     topologies: Sequence[str] = CONFIG_NAMES,
     simd_width: int = 4,
     session: Optional[Session] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Fig6Row]:
     """Figure 6: Base vs GLSC speedups over 1x1 GLSC, 4-wide SIMD."""
-    session = _session(session)
+    stats = _executor(session, executor).run_sweep(
+        sweep_fig6(kernels, datasets, topologies, simd_width)
+    )
     rows = []
     for kernel in kernels:
         for dataset in datasets:
-            reference = session.run(
-                kernel, dataset, "1x1", simd_width, "glsc"
-            ).cycles
+            reference = stats[
+                RunSpec(kernel, dataset, "1x1", simd_width, "glsc")
+            ].cycles
             row = Fig6Row(kernel, dataset)
             for topology in topologies:
                 for variant, into in (("base", row.base), ("glsc", row.glsc)):
-                    cycles = session.run(
-                        kernel, dataset, topology, simd_width, variant
-                    ).cycles
+                    cycles = stats[
+                        RunSpec(kernel, dataset, topology, simd_width, variant)
+                    ].cycles
                     into[topology] = reference / cycles
             rows.append(row)
     return rows
@@ -211,20 +288,37 @@ class Table4Row:
     failure_rate_4x4: float            # GLSC element failure rate, 4x4
 
 
+def sweep_table4(
+    kernels: Sequence[str] = KERNEL_ORDER,
+    datasets: Sequence[str] = DATASETS,
+    simd_width: int = 4,
+) -> Sweep:
+    """Table 4's runs: 4x4 Base+GLSC plus the 1x1 GLSC solo runs."""
+    sweep = Sweep.product(
+        kernels, datasets, ("4x4",), (simd_width,), ("base", "glsc")
+    )
+    return sweep + Sweep.product(
+        kernels, datasets, ("1x1",), (simd_width,), ("glsc",)
+    )
+
+
 def table4(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
     simd_width: int = 4,
     session: Optional[Session] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Table4Row]:
     """Table 4: where GLSC's benefit comes from, plus failure rates."""
-    session = _session(session)
+    stats = _executor(session, executor).run_sweep(
+        sweep_table4(kernels, datasets, simd_width)
+    )
     rows = []
     for kernel in kernels:
         for dataset in datasets:
-            base = session.run(kernel, dataset, "4x4", simd_width, "base")
-            glsc = session.run(kernel, dataset, "4x4", simd_width, "glsc")
-            solo = session.run(kernel, dataset, "1x1", simd_width, "glsc")
+            base = stats[RunSpec(kernel, dataset, "4x4", simd_width, "base")]
+            glsc = stats[RunSpec(kernel, dataset, "4x4", simd_width, "glsc")]
+            solo = stats[RunSpec(kernel, dataset, "1x1", simd_width, "glsc")]
             instr_red = 100 * (
                 1 - glsc.total_instructions / max(base.total_instructions, 1)
             )
@@ -261,22 +355,39 @@ class Fig7Row:
     ratio_16wide: float
 
 
+def sweep_fig7(
+    scenarios: Sequence[str] = SCENARIOS,
+    widths: Tuple[int, int] = (4, 16),
+) -> Sweep:
+    """Figure 7's runs: warm microbenchmark scenarios, both variants."""
+    return Sweep(
+        RunSpec.micro(scenario, "4x4", width, variant)
+        for scenario in scenarios
+        for width in widths
+        for variant in ("base", "glsc")
+    )
+
+
 def fig7(
     scenarios: Sequence[str] = SCENARIOS,
     widths: Tuple[int, int] = (4, 16),
     session: Optional[Session] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Fig7Row]:
     """Figure 7: microbenchmark Base/GLSC ratios for scenarios A-D."""
-    session = _session(session)
-    rows = []
-    for scenario in scenarios:
-        ratios = []
-        for width in widths:
-            base = session.run_micro(scenario, "4x4", width, "base").cycles
-            glsc = session.run_micro(scenario, "4x4", width, "glsc").cycles
-            ratios.append(base / glsc)
-        rows.append(Fig7Row(scenario, ratios[0], ratios[1]))
-    return rows
+    stats = _executor(session, executor).run_sweep(
+        sweep_fig7(scenarios, widths)
+    )
+
+    def ratio(scenario: str, width: int) -> float:
+        base = stats[RunSpec.micro(scenario, "4x4", width, "base")].cycles
+        glsc = stats[RunSpec.micro(scenario, "4x4", width, "glsc")].cycles
+        return base / glsc
+
+    return [
+        Fig7Row(scenario, ratio(scenario, widths[0]), ratio(scenario, widths[1]))
+        for scenario in scenarios
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -292,21 +403,35 @@ class Fig8Row:
     ratios: Dict[int, float] = field(default_factory=dict)  # width -> ratio
 
 
+def sweep_fig8(
+    kernels: Sequence[str] = KERNEL_ORDER,
+    datasets: Sequence[str] = DATASETS,
+    widths: Sequence[int] = WIDTHS,
+) -> Sweep:
+    """Figure 8's runs: both variants at 4x4 across SIMD widths."""
+    return Sweep.product(
+        kernels, datasets, ("4x4",), widths, ("base", "glsc")
+    )
+
+
 def fig8(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
-    widths: Sequence[int] = (1, 4, 16),
+    widths: Sequence[int] = WIDTHS,
     session: Optional[Session] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Fig8Row]:
     """Figure 8: Base/GLSC ratio vs SIMD width at 4x4."""
-    session = _session(session)
+    stats = _executor(session, executor).run_sweep(
+        sweep_fig8(kernels, datasets, widths)
+    )
     rows = []
     for kernel in kernels:
         for dataset in datasets:
             row = Fig8Row(kernel, dataset)
             for width in widths:
-                base = session.run(kernel, dataset, "4x4", width, "base")
-                glsc = session.run(kernel, dataset, "4x4", width, "glsc")
+                base = stats[RunSpec(kernel, dataset, "4x4", width, "base")]
+                glsc = stats[RunSpec(kernel, dataset, "4x4", width, "glsc")]
                 row.ratios[width] = base.cycles / glsc.cycles
             rows.append(row)
     return rows

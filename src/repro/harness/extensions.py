@@ -12,6 +12,11 @@ those threads:
   memory distance).
 * :func:`failure_resilience` — performance under injected reservation
   loss, quantifying how gracefully the best-effort model degrades.
+
+Each experiment declares its complete sweep as
+:class:`~repro.sim.executor.RunSpec` values — parameter studies such
+as the latency sweep ride on per-spec config overrides, so a single
+executor (and its store) covers the whole grid.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.harness.session import Session
+from repro.sim.executor import Executor, RunSpec, Sweep
 
 __all__ = [
     "WidthSweepRow",
@@ -29,6 +34,10 @@ __all__ = [
     "latency_sensitivity",
     "failure_resilience",
 ]
+
+
+def _executor(executor: Optional[Executor]) -> Executor:
+    return executor if executor is not None else Executor()
 
 
 @dataclass
@@ -52,15 +61,19 @@ def width_sweep(
     dataset: str = "A",
     widths: Sequence[int] = (1, 2, 4, 8, 16),
     topology: str = "4x4",
-    session: Optional[Session] = None,
+    executor: Optional[Executor] = None,
 ) -> WidthSweepRow:
     """Base/GLSC time ratio across a dense SIMD-width range."""
-    session = session or Session()
+    ex = _executor(executor)
+    stats = ex.run_sweep(
+        Sweep.product((kernel,), (dataset,), (topology,), widths,
+                      ("base", "glsc"))
+    )
     row = WidthSweepRow(kernel, dataset)
     for width in widths:
-        base = session.run(kernel, dataset, topology, width, "base").cycles
-        glsc = session.run(kernel, dataset, topology, width, "glsc").cycles
-        row.ratios[width] = base / glsc
+        base = stats[RunSpec(kernel, dataset, topology, width, "base")]
+        glsc = stats[RunSpec(kernel, dataset, topology, width, "glsc")]
+        row.ratios[width] = base.cycles / glsc.cycles
     return row
 
 
@@ -79,18 +92,26 @@ def latency_sensitivity(
     latencies: Sequence[int] = (70, 140, 280, 560),
     topology: str = "4x4",
     simd_width: int = 4,
+    executor: Optional[Executor] = None,
 ) -> SensitivityRow:
-    """Sweep main-memory latency; each point is its own session."""
+    """Sweep main-memory latency via per-spec config overrides."""
+    ex = _executor(executor)
+    stats = ex.run_sweep(
+        Sweep(
+            RunSpec(kernel, dataset, topology, simd_width, variant,
+                    overrides={"mem_latency": latency})
+            for latency in latencies
+            for variant in ("base", "glsc")
+        )
+    )
     row = SensitivityRow(kernel, dataset)
     for latency in latencies:
-        session = Session(mem_latency=latency)
-        base = session.run(
-            kernel, dataset, topology, simd_width, "base"
-        ).cycles
-        glsc = session.run(
-            kernel, dataset, topology, simd_width, "glsc"
-        ).cycles
-        row.ratios[latency] = base / glsc
+        overrides = {"mem_latency": latency}
+        base = stats[RunSpec(kernel, dataset, topology, simd_width, "base",
+                             overrides=overrides)]
+        glsc = stats[RunSpec(kernel, dataset, topology, simd_width, "glsc",
+                             overrides=overrides)]
+        row.ratios[latency] = base.cycles / glsc.cycles
     return row
 
 
@@ -112,23 +133,30 @@ def failure_resilience(
     losses: Sequence[float] = (0.0, 0.01, 0.05, 0.1),
     topology: str = "4x4",
     simd_width: int = 4,
+    executor: Optional[Executor] = None,
 ) -> List[ResilienceRow]:
     """How gracefully GLSC degrades when reservations die at random."""
+    ex = _executor(executor)
+    specs = {
+        loss: RunSpec(kernel, dataset, topology, simd_width, "glsc",
+                      overrides={"chaos_reservation_loss": loss})
+        for loss in losses
+    }
+    stats = ex.run_sweep(Sweep(specs.values()))
     rows: List[ResilienceRow] = []
     clean_cycles: Optional[int] = None
     for loss in losses:
-        session = Session(chaos_reservation_loss=loss)
-        stats = session.run(kernel, dataset, topology, simd_width, "glsc")
+        result = stats[specs[loss]]
         if clean_cycles is None:
-            clean_cycles = stats.cycles
+            clean_cycles = result.cycles
         rows.append(
             ResilienceRow(
                 kernel=kernel,
                 dataset=dataset,
                 loss=loss,
-                cycles=stats.cycles,
-                failure_rate=stats.glsc_failure_rate,
-                slowdown_vs_clean=stats.cycles / clean_cycles,
+                cycles=result.cycles,
+                failure_rate=result.glsc_failure_rate,
+                slowdown_vs_clean=result.cycles / clean_cycles,
             )
         )
     return rows

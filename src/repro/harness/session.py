@@ -1,35 +1,62 @@
-"""Run cache shared by the experiment harness.
+"""Deprecated run-cache façade over the executor (back-compat only).
 
-The paper's figures reuse the same (kernel, dataset, topology, SIMD
-width, variant) measurements from different angles — Figure 6's 4x4
-bars are Figure 8's width-4 ratios, Table 4 reads the same runs'
-counters.  :class:`Session` memoizes every verified run so a full
-harness invocation simulates each point exactly once.
+:class:`Session` was the original memoizing run API.  The run layer
+now revolves around :class:`~repro.sim.executor.RunSpec` and
+:class:`~repro.sim.executor.Executor` — immutable run descriptions,
+dedup, process-pool parallelism, and a persistent store
+(:mod:`repro.sim.store`).  ``Session`` survives as a thin façade so
+existing call sites keep working, but every method that triggers a
+simulation emits a :class:`DeprecationWarning` pointing at the
+replacement::
+
+    # old                                  # new
+    Session().run("tms", "A",              Executor().run(
+        "4x4", 4, "glsc")                      RunSpec("tms", "A", "4x4",
+                                                       4, "glsc"))
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import warnings
+from typing import Any, Dict, Optional
 
 from repro.sim.config import MachineConfig, named_config
-from repro.sim.runner import run_kernel, run_prepared
+from repro.sim.executor import Executor, RunSpec
 from repro.sim.stats import MachineStats
+from repro.sim.store import ResultStore
 
 __all__ = ["Session"]
 
-RunKey = Tuple[str, str, str, int, str]
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"Session.{old} is deprecated; use {new} "
+        "(see repro.sim.executor)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class Session:
-    """Memoized access to verified kernel runs.
+    """Memoized access to verified kernel runs (deprecated façade).
 
     ``overrides`` are extra :class:`MachineConfig` fields applied to
     every run (used by the ablation benches to flip GLSC policies).
+    New code should construct an :class:`Executor` directly; a Session
+    merely owns one (exposed as :attr:`executor`) and forwards to it.
     """
 
-    def __init__(self, **overrides) -> None:
-        self.overrides = overrides
-        self._cache: Dict[RunKey, MachineStats] = {}
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        executor: Optional[Executor] = None,
+        **overrides: Any,
+    ) -> None:
+        self.overrides: Dict[str, Any] = dict(overrides)
+        self.executor = executor or Executor(
+            jobs=jobs, store=store, **overrides
+        )
 
     def config(self, topology: str, simd_width: int) -> MachineConfig:
         """The machine config for a paper topology name and width."""
@@ -43,30 +70,21 @@ class Session:
         simd_width: int,
         variant: str,
     ) -> MachineStats:
-        """A verified run's stats (cached)."""
-        key = (kernel, dataset, topology, simd_width, variant)
-        if key not in self._cache:
-            result = run_kernel(
-                kernel, dataset, self.config(topology, simd_width), variant
-            )
-            self._cache[key] = result.stats
-        return self._cache[key]
+        """A verified run's stats (cached).  Deprecated."""
+        _deprecated("run(...)", "Executor.run(RunSpec(...))")
+        return self.executor.run(
+            RunSpec(kernel, dataset, topology, simd_width, variant)
+        )
 
     def run_micro(
         self, scenario: str, topology: str, simd_width: int, variant: str
     ) -> MachineStats:
-        """A verified microbenchmark run (cached; warmed caches)."""
-        from repro.kernels.micro import Micro
-
-        key = (f"micro:{scenario}", "-", topology, simd_width, variant)
-        if key not in self._cache:
-            config = self.config(topology, simd_width)
-            kernel = Micro(config.n_threads, scenario=scenario)
-            self._cache[key] = run_prepared(
-                kernel, config, variant, warm=True
-            )
-        return self._cache[key]
+        """A verified microbenchmark run (cached; warm).  Deprecated."""
+        _deprecated("run_micro(...)", "Executor.run(RunSpec.micro(...))")
+        return self.executor.run(
+            RunSpec.micro(scenario, topology, simd_width, variant)
+        )
 
     def cached_runs(self) -> int:
-        """Number of distinct simulations performed so far."""
-        return len(self._cache)
+        """Number of distinct run results held (simulated or loaded)."""
+        return self.executor.distinct_runs()

@@ -1,0 +1,31 @@
+"""Simulation layer: machine config, cycle loop, and the run API.
+
+The public run surface is the declarative one::
+
+    from repro.sim import Executor, RunSpec, Sweep, ResultStore
+
+Specs in, verified :class:`~repro.sim.stats.MachineStats` out — with
+deduplication, process-pool parallelism, and a persistent result
+store.  The lower-level pieces (:class:`~repro.sim.machine.Machine`,
+:mod:`~repro.sim.runner`) remain importable for direct use.
+"""
+
+from repro.sim.config import CONFIG_NAMES, MachineConfig, named_config
+from repro.sim.executor import Executor, RunSpec, Sweep, execute_spec
+from repro.sim.stats import MachineStats, ThreadStats
+from repro.sim.store import ResultStore, STORE_VERSION, default_cache_dir
+
+__all__ = [
+    "CONFIG_NAMES",
+    "Executor",
+    "MachineConfig",
+    "MachineStats",
+    "ResultStore",
+    "RunSpec",
+    "STORE_VERSION",
+    "Sweep",
+    "ThreadStats",
+    "default_cache_dir",
+    "execute_spec",
+    "named_config",
+]

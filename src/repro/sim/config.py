@@ -20,7 +20,9 @@ enumerates; defaults match the configuration the paper evaluates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
 from typing import Any, Dict
 
 from repro.errors import ConfigError
@@ -179,6 +181,28 @@ class MachineConfig:
             threads_per_core=threads_per_core,
             simd_width=simd_width,
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Every configuration field as a plain JSON-able dict.
+
+        Unlike :meth:`describe` (a human-oriented summary) this is
+        lossless: it is the canonical form the run store digests, so a
+        new or changed field automatically invalidates cached results.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def digest(self) -> str:
+        """Stable content hash of the full configuration.
+
+        Computed over the canonical JSON of :meth:`to_dict` with sorted
+        keys, so it is independent of field declaration order and
+        process hash randomization, and changes whenever any parameter
+        (including newly added ones) changes.
+        """
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def describe(self) -> Dict[str, Any]:
         """A flat dict of the Table 1 parameters, for reporting."""

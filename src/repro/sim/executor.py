@@ -1,0 +1,434 @@
+"""Declarative run API: specs, sweeps, and a parallel executor.
+
+The paper's whole evaluation is a Cartesian sweep over
+(kernel, dataset, topology, SIMD width, variant) — hundreds of
+independent simulations.  This module makes each point a first-class
+value:
+
+* :class:`RunSpec` — an immutable, hashable description of one
+  verified run (including config overrides and the warm-cache flag);
+* :class:`Sweep` — an ordered collection of specs with a
+  :meth:`Sweep.product` constructor for Cartesian grids;
+* :func:`execute_spec` — the single execution path turning a spec into
+  :class:`~repro.sim.stats.MachineStats` (also the worker entry point);
+* :class:`Executor` — deduplicates a sweep, serves repeats from an
+  in-memory memo and an optional on-disk
+  :class:`~repro.sim.store.ResultStore`, and fans the remaining
+  simulations out across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Example::
+
+    from repro.sim.executor import Executor, RunSpec, Sweep
+    from repro.sim.store import ResultStore
+
+    sweep = Sweep.product(
+        kernels=("tms", "gbc"), datasets=("A", "B"),
+        topologies=("1x1", "4x4"), widths=(4,),
+        variants=("base", "glsc"),
+    )
+    ex = Executor(jobs=4, store=ResultStore())
+    stats = ex.run_sweep(sweep)          # dict: RunSpec -> MachineStats
+    print(stats[RunSpec("tms", "A", "4x4", 4, "glsc")].cycles)
+
+Because every simulation is deterministic (seeded chaos, no wall-clock
+coupling), a parallel sweep is bitwise-identical to a serial one; the
+test suite asserts this.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ConfigError
+from repro.sim.config import MachineConfig, named_config
+from repro.sim.stats import MachineStats
+from repro.sim.store import ResultStore, STORE_VERSION
+
+__all__ = ["RunSpec", "Sweep", "Executor", "execute_spec"]
+
+#: Kernel-name prefix selecting the Section 5.2 microbenchmark; the
+#: scenario letter follows the colon (``"micro:A"``).
+MICRO_PREFIX = "micro:"
+
+Overrides = Union[Mapping[str, Any], Iterable[Tuple[str, Any]]]
+
+
+def _freeze_overrides(overrides: Optional[Overrides]) -> Tuple[Tuple[str, Any], ...]:
+    """Normalize overrides to a sorted tuple of (name, value) pairs."""
+    if not overrides:
+        return ()
+    items = (
+        overrides.items() if isinstance(overrides, Mapping) else overrides
+    )
+    frozen = tuple(sorted((str(k), v) for k, v in items))
+    names = [k for k, _ in frozen]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate override names in {names}")
+    return frozen
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Immutable description of one verified simulation.
+
+    ``overrides`` are extra :class:`MachineConfig` fields (beyond the
+    topology and SIMD width) and may be given as a dict or pair
+    iterable; they are canonicalized to a sorted tuple so equal specs
+    hash equal regardless of construction order.  ``warm`` pre-loads
+    the caches before measuring (the paper's microbenchmark protocol).
+    """
+
+    kernel: str
+    dataset: str = "A"
+    topology: str = "4x4"
+    simd_width: int = 4
+    variant: str = "glsc"
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+    warm: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "overrides", _freeze_overrides(self.overrides)
+        )
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def micro(
+        cls,
+        scenario: str,
+        topology: str = "4x4",
+        simd_width: int = 4,
+        variant: str = "glsc",
+        overrides: Optional[Overrides] = None,
+    ) -> "RunSpec":
+        """A Section 5.2 microbenchmark spec (warm caches, no dataset)."""
+        return cls(
+            kernel=f"{MICRO_PREFIX}{scenario}",
+            dataset="-",
+            topology=topology,
+            simd_width=simd_width,
+            variant=variant,
+            overrides=overrides or (),
+            warm=True,
+        )
+
+    def with_overrides(self, **extra: Any) -> "RunSpec":
+        """A copy with ``extra`` config overrides merged in (extra wins)."""
+        merged = dict(self.overrides)
+        merged.update(extra)
+        return replace(self, overrides=_freeze_overrides(merged))
+
+    # -- derived --------------------------------------------------------
+
+    @property
+    def is_micro(self) -> bool:
+        """Whether this spec names a microbenchmark scenario."""
+        return self.kernel.startswith(MICRO_PREFIX)
+
+    def config(self) -> MachineConfig:
+        """The fully resolved machine configuration for this spec."""
+        return named_config(
+            self.topology, simd_width=self.simd_width, **dict(self.overrides)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form, stored alongside results for inspection."""
+        return {
+            "kernel": self.kernel,
+            "dataset": self.dataset,
+            "topology": self.topology,
+            "simd_width": self.simd_width,
+            "variant": self.variant,
+            "overrides": [list(pair) for pair in self.overrides],
+            "warm": self.warm,
+        }
+
+    def digest(self) -> str:
+        """Content digest keying this run in the result store.
+
+        Hashes the workload identity (kernel/dataset/variant/warm) plus
+        the *resolved* :meth:`config` — every MachineConfig field, not
+        just the overridden ones — and the store schema version.  Any
+        config change, override change, or new config parameter thus
+        yields a fresh digest, and two spellings of the same machine
+        (e.g. topology ``"4x4"`` vs explicit core/thread overrides)
+        share one entry.
+        """
+        payload = json.dumps(
+            {
+                "version": STORE_VERSION,
+                "kernel": self.kernel,
+                "dataset": self.dataset,
+                "variant": self.variant,
+                "warm": self.warm,
+                "config": self.config().to_dict(),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Compact human-readable identity (logs, progress lines)."""
+        extra = "".join(f" {k}={v}" for k, v in self.overrides)
+        warm = " warm" if self.warm else ""
+        return (
+            f"{self.kernel}/{self.dataset} {self.topology} "
+            f"W{self.simd_width} {self.variant}{warm}{extra}"
+        )
+
+
+class Sweep:
+    """An ordered collection of :class:`RunSpec` (duplicates allowed).
+
+    Sweeps are what experiments *declare*: build the complete list of
+    points up front, then hand it to :meth:`Executor.run_sweep`, which
+    deduplicates and parallelizes.  Sweeps concatenate with ``+`` so a
+    harness invocation can plan several figures as one dispatch.
+    """
+
+    def __init__(self, specs: Iterable[RunSpec] = ()) -> None:
+        self.specs: List[RunSpec] = list(specs)
+
+    @classmethod
+    def product(
+        cls,
+        kernels: Sequence[str],
+        datasets: Sequence[str] = ("A",),
+        topologies: Sequence[str] = ("4x4",),
+        widths: Sequence[int] = (4,),
+        variants: Sequence[str] = ("glsc",),
+        overrides: Optional[Overrides] = None,
+        warm: bool = False,
+    ) -> "Sweep":
+        """The full Cartesian grid over the given axes."""
+        frozen = _freeze_overrides(overrides)
+        return cls(
+            RunSpec(kernel, dataset, topology, width, variant, frozen, warm)
+            for kernel in kernels
+            for dataset in datasets
+            for topology in topologies
+            for width in widths
+            for variant in variants
+        )
+
+    def add(self, spec: RunSpec) -> "Sweep":
+        self.specs.append(spec)
+        return self
+
+    def extend(self, specs: Iterable[RunSpec]) -> "Sweep":
+        self.specs.extend(specs)
+        return self
+
+    def distinct(self) -> List[RunSpec]:
+        """The specs with duplicates removed, first-seen order kept."""
+        seen: Dict[RunSpec, None] = {}
+        for spec in self.specs:
+            seen.setdefault(spec)
+        return list(seen)
+
+    def __add__(self, other: "Sweep") -> "Sweep":
+        return Sweep(self.specs + list(other))
+
+    def __iter__(self) -> Iterator[RunSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:
+        return f"Sweep({len(self.specs)} specs)"
+
+
+def _make_spec_kernel(spec: RunSpec, n_threads: int):
+    """Instantiate the kernel a spec names (registry or microbenchmark).
+
+    Imported lazily so that importing the executor (e.g. via
+    ``repro.sim``) never drags the full kernel/workload stack in — and
+    to keep worker startup under ``fork`` cheap.
+    """
+    if spec.is_micro:
+        from repro.kernels.micro import Micro
+
+        scenario = spec.kernel[len(MICRO_PREFIX):]
+        return Micro(n_threads, scenario=scenario)
+    from repro.kernels.registry import make_kernel
+
+    return make_kernel(spec.kernel, spec.dataset, n_threads)
+
+
+def execute_spec(
+    spec: RunSpec, verify: bool = True, tracer=None
+) -> MachineStats:
+    """Simulate one spec from scratch and return its verified stats.
+
+    This is the single execution path: the serial fast-path, the
+    process-pool workers, and the profiling example all funnel through
+    here, so a number can never depend on *how* it was scheduled.
+    """
+    from repro.sim.runner import run_prepared
+
+    config = spec.config()
+    kernel = _make_spec_kernel(spec, config.n_threads)
+    return run_prepared(
+        kernel,
+        config,
+        spec.variant,
+        verify=verify,
+        warm=spec.warm,
+        tracer=tracer,
+    )
+
+
+def _worker(spec: RunSpec) -> Tuple[str, MachineStats]:
+    """Process-pool entry point: (digest, stats) for one spec."""
+    return spec.digest(), execute_spec(spec)
+
+
+@dataclass
+class ExecutorCounters:
+    """Where an executor's results came from (for reporting)."""
+
+    simulated: int = 0     # fresh simulations this process
+    memo_hits: int = 0     # served from the in-memory memo
+    store_hits: int = 0    # served from the on-disk store
+
+
+class Executor:
+    """Deduplicating, caching, parallel runner of :class:`RunSpec` s.
+
+    ``jobs=1`` (the default) executes serially in-process;
+    ``jobs>1`` dispatches across a ``ProcessPoolExecutor``.  Results
+    are memoized in-memory for the executor's lifetime and, when a
+    ``store`` is given, persisted on disk keyed by
+    :meth:`RunSpec.digest`.
+
+    ``overrides`` are executor-level :class:`MachineConfig` defaults
+    applied to every spec (a spec's own overrides win on conflict) —
+    the mechanism the ablation benches use to flip GLSC policies for a
+    whole sweep at once.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        **overrides: Any,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.store = store
+        self.overrides = _freeze_overrides(overrides)
+        self.counters = ExecutorCounters()
+        self._memo: Dict[str, MachineStats] = {}
+
+    # -- spec resolution -----------------------------------------------
+
+    def resolve(self, spec: RunSpec) -> RunSpec:
+        """Merge executor-level overrides under the spec's own."""
+        if not self.overrides:
+            return spec
+        merged = dict(self.overrides)
+        merged.update(spec.overrides)
+        return replace(spec, overrides=_freeze_overrides(merged))
+
+    # -- execution ------------------------------------------------------
+
+    def run(self, spec: RunSpec) -> MachineStats:
+        """Stats for one spec (simulating only if never seen before)."""
+        return self.run_sweep(Sweep([spec]))[spec]
+
+    def run_sweep(
+        self, sweep: Union[Sweep, Iterable[RunSpec]]
+    ) -> Dict[RunSpec, MachineStats]:
+        """Execute a sweep; returns ``{input spec: stats}``.
+
+        Pipeline: deduplicate by content digest, serve what the memo or
+        store already has, simulate the rest (in parallel when
+        ``jobs > 1``), persist fresh results, and map every *input*
+        spec — pre-resolution, so callers can look up with the specs
+        they built — to its stats.
+        """
+        if not isinstance(sweep, Sweep):
+            sweep = Sweep(sweep)
+
+        digest_of: Dict[RunSpec, str] = {}
+        pending: Dict[str, RunSpec] = {}
+        for spec in sweep:
+            if spec in digest_of:
+                continue
+            resolved = self.resolve(spec)
+            digest = resolved.digest()
+            digest_of[spec] = digest
+            if digest in self._memo:
+                self.counters.memo_hits += 1
+                continue
+            if digest in pending:
+                continue
+            if self.store is not None:
+                stored = self.store.load(digest)
+                if stored is not None:
+                    self._memo[digest] = stored
+                    self.counters.store_hits += 1
+                    continue
+            pending[digest] = resolved
+
+        if pending:
+            self._simulate(pending)
+
+        return {spec: self._memo[digest] for spec, digest in digest_of.items()}
+
+    def _simulate(self, pending: Dict[str, RunSpec]) -> None:
+        """Run every pending spec and record the results everywhere."""
+        specs = list(pending.values())
+        if self.jobs > 1 and len(specs) > 1:
+            workers = min(self.jobs, len(specs))
+            with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+                results = list(pool.map(_worker, specs))
+        else:
+            results = [(digest, execute_spec(spec))
+                       for digest, spec in pending.items()]
+        for digest, stats in results:
+            self._memo[digest] = stats
+            self.counters.simulated += 1
+            if self.store is not None:
+                spec = pending[digest]
+                self.store.save(
+                    digest,
+                    stats,
+                    spec=spec.to_dict(),
+                    config=spec.config().to_dict(),
+                )
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def simulations(self) -> int:
+        """Fresh simulations performed by this executor."""
+        return self.counters.simulated
+
+    @property
+    def store_hits(self) -> int:
+        """Results served from the on-disk store instead of simulated."""
+        return self.counters.store_hits
+
+    def distinct_runs(self) -> int:
+        """Distinct results this executor has produced or loaded."""
+        return len(self._memo)

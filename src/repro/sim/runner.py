@@ -47,6 +47,7 @@ def run_prepared(
     variant: str,
     verify: bool = True,
     warm: bool = False,
+    tracer=None,
 ) -> MachineStats:
     """Run an already-constructed kernel instance on a fresh machine.
 
@@ -57,8 +58,12 @@ def run_prepared(
     them — are a large part of the measured effect, so kernels default
     to cold caches and rely on the stride prefetcher for their
     streaming inputs, as the paper's machine does.
+
+    ``tracer`` attaches an :class:`~repro.sim.trace.InstructionTrace`
+    (or compatible observer) to the machine; tracing never changes
+    timing, only records it.
     """
-    machine = Machine(config)
+    machine = Machine(config, tracer=tracer)
     kernel.allocate(machine.image)
     program = kernel.program(variant)
     for _ in range(config.n_threads):
@@ -79,8 +84,11 @@ def run_kernel(
     variant: str,
     verify: bool = True,
     warm: bool = False,
+    tracer=None,
 ) -> RunResult:
     """Run kernel ``name`` on ``dataset`` under ``config``/``variant``."""
     kernel = make_kernel(name, dataset, config.n_threads)
-    stats = run_prepared(kernel, config, variant, verify=verify, warm=warm)
+    stats = run_prepared(
+        kernel, config, variant, verify=verify, warm=warm, tracer=tracer
+    )
     return RunResult(name, dataset, variant, config, stats)

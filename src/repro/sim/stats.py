@@ -16,8 +16,8 @@ reports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List
 
 __all__ = ["ThreadStats", "MachineStats", "FAILURE_CAUSES"]
 
@@ -42,6 +42,16 @@ class ThreadStats:
     sync_cycles: int = 0
     busy_cycles: int = 0
     finish_cycle: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """All counters as a plain JSON-able dict."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ThreadStats":
+        """Rebuild from :meth:`to_dict` output (unknown keys ignored)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass
@@ -189,6 +199,38 @@ class MachineStats:
         self.scattercond_successes = 0
         for cause in self.glsc_element_failures:
             self.glsc_element_failures[cause] = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Every counter (machine-level and per-thread) as JSON-able data.
+
+        Lossless inverse of :meth:`from_dict`: the result store
+        round-trips stats through JSON and the executor ships them
+        between worker processes, so the counters here must capture the
+        complete observable measurement.
+        """
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "threads":
+                out[f.name] = [t.to_dict() for t in value]
+            elif f.name == "glsc_element_failures":
+                out[f.name] = dict(value)
+            else:
+                out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MachineStats":
+        """Rebuild from :meth:`to_dict` output (unknown keys ignored)."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["threads"] = [
+            ThreadStats.from_dict(t) for t in kwargs.get("threads", ())
+        ]
+        failures = {cause: 0 for cause in FAILURE_CAUSES}
+        failures.update(kwargs.get("glsc_element_failures", {}))
+        kwargs["glsc_element_failures"] = failures
+        return cls(**kwargs)
 
     def new_thread(self) -> ThreadStats:
         """Register (and return) stats storage for one more thread."""

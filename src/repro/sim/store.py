@@ -1,0 +1,148 @@
+"""Persistent, content-addressed store of verified run results.
+
+Every simulation the executor performs is keyed by a SHA-256 digest of
+the :class:`~repro.sim.executor.RunSpec` *and* the fully resolved
+:class:`~repro.sim.config.MachineConfig` (see ``RunSpec.digest``).  A
+result therefore survives process exits but is invalidated the moment
+any machine parameter, override, or store schema version changes —
+there is no way to read a stale number.
+
+Layout (one JSON file per run, atomically written)::
+
+    <cache_dir>/
+      <digest>.json     {"version", "digest", "spec", "config",
+                         "stats", "created"}
+
+The default cache directory is ``.glsc-cache/`` in the current working
+directory, overridable with the ``REPRO_CACHE_DIR`` environment
+variable or the harness ``--cache-dir`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro.sim.stats import MachineStats
+
+__all__ = ["ResultStore", "STORE_VERSION", "default_cache_dir"]
+
+#: Schema version folded into every run digest; bump on any change to
+#: the digest payload or the stored-stats format to invalidate cleanly.
+STORE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """The default on-disk cache location (env-overridable)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".glsc-cache"))
+
+
+class ResultStore:
+    """Digest-keyed JSON store of :class:`MachineStats` results.
+
+    The store is strictly a cache: entries are immutable once written,
+    corrupt or unreadable files behave as misses, and deleting the
+    directory is always safe.
+    """
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- paths ----------------------------------------------------------
+
+    def path_for(self, digest: str) -> Path:
+        """Where the result for ``digest`` lives (whether or not it exists)."""
+        return self.root / f"{digest}.json"
+
+    # -- read -----------------------------------------------------------
+
+    def load(self, digest: str) -> Optional[MachineStats]:
+        """The stored stats for ``digest``, or ``None`` on a miss."""
+        record = self.load_record(digest)
+        if record is None:
+            return None
+        return MachineStats.from_dict(record["stats"])
+
+    def load_record(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The full stored record (spec/config/stats), or ``None``."""
+        path = self.path_for(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("version") != STORE_VERSION
+            or record.get("digest") != digest
+            or "stats" not in record
+        ):
+            return None
+        return record
+
+    def __contains__(self, digest: str) -> bool:
+        return self.load_record(digest) is not None
+
+    def digests(self) -> Iterator[str]:
+        """All digests currently present on disk."""
+        if not self.root.is_dir():
+            return iter(())
+        return (p.stem for p in sorted(self.root.glob("*.json")))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())
+
+    # -- write ----------------------------------------------------------
+
+    def save(
+        self,
+        digest: str,
+        stats: MachineStats,
+        spec: Optional[Dict[str, Any]] = None,
+        config: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Persist one result; atomic against concurrent writers.
+
+        The write goes to a temp file in the same directory followed by
+        ``os.replace``, so parallel executors racing on the same digest
+        end with one complete file, never a torn one.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        record = {
+            "version": STORE_VERSION,
+            "digest": digest,
+            "spec": spec or {},
+            "config": config or {},
+            "stats": stats.to_dict(),
+            "created": time.time(),
+        }
+        path = self.path_for(digest)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=f".{digest[:12]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every stored result; returns how many were removed."""
+        removed = 0
+        for digest in list(self.digests()):
+            try:
+                self.path_for(digest).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
