@@ -1,31 +1,55 @@
 #!/usr/bin/env python
-"""Profile a kernel with the instruction tracer.
+"""Profile a kernel with the observability layer.
 
 Declares the run as a :class:`~repro.sim.executor.RunSpec` and executes
-it through :func:`~repro.sim.executor.execute_spec` — the same path the
-parallel executor's workers use — with an
-:class:`~repro.sim.trace.InstructionTrace` attached.  The per-
-instruction-kind latency profiles explain *where* GLSC's cycles go
-(Base burns serial ll/sc round-trips; GLSC concentrates time in a few
-long-latency gather/scatter instructions that overlap their misses).
+it through the :class:`~repro.sim.executor.Executor` with an
+:class:`~repro.obs.EventBus` attached, carrying three sinks at once:
+
+* an :class:`~repro.sim.trace.InstructionTrace` — the per-
+  instruction-kind latency profiles explain *where* GLSC's cycles go
+  (Base burns serial ll/sc round-trips; GLSC concentrates time in a
+  few long-latency gather/scatter instructions that overlap their
+  misses);
+* a :class:`~repro.obs.MetricsSink` — memory-hierarchy counters and
+  the per-cause GLSC failure/reservation attribution;
+* a :class:`~repro.obs.PerfettoSink` — the same run as a Chrome
+  trace-event timeline: open the written ``.trace.json`` at
+  https://ui.perfetto.dev to see every thread's instruction slices
+  and the memory-hierarchy events cycle by cycle.
 
 Run:  python examples/profile_kernel.py
 """
 
-from repro.sim.executor import RunSpec, execute_spec
+from repro.obs import EventBus, MetricsSink, PerfettoSink
+from repro.sim.executor import Executor, RunSpec
 from repro.sim.trace import InstructionTrace
 
 
 def profile(variant: str) -> None:
     spec = RunSpec("tms", "A", "4x4", 4, variant)
-    trace = InstructionTrace(limit=50_000)
-    stats = execute_spec(spec, tracer=trace)
+
+    bus = EventBus()
+    trace = bus.attach(InstructionTrace(limit=50_000))
+    metrics = bus.attach(MetricsSink())
+    perfetto = bus.attach(PerfettoSink())
+    executor = Executor()
+    stats = executor.run(spec, obs=bus)
+    bus.close()
+
+    out = f"tms-{variant}.trace.json"
+    perfetto.write(out)
+    telemetry = executor.telemetry[-1]
 
     print(f"--- {variant.upper()} ---  ({spec.label()})")
     print(f"cycles: {stats.cycles}   "
           f"instructions: {stats.total_instructions}   "
           f"sync share of occupancy: {trace.sync_share():.1%}")
     print(trace.render(top=8))
+    print(metrics.render())
+    print(f"timeline: {len(perfetto)} trace events -> {out} "
+          f"(open at https://ui.perfetto.dev)")
+    print(f"[{telemetry.wall_time_s:.2f}s wall, "
+          f"{telemetry.cycles_per_second:.0f} simulated cyc/s]")
     print()
 
 

@@ -99,14 +99,18 @@ class Core:
         image: MemoryImage,
         stats: MachineStats,
         tracer=None,
+        obs=None,
     ) -> None:
         self.core_id = core_id
         self.config = config
         self.port = L1Port()
         self.lsu = Lsu(core_id, config, coherence, image, stats, self.port)
-        self.gsu = Gsu(core_id, config, coherence, image, stats, self.port)
+        self.gsu = Gsu(
+            core_id, config, coherence, image, stats, self.port, obs=obs
+        )
         self.threads: List[HwThread] = []
         self.tracer = tracer
+        self.obs = obs
         self._rr = 0
 
     def add_thread(self, thread: HwThread) -> None:
@@ -156,19 +160,23 @@ class Core:
             thread.stats.finish_cycle = now
             return
         completion, result = self._execute(thread, instr, now)
-        if self.tracer is not None:
+        obs = self.obs
+        wants_instr = obs is not None and obs.wants_instr
+        if self.tracer is not None or wants_instr:
             from repro.sim.trace import TraceEvent
 
-            self.tracer.record(
-                TraceEvent(
-                    cycle=now,
-                    completion=completion,
-                    thread=thread.global_tid,
-                    core=self.core_id,
-                    kind=instr.kind,
-                    sync=instr.sync,
-                )
+            event = TraceEvent(
+                cycle=now,
+                completion=completion,
+                thread=thread.global_tid,
+                core=self.core_id,
+                kind=instr.kind,
+                sync=instr.sync,
             )
+            if self.tracer is not None:
+                self.tracer.record(event)
+            if wants_instr:
+                obs.emit(event)
         icount = instr.count if instr.kind in (Kind.ALU, Kind.VALU) else 1
         thread.stats.instructions += icount
         thread.stats.busy_cycles += max(completion - now, 1)

@@ -34,6 +34,7 @@ from repro.isa.masks import Mask
 from repro.mem.coherence import CoherenceSystem
 from repro.mem.image import MemoryImage
 from repro.mem.layout import WORD_BYTES
+from repro.obs.events import CacheHit, ElementOutcome, LineCombine
 from repro.sim.config import MachineConfig
 from repro.sim.stats import MachineStats
 
@@ -63,6 +64,7 @@ class Gsu:
         image: MemoryImage,
         stats: MachineStats,
         port: L1Port,
+        obs=None,
     ) -> None:
         self.core_id = core_id
         self.config = config
@@ -70,6 +72,7 @@ class Gsu:
         self.image = image
         self.stats = stats
         self.port = port
+        self.obs = obs
         self._gen_free = 0  # when the address generator is next available
 
     # ------------------------------------------------------------------
@@ -124,6 +127,8 @@ class Gsu:
     def _charge_combined_lanes(
         self,
         group: List[_LaneRequest],
+        slot: int,
+        op: str,
         start: int,
         sync: bool,
         completion: int,
@@ -137,16 +142,32 @@ class Gsu:
         extra = len(group) - 1
         if extra <= 0:
             return completion
+        obs = self.obs
         if self.config.gsu_combine_lines:
             if sync:
                 self.stats.l1_accesses_saved_by_combining += extra
+            if obs is not None and obs.wants_glsc:
+                obs.emit(
+                    LineCombine(
+                        start, self.core_id, slot, group[0].line_addr,
+                        op, extra, sync,
+                    )
+                )
             return completion
+        wants_cache = obs is not None and obs.wants_cache
         for req in group[1:]:
             acc_start = self.port.book(start + req.order + 1)
             self.stats.l1_accesses += 1
             self.stats.l1_hits += 1
             if sync:
                 self.stats.l1_sync_accesses += 1
+            if wants_cache:
+                obs.emit(
+                    CacheHit(
+                        acc_start, self.core_id, slot, req.line_addr,
+                        "L1", "write" if op == "scatter" else "read",
+                    )
+                )
             completion = max(
                 completion, acc_start + self.config.l1_hit_latency
             )
@@ -177,6 +198,8 @@ class Gsu:
         values: List = [0] * width
         out_bits = 0
         sync = sync or linked
+        obs = self.obs
+        wants_glsc = obs is not None and obs.wants_glsc
 
         if linked:
             self.stats.gatherlink_count += 1
@@ -188,6 +211,13 @@ class Gsu:
             link_candidates, alias_losers = self._resolve_aliases(requests)
             for req in alias_losers:
                 self.stats.record_glsc_failure("alias")
+                if wants_glsc:
+                    obs.emit(
+                        ElementOutcome(
+                            start, self.core_id, slot, req.line_addr,
+                            "gatherlink", 1, False, "alias",
+                        )
+                    )
 
         # Pipeline floor: setup/assembly overhead plus one
         # address-generation cycle per active lane gives exactly the
@@ -207,6 +237,13 @@ class Gsu:
                         out_bits |= 1 << req.lane
                 else:
                     self.stats.record_glsc_failure(cause, len(group))
+                if wants_glsc:
+                    obs.emit(
+                        ElementOutcome(
+                            acc_start, self.core_id, slot, line_addr,
+                            "gatherlink", len(group), ok, cause,
+                        )
+                    )
             else:
                 access = self.coherence.read(
                     self.core_id, slot, first.addr, acc_start, sync=sync
@@ -215,7 +252,7 @@ class Gsu:
                     out_bits |= 1 << req.lane
             completion = max(completion, acc_start + access.latency)
             completion = self._charge_combined_lanes(
-                group, start, sync, completion
+                group, slot, "gather", start, sync, completion
             )
 
         # Every active lane observes the gathered value, even alias
@@ -252,6 +289,8 @@ class Gsu:
         out_bits = 0
         sync = sync or conditional
         completion = start + self.config.gsu_assembly_cycles + len(requests)
+        obs = self.obs
+        wants_glsc = obs is not None and obs.wants_glsc
 
         if conditional:
             self.stats.scattercond_count += 1
@@ -259,8 +298,15 @@ class Gsu:
             survivors = requests
             if not self.config.glsc_alias_in_gather:
                 survivors, losers = self._resolve_aliases(requests)
-                for _ in losers:
+                for req in losers:
                     self.stats.record_glsc_failure("alias")
+                    if wants_glsc:
+                        obs.emit(
+                            ElementOutcome(
+                                start, self.core_id, slot, req.line_addr,
+                                "scattercond", 1, False, "alias",
+                            )
+                        )
             groups = self._group_by_line(survivors)
             for line_addr, group in groups.items():
                 first = group[0]
@@ -276,9 +322,16 @@ class Gsu:
                     self.stats.scattercond_successes += len(group)
                 else:
                     self.stats.record_glsc_failure(cause, len(group))
+                if wants_glsc:
+                    obs.emit(
+                        ElementOutcome(
+                            acc_start, self.core_id, slot, line_addr,
+                            "scattercond", len(group), ok, cause,
+                        )
+                    )
                 completion = max(completion, acc_start + access.latency)
                 completion = self._charge_combined_lanes(
-                    group, start, sync, completion
+                    group, slot, "scatter", start, sync, completion
                 )
         else:
             groups = self._group_by_line(requests)
@@ -294,7 +347,7 @@ class Gsu:
                     out_bits |= 1 << req.lane
                 completion = max(completion, acc_start + access.latency)
                 completion = self._charge_combined_lanes(
-                    group, start, sync, completion
+                    group, slot, "scatter", start, sync, completion
                 )
 
         return Mask(out_bits, width), completion

@@ -4,8 +4,19 @@ Usage::
 
     python -m repro.harness table1
     python -m repro.harness fig6 --kernels hip tms --datasets A
-    python -m repro.harness all --jobs 4
+    python -m repro.harness all --jobs 4 --telemetry
     python -m repro.harness fig8 --no-cache
+
+plus two observability subcommands::
+
+    python -m repro.harness trace hip --dataset A --out hip.trace.json
+    python -m repro.harness profile tms --variant glsc
+
+``trace`` runs one kernel with the full event bus attached and writes
+a Chrome trace-event JSON file — open it at https://ui.perfetto.dev to
+see every thread's instructions and the memory-hierarchy events on a
+cycle timeline.  ``profile`` runs one kernel with an instruction trace
+and metrics aggregation and prints the latency/attribution report.
 
 (Installed as the ``glsc-harness`` console script.)
 
@@ -14,11 +25,14 @@ Runs go through the :class:`~repro.sim.executor.Executor`:
 processes, and results persist in an on-disk store (default
 ``.glsc-cache/``; change with ``--cache-dir`` or disable with
 ``--no-cache``), so repeating an invocation re-simulates nothing.
+``--telemetry`` prints a per-spec table of wall time, simulated
+cycles/second, worker pid, and result source after the experiments.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -26,7 +40,7 @@ from typing import List, Optional
 
 from repro.harness import experiments, report
 from repro.kernels.registry import KERNEL_ORDER
-from repro.sim.executor import Executor
+from repro.sim.executor import Executor, RunSpec
 from repro.sim.store import ResultStore, default_cache_dir
 
 __all__ = ["main"]
@@ -34,6 +48,8 @@ __all__ = ["main"]
 EXPERIMENTS = ("table1", "table3", "fig5a", "fig5b", "fig6", "fig7",
                "fig8", "table4")
 EXTENSIONS = ("width-sweep", "latency-sweep", "resilience")
+DATASETS = ("A", "B", "random", "tiny")
+VARIANTS = ("base", "glsc")
 
 
 def _render_extension(name: str, kernels, executor: Executor) -> str:
@@ -106,13 +122,173 @@ def _render(name: str, executor: Executor, kernels, datasets) -> str:
     raise ValueError(f"unknown experiment {name!r}")
 
 
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared kernel-spec flags of the ``trace``/``profile`` subcommands."""
+    parser.add_argument(
+        "kernel",
+        help=(
+            "kernel to run: one of "
+            + ", ".join(KERNEL_ORDER)
+            + ", or micro:<scenario> for a Section 5.2 microbenchmark"
+        ),
+    )
+    parser.add_argument("--dataset", default="A", choices=list(DATASETS))
+    parser.add_argument(
+        "--topology", default="4x4", metavar="CxT",
+        help="cores x SMT threads (default: 4x4)",
+    )
+    parser.add_argument("--width", type=int, default=4, metavar="W",
+                        help="SIMD width (default: 4)")
+    parser.add_argument("--variant", default="glsc", choices=list(VARIANTS))
+    parser.add_argument("--warm", action="store_true",
+                        help="warm the caches before measuring")
+
+
+def _spec_from_args(args: argparse.Namespace) -> RunSpec:
+    if args.kernel.startswith("micro:"):
+        return RunSpec.micro(
+            args.kernel.split(":", 1)[1],
+            topology=args.topology,
+            simd_width=args.width,
+            variant=args.variant,
+        )
+    return RunSpec(
+        kernel=args.kernel,
+        dataset=args.dataset,
+        topology=args.topology,
+        simd_width=args.width,
+        variant=args.variant,
+        warm=args.warm,
+    )
+
+
+def _main_trace(argv: List[str]) -> int:
+    """``trace``: one observed run, exported as Chrome trace-event JSON."""
+    from repro.obs import EventBus, JsonlSink, MetricsSink, PerfettoSink
+
+    parser = argparse.ArgumentParser(
+        prog="glsc-harness trace",
+        description=(
+            "Run one kernel with the observability bus attached and "
+            "write a Perfetto/Chrome trace-event timeline."
+        ),
+    )
+    _add_spec_arguments(parser)
+    parser.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help="trace-event JSON path (default: <kernel>-<variant>."
+             "trace.json)",
+    )
+    parser.add_argument(
+        "--include-hits", action="store_true",
+        help="also draw an instant per L1/L2 hit (large traces)",
+    )
+    parser.add_argument(
+        "--jsonl", type=Path, default=None, metavar="FILE",
+        help="additionally dump the raw event stream as JSONL",
+    )
+    parser.add_argument(
+        "--jsonl-limit", type=int, default=None, metavar="N",
+        help="cap the JSONL dump at N events",
+    )
+    parser.add_argument(
+        "--telemetry-out", type=Path, default=None, metavar="FILE",
+        help="write the run's telemetry record as JSON",
+    )
+    args = parser.parse_args(argv)
+    spec = _spec_from_args(args)
+    out = args.out or Path(
+        f"{spec.kernel.replace(':', '-')}-{spec.variant}.trace.json"
+    )
+
+    bus = EventBus()
+    perfetto = bus.attach(PerfettoSink(include_hits=args.include_hits))
+    metrics = bus.attach(MetricsSink())
+    if args.jsonl is not None:
+        bus.attach(JsonlSink(str(args.jsonl), limit=args.jsonl_limit))
+    executor = Executor()
+    stats = executor.run(spec, obs=bus)
+    bus.close()
+
+    perfetto.write(str(out))
+    telemetry = executor.telemetry[-1]
+    print(f"{spec.label()}: {stats.cycles} cycles, "
+          f"{len(perfetto)} trace events -> {out}")
+    print(metrics.render())
+    print(f"[{telemetry.wall_time_s:.2f}s wall, "
+          f"{telemetry.cycles_per_second:.0f} cyc/s]")
+    print(f"open {out} at https://ui.perfetto.dev (or "
+          f"chrome://tracing) to view the timeline")
+    if args.telemetry_out is not None:
+        with open(args.telemetry_out, "w", encoding="utf-8") as fh:
+            json.dump(telemetry.to_dict(), fh, indent=2, sort_keys=True)
+        print(f"telemetry -> {args.telemetry_out}")
+    return 0
+
+
+def _main_profile(argv: List[str]) -> int:
+    """``profile``: one observed run, reported as text tables."""
+    from repro.obs import EventBus, MetricsSink
+    from repro.sim.trace import InstructionTrace
+
+    parser = argparse.ArgumentParser(
+        prog="glsc-harness profile",
+        description=(
+            "Run one kernel with instruction tracing + metrics "
+            "aggregation and print the latency/attribution report."
+        ),
+    )
+    _add_spec_arguments(parser)
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows in the per-kind latency table (default: 10)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=200_000, metavar="N",
+        help="cap on retained instruction events (default: 200000)",
+    )
+    args = parser.parse_args(argv)
+    spec = _spec_from_args(args)
+
+    bus = EventBus()
+    trace = bus.attach(InstructionTrace(limit=args.limit))
+    metrics = bus.attach(MetricsSink())
+    executor = Executor()
+    stats = executor.run(spec, obs=bus)
+    bus.close()
+
+    telemetry = executor.telemetry[-1]
+    print(f"{spec.label()}: {stats.cycles} cycles, "
+          f"{stats.total_instructions} instructions")
+    print()
+    print(trace.render(top=args.top))
+    if trace.dropped:
+        print(f"({trace.dropped} instruction events beyond --limit "
+              f"dropped; the table above is still exact)")
+    print()
+    print(metrics.render())
+    print(f"sync share of occupancy: {trace.sync_share():.3f}")
+    print(f"[{telemetry.wall_time_s:.2f}s wall, "
+          f"{telemetry.cycles_per_second:.0f} cyc/s]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro.harness`` / ``glsc-harness``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Subcommand dispatch: the experiment names stay positional for
+    # back-compat, so only the two observability verbs are special.
+    if argv and argv[0] == "trace":
+        return _main_trace(argv[1:])
+    if argv and argv[0] == "profile":
+        return _main_profile(argv[1:])
     parser = argparse.ArgumentParser(
         prog="glsc-harness",
         description=(
             "Regenerate the evaluation of 'Atomic Vector Operations on "
-            "Chip Multiprocessors' (ISCA 2008) on the repro simulator."
+            "Chip Multiprocessors' (ISCA 2008) on the repro simulator. "
+            "See also the 'trace' and 'profile' subcommands "
+            "(--help on each)."
         ),
     )
     parser.add_argument(
@@ -156,6 +332,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="do not read or write the on-disk result store",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="print per-spec wall time / cycles-per-second / source "
+             "after the experiments",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -178,6 +360,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                           tuple(args.datasets)))
         print()
     elapsed = time.time() - started
+    if args.telemetry and executor.telemetry:
+        from repro.obs.telemetry import render_telemetry
+
+        print(render_telemetry(executor.telemetry))
+        print()
     print(
         f"[{executor.simulations} simulations, "
         f"{executor.store_hits} from store, {elapsed:.1f}s]",

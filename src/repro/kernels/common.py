@@ -208,9 +208,14 @@ def glsc_paired_lock_apply(
       first) — two threads contending for an overlapping pair then
       collide on the first lock, and the winner's second lock cannot
       be held by the loser (removes AB-BA ping-pong cycles);
-    * barren rounds back off for a per-thread, escalating number of
-      cycles, breaking any residual phase lock while keeping the
-      simulation deterministic.
+    * barren rounds back off for a deterministically *pseudo-random*,
+      exponentially escalating number of cycles.  A constant per-thread
+      delay is not enough: SMT threads share their core's GSU address
+      generator, whose queueing absorbs small fixed offsets and
+      re-phase-locks the spinners (observed as a bit-exact periodic
+      ping-pong on 1-core x 4-thread GPS).  Hashing (tid, round) varies
+      each thread's loop period every round, so no resonance survives,
+      while the simulation stays fully deterministic.
     """
     # Lane-wise (min, max) lock ordering; one SIMD select pair.
     lo_idx = yield ctx.valu(
@@ -220,6 +225,7 @@ def glsc_paired_lock_apply(
         lambda: [max(a, b) for a, b in zip(a_idx, b_idx)], sync=True
     )
     backoff = 0
+    rounds = 0
     while todo.any():
         first = yield from vlock(ctx, lock_base, lo_idx, todo)
         both = yield from vlock(ctx, lock_base, hi_idx, first)
@@ -229,9 +235,12 @@ def glsc_paired_lock_apply(
         yield from vunlock(ctx, lock_base, hi_idx, both)
         yield from vunlock(ctx, lock_base, lo_idx, first)
         todo = yield ctx.kalu(lambda t=todo, f=both: t.andnot(f), sync=True)
+        rounds += 1
         if todo.any() and both.none():
             backoff = min(backoff + 1, 6)
-            yield ctx.alu(1 + (ctx.tid % 7) + backoff, sync=True)
+            mixed = (ctx.tid * 0x9E3779B1 + rounds * 0x85EBCA6B) & 0xFFFFFFFF
+            mixed ^= mixed >> 15
+            yield ctx.alu(1 + mixed % (1 << backoff), sync=True)
 
 
 class KernelBase(abc.ABC):

@@ -35,6 +35,15 @@ from typing import Dict, NamedTuple, Optional, Tuple
 from repro.errors import SimulationError
 from repro.core.glsc import GlscTracker, make_tracker
 from repro.mem.cache import L1Cache, L1Line, MSI_M, MSI_S
+from repro.obs.events import (
+    CacheHit,
+    CacheMiss,
+    Eviction,
+    Invalidation,
+    ReservationLost,
+    ReservationSet,
+    Writeback,
+)
 from repro.mem.dram import MainMemory
 from repro.mem.l2 import L2Cache
 from repro.mem.prefetch import StridePrefetcher
@@ -61,9 +70,20 @@ class AccessResult(NamedTuple):
 class CoherenceSystem:
     """Owns all shared memory-system state and implements transactions."""
 
-    def __init__(self, config: MachineConfig, stats: MachineStats) -> None:
+    def __init__(
+        self, config: MachineConfig, stats: MachineStats, obs=None
+    ) -> None:
+        """``obs`` is an optional :class:`~repro.obs.bus.EventBus`;
+        when absent (or when no sink wants a category) the
+        corresponding emission sites reduce to one boolean test and
+        allocate nothing.  Events mirror the stats counters exactly:
+        every ``l1_misses``/``writebacks``/``invalidations_sent``
+        increment has a matching typed event with the same
+        attribution.
+        """
         self.config = config
         self.stats = stats
+        self.obs = obs
         self.geometry = config.geometry
         self.l1s: Dict[int, L1Cache] = {
             core: L1Cache(core, config.l1_sets, config.l1_assoc, self.geometry)
@@ -112,14 +132,17 @@ class CoherenceSystem:
     ) -> AccessResult:
         """Load transaction: line ends up S (or stays M) in ``core``'s L1."""
         line_addr = self.geometry.line_addr(addr)
-        self._count_l1_access(sync)
+        self._count_l1_access(sync, now)
         line = self.l1s[core].lookup(line_addr)
         if line is not None:
             self._note_demand_hit(line)
             self.l1s[core].touch(line, now)
             self.stats.l1_hits += 1
+            obs = self.obs
+            if obs is not None and obs.wants_cache:
+                obs.emit(CacheHit(now, core, slot, line_addr, "L1", "read"))
             return AccessResult(self.config.l1_hit_latency, LEVEL_L1)
-        result = self._read_miss(core, line_addr, now, victim_ok=None)
+        result = self._read_miss(core, slot, line_addr, now, victim_ok=None)
         self._train_prefetcher(core, slot, line_addr, now)
         return result
 
@@ -139,9 +162,9 @@ class CoherenceSystem:
         caller *before* invoking this).
         """
         line_addr = self.geometry.line_addr(addr)
-        self._count_l1_access(sync)
+        self._count_l1_access(sync, now)
         result = self._obtain_modified(core, slot, line_addr, now)
-        self._kill_reservations_on_write(core, line_addr)
+        self._kill_reservations_on_write(core, line_addr, now)
         return result
 
     def read_linked(
@@ -165,8 +188,9 @@ class CoherenceSystem:
           (freedom (c)); the fill still happens so a retry will hit.
         """
         line_addr = self.geometry.line_addr(addr)
-        self._count_l1_access(sync=True)
+        self._count_l1_access(sync=True, now=now)
         cfg = self.config
+        obs = self.obs
         line = self.l1s[core].lookup(line_addr)
         if line is not None:
             holder = self.glsc.holder(core, line_addr)
@@ -181,12 +205,24 @@ class CoherenceSystem:
             self.stats.l1_hits += 1
             self.glsc.link(core, slot, line_addr)
             self._glsc_loss_cause.pop((core, line_addr), None)
+            if obs is not None:
+                if obs.wants_cache:
+                    obs.emit(
+                        CacheHit(now, core, slot, line_addr, "L1", "read")
+                    )
+                if obs.wants_reservation:
+                    obs.emit(
+                        ReservationSet(now, core, slot, line_addr, "glsc")
+                    )
             return (AccessResult(cfg.l1_hit_latency, LEVEL_L1), True, None)
 
         if cfg.glsc_fail_on_miss:
             # Fail the lane fast but start the fill in the background,
             # so the retry iteration finds the line resident.
-            self._read_miss(core, line_addr, now, victim_ok=self._victim_filter(core))
+            self._read_miss(
+                core, slot, line_addr, now,
+                victim_ok=self._victim_filter(core),
+            )
             self._train_prefetcher(core, slot, line_addr, now)
             return (
                 AccessResult(cfg.l1_hit_latency, LEVEL_L1),
@@ -197,7 +233,7 @@ class CoherenceSystem:
         victim_ok = (
             self._victim_filter(core) if cfg.glsc_fail_on_link_eviction else None
         )
-        result = self._read_miss(core, line_addr, now, victim_ok=victim_ok)
+        result = self._read_miss(core, slot, line_addr, now, victim_ok=victim_ok)
         self._train_prefetcher(core, slot, line_addr, now)
         if result is None:
             # No evictable way in the set: every candidate holds a live
@@ -209,6 +245,8 @@ class CoherenceSystem:
             )
         self.glsc.link(core, slot, line_addr)
         self._glsc_loss_cause.pop((core, line_addr), None)
+        if obs is not None and obs.wants_reservation:
+            obs.emit(ReservationSet(now, core, slot, line_addr, "glsc"))
         return (result, True, None)
 
     def write_conditional(
@@ -225,7 +263,7 @@ class CoherenceSystem:
         reservations on the line are destroyed.
         """
         line_addr = self.geometry.line_addr(addr)
-        self._count_l1_access(sync=True)
+        self._count_l1_access(sync=True, now=now)
         if not self.glsc.check(core, slot, line_addr):
             cause = self._glsc_loss_cause.pop(
                 (core, line_addr), "thread_conflict"
@@ -238,8 +276,14 @@ class CoherenceSystem:
         # Reservation intact: the line is resident (evictions clear the
         # entry), so this is at worst an S -> M upgrade.
         self.glsc.clear(core, line_addr)
+        obs = self.obs
+        if obs is not None and obs.wants_reservation:
+            obs.emit(
+                ReservationLost(now, core, slot, line_addr, "glsc",
+                                "consumed")
+            )
         result = self._obtain_modified(core, slot, line_addr, now)
-        self._kill_reservations_on_write(core, line_addr)
+        self._kill_reservations_on_write(core, line_addr, now)
         return (result, True, None)
 
     def scalar_ll(
@@ -248,6 +292,13 @@ class CoherenceSystem:
         """Scalar load-linked: a read that sets this thread's reservation."""
         result = self.read(core, slot, addr, now, sync=True)
         self.reservations.set(core, slot, addr)
+        obs = self.obs
+        if obs is not None and obs.wants_reservation:
+            obs.emit(
+                ReservationSet(
+                    now, core, slot, self.geometry.line_addr(addr), "scalar"
+                )
+            )
         return result
 
     def scalar_sc(
@@ -255,9 +306,22 @@ class CoherenceSystem:
     ) -> Tuple[AccessResult, bool]:
         """Scalar store-conditional; consumes the reservation either way."""
         held = self.reservations.holds(core, slot, addr)
+        held_line = self.reservations.held_line(core, slot)
         self.reservations.clear_thread(core, slot)
+        obs = self.obs
+        if (
+            held_line is not None
+            and obs is not None
+            and obs.wants_reservation
+        ):
+            obs.emit(
+                ReservationLost(
+                    now, core, slot, held_line, "scalar",
+                    "consumed" if held else "mismatch",
+                )
+            )
         if not held:
-            self._count_l1_access(sync=True)
+            self._count_l1_access(sync=True, now=now)
             return AccessResult(self.config.l1_hit_latency, LEVEL_L1), False
         result = self.write(core, slot, addr, now, sync=True)
         return result, True
@@ -273,27 +337,35 @@ class CoherenceSystem:
         self._bank_free[bank] = start + self.config.l2_bank_busy_cycles
         return start - now
 
-    def _count_l1_access(self, sync: bool) -> None:
+    def _count_l1_access(self, sync: bool, now: int) -> None:
         self.stats.l1_accesses += 1
         if sync:
             self.stats.l1_sync_accesses += 1
         if self._chaos_rng is not None:
-            self._maybe_inject_loss()
+            self._maybe_inject_loss(now)
 
-    def _maybe_inject_loss(self) -> None:
+    def _maybe_inject_loss(self, now: int) -> None:
         """Spuriously destroy random reservations (failure injection)."""
         probability = self.config.chaos_reservation_loss
         if self._chaos_rng.random() < probability:
             victims = self.reservations.live_keys()
             if victims:
                 core, slot = self._chaos_rng.choice(victims)
+                held_line = self.reservations.held_line(core, slot)
                 self.reservations.clear_thread(core, slot)
                 self.chaos_events += 1
+                obs = self.obs
+                if obs is not None and obs.wants_reservation:
+                    obs.emit(
+                        ReservationLost(
+                            now, core, slot, held_line, "scalar", "chaos"
+                        )
+                    )
         if self._chaos_rng.random() < probability:
             entries = self.glsc.live_entries()
             if entries:
                 core, line_addr = self._chaos_rng.choice(entries)
-                self._kill_glsc(core, line_addr, "eviction")
+                self._kill_glsc(core, line_addr, "eviction", now)
                 self.chaos_events += 1
 
     def _note_demand_hit(self, line: L1Line) -> None:
@@ -312,27 +384,36 @@ class CoherenceSystem:
     def _read_miss(
         self,
         core: int,
+        slot: int,
         line_addr: int,
         now: int,
         victim_ok,
-        prefetch: bool = False,
     ) -> Optional[AccessResult]:
         """Service a read miss; returns None if the install was refused."""
         cfg = self.config
-        if not prefetch:
-            self.stats.l1_misses += 1
+        obs = self.obs
+        wants_cache = obs is not None and obs.wants_cache
+        self.stats.l1_misses += 1
+        if wants_cache:
+            obs.emit(CacheMiss(now, core, slot, line_addr, "L1", "read"))
         latency = cfg.l1_hit_latency + cfg.l2_latency
         latency += self._book_l2_bank(line_addr, now)
         level = LEVEL_L2
         entry, l2_hit, l2_victim = self.l2.fetch(line_addr, now)
         self.stats.l2_accesses += 1
         if l2_victim is not None:
-            self._back_invalidate(l2_victim)
+            self._back_invalidate(l2_victim, now)
         if not l2_hit:
             self.stats.l2_misses += 1
             latency += self.dram.access()
             self.stats.mem_accesses += 1
             level = LEVEL_MEM
+        if wants_cache:
+            obs.emit(
+                CacheMiss(now, core, slot, line_addr, "L2", "read")
+                if not l2_hit
+                else CacheHit(now, core, slot, line_addr, "L2", "read")
+            )
         if entry.owner is not None and entry.owner != core:
             # Dirty in a remote L1: forward + downgrade (M -> S) and
             # write the data back to the L2.  Reservations survive a
@@ -344,6 +425,8 @@ class CoherenceSystem:
                     f"but its L1 does not hold it"
                 )
             self.stats.writebacks += 1
+            if obs is not None and obs.wants_coherence:
+                obs.emit(Writeback(now, owner, line_addr, "downgrade"))
             entry.clear_owner()
             latency += cfg.remote_l1_latency
             if level != LEVEL_MEM:
@@ -359,13 +442,19 @@ class CoherenceSystem:
     ) -> AccessResult:
         """Bring ``line_addr`` to M state in ``core``'s L1."""
         cfg = self.config
+        obs = self.obs
+        wants_cache = obs is not None and obs.wants_cache
         line = self.l1s[core].lookup(line_addr)
         if line is not None and line.state == MSI_M:
             self.l1s[core].touch(line, now)
             self.stats.l1_hits += 1
+            if wants_cache:
+                obs.emit(CacheHit(now, core, slot, line_addr, "L1", "write"))
             return AccessResult(cfg.l1_hit_latency, LEVEL_L1)
 
         if line is not None:  # S -> M upgrade
+            # Not counted as an L1 hit or miss by the stats, so no L1
+            # hit/miss event is emitted either.
             latency = cfg.l1_hit_latency + cfg.l2_latency
             latency += self._book_l2_bank(line_addr, now)
             level = LEVEL_L2
@@ -381,7 +470,7 @@ class CoherenceSystem:
                 latency += cfg.remote_l1_latency
                 level = LEVEL_REMOTE
                 for other in sorted(others):
-                    self._invalidate_l1(other, line_addr)
+                    self._invalidate_l1(other, line_addr, now)
             entry.set_owner(core)
             entry.last_use = now
             line.state = MSI_M
@@ -390,6 +479,8 @@ class CoherenceSystem:
 
         # Write miss: read-for-ownership.
         self.stats.l1_misses += 1
+        if wants_cache:
+            obs.emit(CacheMiss(now, core, slot, line_addr, "L1", "write"))
         self._train_prefetcher(core, slot, line_addr, now)
         latency = cfg.l1_hit_latency + cfg.l2_latency
         latency += self._book_l2_bank(line_addr, now)
@@ -397,19 +488,25 @@ class CoherenceSystem:
         entry, l2_hit, l2_victim = self.l2.fetch(line_addr, now)
         self.stats.l2_accesses += 1
         if l2_victim is not None:
-            self._back_invalidate(l2_victim)
+            self._back_invalidate(l2_victim, now)
         if not l2_hit:
             self.stats.l2_misses += 1
             latency += self.dram.access()
             self.stats.mem_accesses += 1
             level = LEVEL_MEM
+        if wants_cache:
+            obs.emit(
+                CacheMiss(now, core, slot, line_addr, "L2", "write")
+                if not l2_hit
+                else CacheHit(now, core, slot, line_addr, "L2", "write")
+            )
         holders = set(entry.sharers)
         if holders - {core}:
             latency += cfg.remote_l1_latency
             if level != LEVEL_MEM:
                 level = LEVEL_REMOTE
             for other in sorted(holders - {core}):
-                self._invalidate_l1(other, line_addr)
+                self._invalidate_l1(other, line_addr, now)
         if not self._install_l1(core, line_addr, MSI_M, now, victim_ok=None):
             raise SimulationError("unfiltered L1 install refused")
         entry.set_owner(core)
@@ -429,15 +526,21 @@ class CoherenceSystem:
         if evicted is None:
             return False
         if evicted.line_addr >= 0:
-            self._retire_l1_line(core, evicted)
+            self._retire_l1_line(core, evicted, now)
         new_line = self.l1s[core].lookup(line_addr)
         new_line.prefetched = prefetched
         return True
 
-    def _retire_l1_line(self, core: int, line: L1Line) -> None:
+    def _retire_l1_line(self, core: int, line: L1Line, now: int) -> None:
         """A line left ``core``'s L1 by eviction: fix directory + reservations."""
-        if line.state == MSI_M:
+        obs = self.obs
+        dirty = line.state == MSI_M
+        if dirty:
             self.stats.writebacks += 1
+        if obs is not None and obs.wants_coherence:
+            obs.emit(Eviction(now, core, line.line_addr, dirty))
+            if dirty:
+                obs.emit(Writeback(now, core, line.line_addr, "eviction"))
         entry = self.l2.lookup(line.line_addr)
         if entry is None:
             raise SimulationError(
@@ -445,10 +548,11 @@ class CoherenceSystem:
                 f"inclusive L2 does not hold it"
             )
         entry.drop(core)
-        self.reservations.clear_core_line(core, line.line_addr)
-        self._kill_glsc_departed(core, line, "eviction")
+        victims = self.reservations.clear_core_line(core, line.line_addr)
+        self._emit_scalar_losses(victims, line.line_addr, "eviction", now)
+        self._kill_glsc_departed(core, line, "eviction", now)
 
-    def _invalidate_l1(self, core: int, line_addr: int) -> None:
+    def _invalidate_l1(self, core: int, line_addr: int, now: int) -> None:
         """Invalidate one L1 copy (remote write observed)."""
         line = self.l1s[core].invalidate(line_addr)
         if line is None:
@@ -456,14 +560,23 @@ class CoherenceSystem:
                 f"directory says core {core} shares {line_addr:#x} but "
                 f"its L1 does not hold it"
             )
-        if line.state == MSI_M:
+        obs = self.obs
+        dirty = line.state == MSI_M
+        if dirty:
             self.stats.writebacks += 1
         self.stats.invalidations_sent += 1
-        self.reservations.clear_core_line(core, line_addr)
-        self._kill_glsc_departed(core, line, "thread_conflict")
+        if obs is not None and obs.wants_coherence:
+            obs.emit(Invalidation(now, core, line_addr, "remote_write"))
+            if dirty:
+                obs.emit(Writeback(now, core, line_addr, "invalidation"))
+        victims = self.reservations.clear_core_line(core, line_addr)
+        self._emit_scalar_losses(victims, line_addr, "thread_conflict", now)
+        self._kill_glsc_departed(core, line, "thread_conflict", now)
 
-    def _back_invalidate(self, victim_entry) -> None:
+    def _back_invalidate(self, victim_entry, now: int) -> None:
         """Inclusive-L2 eviction: remove every L1 copy of the victim."""
+        obs = self.obs
+        wants_coherence = obs is not None and obs.wants_coherence
         for core in sorted(victim_entry.sharers):
             line = self.l1s[core].invalidate(victim_entry.line_addr)
             if line is None:
@@ -471,39 +584,91 @@ class CoherenceSystem:
                     f"L2 victim {victim_entry.line_addr:#x}: directory "
                     f"lists core {core} but its L1 lacks the line"
                 )
-            if line.state == MSI_M:
+            dirty = line.state == MSI_M
+            if dirty:
                 self.stats.writebacks += 1
             self.stats.invalidations_sent += 1
-            self.reservations.clear_core_line(core, victim_entry.line_addr)
-            self._kill_glsc_departed(core, line, "eviction")
+            if wants_coherence:
+                obs.emit(
+                    Invalidation(
+                        now, core, victim_entry.line_addr, "l2_eviction"
+                    )
+                )
+                if dirty:
+                    obs.emit(
+                        Writeback(
+                            now, core, victim_entry.line_addr, "invalidation"
+                        )
+                    )
+            victims = self.reservations.clear_core_line(
+                core, victim_entry.line_addr
+            )
+            self._emit_scalar_losses(
+                victims, victim_entry.line_addr, "eviction", now
+            )
+            self._kill_glsc_departed(core, line, "eviction", now)
 
-    def _kill_glsc(self, core: int, line_addr: int, cause: str) -> None:
+    def _emit_scalar_losses(
+        self, victims, line_addr: int, cause: str, now: int
+    ) -> None:
+        """Emit one ReservationLost per scalar reservation casualty."""
+        if not victims:
+            return
+        obs = self.obs
+        if obs is None or not obs.wants_reservation:
+            return
+        for core, slot in victims:
+            obs.emit(
+                ReservationLost(now, core, slot, line_addr, "scalar", cause)
+            )
+
+    def _kill_glsc(
+        self, core: int, line_addr: int, cause: str, now: int
+    ) -> None:
         """Clear a GLSC entry, remembering why it died (for Table 4)."""
-        if self.glsc.holder(core, line_addr) is not None:
+        holder = self.glsc.holder(core, line_addr)
+        if holder is not None:
             self._glsc_loss_cause[(core, line_addr)] = cause
+            obs = self.obs
+            if obs is not None and obs.wants_reservation:
+                obs.emit(
+                    ReservationLost(now, core, holder, line_addr, "glsc",
+                                    cause)
+                )
         self.glsc.clear(core, line_addr)
 
-    def _kill_glsc_departed(self, core: int, line: L1Line, cause: str) -> None:
+    def _kill_glsc_departed(
+        self, core: int, line: L1Line, cause: str, now: int
+    ) -> None:
         """Like :meth:`_kill_glsc`, for a line already removed from the L1.
 
         The tag tracker's state left with the line object, so consult
         its GLSC bits directly; the buffer tracker still needs an
         explicit clear.
         """
-        had_entry = (
-            line.glsc_valid or self.glsc.holder(core, line.line_addr) is not None
-        )
+        holder = self.glsc.holder(core, line.line_addr)
+        had_entry = line.glsc_valid or holder is not None
         if had_entry:
             self._glsc_loss_cause[(core, line.line_addr)] = cause
+            obs = self.obs
+            if obs is not None and obs.wants_reservation:
+                slot = line.glsc_tid if line.glsc_valid else holder
+                obs.emit(
+                    ReservationLost(now, core, slot, line.line_addr, "glsc",
+                                    cause)
+                )
         self.glsc.clear(core, line.line_addr)
 
-    def _kill_reservations_on_write(self, writer_core: int, line_addr: int) -> None:
+    def _kill_reservations_on_write(
+        self, writer_core: int, line_addr: int, now: int
+    ) -> None:
         """A word on ``line_addr`` was written: destroy every reservation."""
-        self.reservations.clear_line(line_addr)
+        victims = self.reservations.clear_line(line_addr)
+        self._emit_scalar_losses(victims, line_addr, "thread_conflict", now)
         # Other cores' GLSC entries died with their invalidations; the
         # writer's own core may still hold one (another SMT thread, or
         # a stale own link) — normal stores clear it too (Section 3.3).
-        self._kill_glsc(writer_core, line_addr, "thread_conflict")
+        self._kill_glsc(writer_core, line_addr, "thread_conflict", now)
 
     # ------------------------------------------------------------------
     # prefetcher
@@ -524,7 +689,7 @@ class CoherenceSystem:
         entry, l2_hit, l2_victim = self.l2.fetch(line_addr, now)
         self.stats.l2_accesses += 1
         if l2_victim is not None:
-            self._back_invalidate(l2_victim)
+            self._back_invalidate(l2_victim, now)
         if not l2_hit:
             self.stats.l2_misses += 1
             self.dram.access()
@@ -536,6 +701,9 @@ class CoherenceSystem:
                     f"directory/L1 disagree on owner of {line_addr:#x}"
                 )
             self.stats.writebacks += 1
+            obs = self.obs
+            if obs is not None and obs.wants_coherence:
+                obs.emit(Writeback(now, owner, line_addr, "downgrade"))
             entry.clear_owner()
         if self._install_l1(
             core,

@@ -10,7 +10,7 @@ the paper builds on.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.mem.layout import LineGeometry
 
@@ -39,22 +39,26 @@ class ReservationFile:
         """Drop this thread's reservation (``sc`` consumes it either way)."""
         self._held.pop((core_id, slot), None)
 
-    def clear_line(self, line_addr: int) -> int:
+    def clear_line(self, line_addr: int) -> List[ThreadKey]:
         """A write hit ``line_addr``: kill every reservation on it.
 
-        Returns how many reservations were destroyed (stat hook).
+        Returns the ``(core, slot)`` keys of the destroyed
+        reservations (stat + event hook).
         """
         victims = [
             key for key, held in self._held.items() if held == line_addr
         ]
         for key in victims:
             del self._held[key]
-        return len(victims)
+        return victims
 
-    def clear_core_line(self, core_id: int, line_addr: int) -> int:
+    def clear_core_line(
+        self, core_id: int, line_addr: int
+    ) -> List[ThreadKey]:
         """Line left ``core_id``'s L1 (eviction/invalidation).
 
-        Only that core's threads lose their reservations.
+        Only that core's threads lose their reservations; their keys
+        are returned.
         """
         victims = [
             key
@@ -63,7 +67,7 @@ class ReservationFile:
         ]
         for key in victims:
             del self._held[key]
-        return len(victims)
+        return victims
 
     def holder_count(self) -> int:
         """Number of live reservations (test/debug hook)."""

@@ -1,0 +1,82 @@
+"""Observability layer: typed event bus, sinks, and run telemetry.
+
+The simulator's end-of-run counters (:class:`~repro.sim.stats.
+MachineStats`) say *how much* happened; this package says *when* and
+*why*.  The paper's whole argument rests on micro-event attribution —
+which reservation died to which invalidation, which lanes aliased,
+which L1 accesses the GSU combined away (Sections 3-5, Table 4) — so
+the model exposes the same attribution as a stream of typed events.
+
+Three pieces:
+
+* :mod:`repro.obs.events` — the event taxonomy (frozen dataclasses,
+  one category per subsystem: ``instr``, ``cache``, ``coherence``,
+  ``reservation``, ``glsc``);
+* :mod:`repro.obs.bus` — :class:`EventBus`, the dispatch fabric.
+  Emission sites are guarded by per-category boolean flags, so with no
+  bus (or no sink subscribed to a category) a run allocates **no event
+  objects at all** — the disabled path is a single attribute test;
+* sinks — :class:`MetricsSink` (in-memory aggregation: reservation
+  lifetime histograms, per-cause failure timelines, per-thread
+  occupancy), :class:`JsonlSink` (bounded newline-delimited JSON), and
+  :class:`PerfettoSink` (Chrome trace-event JSON: open the output in
+  https://ui.perfetto.dev with threads x cores laid out as tracks).
+
+Quickstart::
+
+    from repro.obs import EventBus, MetricsSink, PerfettoSink
+    from repro.sim.executor import RunSpec, execute_spec
+
+    bus = EventBus()
+    metrics = bus.attach(MetricsSink())
+    perfetto = bus.attach(PerfettoSink())
+    stats = execute_spec(RunSpec("tms", "A"), obs=bus)
+    bus.close()
+    perfetto.write("tms-glsc.trace.json")   # -> ui.perfetto.dev
+    print(metrics.render())
+
+Run-level telemetry (wall time, sim throughput, cache provenance)
+lives in :mod:`repro.obs.telemetry` and is collected by the
+:class:`~repro.sim.executor.Executor` for every spec it serves.
+"""
+
+from repro.obs.bus import EventBus, Sink
+from repro.obs.events import (
+    CATEGORIES,
+    CacheHit,
+    CacheMiss,
+    ElementOutcome,
+    Eviction,
+    EVENT_TYPES,
+    Invalidation,
+    LineCombine,
+    ReservationLost,
+    ReservationSet,
+    Writeback,
+    event_to_dict,
+)
+from repro.obs.perfetto import PerfettoSink
+from repro.obs.sinks import JsonlSink, MetricsSink
+from repro.obs.telemetry import RunTelemetry, run_provenance
+
+__all__ = [
+    "CATEGORIES",
+    "CacheHit",
+    "CacheMiss",
+    "ElementOutcome",
+    "EVENT_TYPES",
+    "EventBus",
+    "Eviction",
+    "Invalidation",
+    "JsonlSink",
+    "LineCombine",
+    "MetricsSink",
+    "PerfettoSink",
+    "ReservationLost",
+    "ReservationSet",
+    "RunTelemetry",
+    "Sink",
+    "Writeback",
+    "event_to_dict",
+    "run_provenance",
+]

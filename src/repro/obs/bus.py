@@ -1,0 +1,122 @@
+"""The event bus: near-zero overhead dispatch from model to sinks.
+
+:class:`EventBus` is the generalization of the old single-purpose
+``Machine(tracer=...)`` seam: any number of sinks, each subscribed to
+any subset of event categories (see :mod:`repro.obs.events`).
+
+The hot-path contract
+---------------------
+
+Simulator code *never* builds an event unconditionally.  Every
+emission site is written::
+
+    obs = self.obs
+    if obs is not None and obs.wants_cache:
+        obs.emit(CacheMiss(...))
+
+``wants_<category>`` are plain boolean attributes recomputed on
+:meth:`attach`, so the disabled path costs one attribute load and one
+test — no event allocation, no dynamic lookup, no call.  The test
+suite enforces this by poisoning every event constructor and running
+an un-instrumented simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, TypeVar
+
+from repro.errors import ConfigError
+from repro.obs.events import CATEGORIES
+
+__all__ = ["Sink", "EventBus"]
+
+S = TypeVar("S", bound="Sink")
+
+
+class Sink:
+    """Observer protocol: receives every event of its categories.
+
+    ``categories`` is the default subscription (``None`` = all); an
+    explicit set passed to :meth:`EventBus.attach` overrides it.
+    """
+
+    #: Default categories this sink wants (None = every category).
+    categories: Optional[Iterable[str]] = None
+
+    def on_event(self, event: Any) -> None:
+        """Called once per event, in emission order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/teardown; called once by :meth:`EventBus.close`."""
+
+
+class EventBus:
+    """Routes typed events to subscribed sinks by category."""
+
+    def __init__(self) -> None:
+        self._sinks: List[Sink] = []
+        self._routes: Dict[str, List[Sink]] = {cat: [] for cat in CATEGORIES}
+        self._closed = False
+        self.wants_instr = False
+        self.wants_cache = False
+        self.wants_coherence = False
+        self.wants_reservation = False
+        self.wants_glsc = False
+
+    # -- subscription ----------------------------------------------------
+
+    def attach(
+        self, sink: S, categories: Optional[Iterable[str]] = None
+    ) -> S:
+        """Subscribe ``sink``; returns it (for one-line construction)."""
+        wanted = categories if categories is not None else sink.categories
+        cats = tuple(wanted) if wanted is not None else CATEGORIES
+        unknown = [c for c in cats if c not in self._routes]
+        if unknown:
+            raise ConfigError(
+                f"unknown event categories {unknown}; "
+                f"expected a subset of {CATEGORIES}"
+            )
+        self._sinks.append(sink)
+        for cat in cats:
+            self._routes[cat].append(sink)
+        self._refresh_flags()
+        return sink
+
+    def _refresh_flags(self) -> None:
+        self.wants_instr = bool(self._routes["instr"])
+        self.wants_cache = bool(self._routes["cache"])
+        self.wants_coherence = bool(self._routes["coherence"])
+        self.wants_reservation = bool(self._routes["reservation"])
+        self.wants_glsc = bool(self._routes["glsc"])
+
+    def wants(self, category: str) -> bool:
+        """Whether any sink subscribes to ``category``."""
+        return bool(self._routes[category])
+
+    @property
+    def sinks(self) -> List[Sink]:
+        """The attached sinks, in attach order."""
+        return list(self._sinks)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def emit(self, event: Any) -> None:
+        """Deliver ``event`` to every sink of its category."""
+        for sink in self._routes[event.category]:
+            sink.on_event(event)
+
+    def close(self) -> None:
+        """Close every sink exactly once (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "EventBus":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

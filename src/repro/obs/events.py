@@ -1,0 +1,245 @@
+"""Typed observability events emitted by the memory hierarchy and GSU.
+
+Every event is a small frozen dataclass carrying the simulation cycle
+it happened at plus enough identity to attribute it (core, SMT slot,
+line address, cause).  Events are grouped into *categories* — the unit
+of subscription on the :class:`~repro.obs.bus.EventBus`:
+
+=============  ========================================================
+``instr``      retired instructions (:class:`~repro.sim.trace.
+               TraceEvent` — the pre-existing tracer event, now also a
+               bus citizen)
+``cache``      L1/L2 demand hits and misses, L1 evictions
+``coherence``  invalidations (remote writes, inclusive-L2 victims) and
+               dirty writebacks
+``reservation`` scalar ll/sc and GLSC reservation set / lost (with the
+               cause of death)
+``glsc``       gather-link / scatter-conditional element outcomes and
+               GSU line-combining merges
+=============  ========================================================
+
+Design constraints:
+
+* **Alignment with stats** — wherever a :class:`~repro.sim.stats.
+  MachineStats` counter increments, the corresponding event is emitted
+  with the *same* attribution, so aggregating the event stream
+  reproduces the counters exactly (the test suite asserts this for L1
+  misses and for the Table 4 failure-cause breakdown).
+* **Zero cost when disabled** — events are only constructed behind an
+  ``obs is not None and obs.wants_<category>`` guard, so an
+  uninstrumented run never allocates one (guard-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from enum import Enum
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "CATEGORIES",
+    "EVENT_TYPES",
+    "CacheHit",
+    "CacheMiss",
+    "Eviction",
+    "Writeback",
+    "Invalidation",
+    "ReservationSet",
+    "ReservationLost",
+    "ElementOutcome",
+    "LineCombine",
+    "event_to_dict",
+]
+
+#: Subscription categories, in display order.
+CATEGORIES = ("instr", "cache", "coherence", "reservation", "glsc")
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """A demand access that hit (counted in ``l1_hits``/L2 presence)."""
+
+    category = "cache"
+
+    cycle: int
+    core: int
+    slot: int
+    line_addr: int
+    level: str  # "L1" | "L2"
+    op: str     # "read" | "write"
+
+
+@dataclass(frozen=True)
+class CacheMiss:
+    """A demand access that missed at ``level`` and went deeper."""
+
+    category = "cache"
+
+    cycle: int
+    core: int
+    slot: int
+    line_addr: int
+    level: str  # "L1" | "L2"  (an L2 miss goes to main memory)
+    op: str     # "read" | "write"
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line left an L1 by capacity/conflict replacement."""
+
+    category = "cache"
+
+    cycle: int
+    core: int
+    line_addr: int
+    dirty: bool
+
+
+@dataclass(frozen=True)
+class Writeback:
+    """Dirty data left an L1 (counted in ``stats.writebacks``)."""
+
+    category = "coherence"
+
+    cycle: int
+    core: int
+    line_addr: int
+    reason: str  # "eviction" | "invalidation" | "downgrade"
+
+
+@dataclass(frozen=True)
+class Invalidation:
+    """An L1 copy was invalidated by the coherence protocol."""
+
+    category = "coherence"
+
+    cycle: int
+    core: int      # the core that *lost* the line
+    line_addr: int
+    cause: str     # "remote_write" | "l2_eviction"
+
+
+@dataclass(frozen=True)
+class ReservationSet:
+    """A reservation was acquired (scalar ``ll`` or GLSC gather-link)."""
+
+    category = "reservation"
+
+    cycle: int
+    core: int
+    slot: int
+    line_addr: int
+    kind: str  # "scalar" | "glsc"
+
+
+@dataclass(frozen=True)
+class ReservationLost:
+    """A live reservation was destroyed (or consumed by its owner).
+
+    ``cause`` uses the same vocabulary as
+    :data:`~repro.sim.stats.FAILURE_CAUSES` where the loss feeds a GLSC
+    element failure (``thread_conflict``, ``eviction``), plus
+    ``consumed`` for a successful scatter-conditional / sc retiring its
+    own reservation.
+    """
+
+    category = "reservation"
+
+    cycle: int
+    core: int
+    slot: int      # holder; -1 when unknown
+    line_addr: int
+    kind: str      # "scalar" | "glsc"
+    cause: str
+
+
+@dataclass(frozen=True)
+class ElementOutcome:
+    """Outcome of GLSC element operations on one cache line.
+
+    One event per (instruction, line, outcome) group: ``lanes`` is how
+    many SIMD lanes share it.  Failures carry the Table 4 cause; the
+    per-cause lane sums reproduce
+    ``MachineStats.glsc_element_failures`` exactly.
+    """
+
+    category = "glsc"
+
+    cycle: int
+    core: int
+    slot: int
+    line_addr: int
+    op: str               # "gatherlink" | "scattercond"
+    lanes: int
+    ok: bool
+    cause: Optional[str]  # a FAILURE_CAUSES member when ok is False
+
+
+@dataclass(frozen=True)
+class LineCombine:
+    """The GSU merged same-line lanes into one L1 access (Section 2.2)."""
+
+    category = "glsc"
+
+    cycle: int
+    core: int
+    slot: int
+    line_addr: int
+    op: str           # "gather" | "scatter"
+    lanes_saved: int  # L1 accesses avoided (group size - 1)
+    sync: bool        # whether the access counts as an atomic op
+
+
+def _trace_event_type():
+    from repro.sim.trace import TraceEvent
+
+    return TraceEvent
+
+
+def all_event_types() -> Tuple[type, ...]:
+    """Every event class the bus can carry (including TraceEvent)."""
+    return (
+        _trace_event_type(),
+        CacheHit,
+        CacheMiss,
+        Eviction,
+        Writeback,
+        Invalidation,
+        ReservationSet,
+        ReservationLost,
+        ElementOutcome,
+        LineCombine,
+    )
+
+
+#: Static tuple of the event classes defined here (TraceEvent joins
+#: lazily via :func:`all_event_types` to avoid an import cycle).
+EVENT_TYPES = (
+    CacheHit,
+    CacheMiss,
+    Eviction,
+    Writeback,
+    Invalidation,
+    ReservationSet,
+    ReservationLost,
+    ElementOutcome,
+    LineCombine,
+)
+
+
+def event_to_dict(event: Any) -> Dict[str, Any]:
+    """One event as a flat JSON-able dict (``type``/``cat`` + fields).
+
+    Enum values (e.g. :class:`~repro.isa.instructions.Kind` on retired
+    instructions) serialize by name.
+    """
+    out: Dict[str, Any] = {
+        "type": type(event).__name__,
+        "cat": event.category,
+    }
+    for f in fields(event):
+        value = getattr(event, f.name)
+        if isinstance(value, Enum):
+            value = value.name
+        out[f.name] = value
+    return out

@@ -1,0 +1,216 @@
+"""Chrome trace-event exporter: open a simulation in ui.perfetto.dev.
+
+:class:`PerfettoSink` converts the event stream into the Chrome
+trace-event JSON format (the ``traceEvents`` array understood by
+https://ui.perfetto.dev and ``chrome://tracing``).  Layout:
+
+* one **process per core** (``pid = core``, named ``core N``);
+* one **thread track per hardware thread** (``tid = global thread
+  id``): retired instructions appear as complete slices ("X" events)
+  whose duration is the instruction's occupancy, so the interleaving
+  the SMT scheduler actually produced is directly visible;
+* one **memory track per core** (``tid = MEM_TRACK_BASE + core``):
+  cache misses, evictions, invalidations, writebacks, GLSC element
+  failures and line-combines appear as instant events; GLSC
+  reservations appear as async spans ("b"/"e") from link to death, so
+  a reservation's lifetime — and the cause that ended it — reads as a
+  bar with a labelled end.
+
+Timestamps are simulation cycles interpreted as microseconds (1 cycle
+= 1 us); relative durations are what matter.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Optional, Set, Tuple, Union
+
+from repro.obs.bus import Sink
+
+__all__ = ["PerfettoSink", "MEM_TRACK_BASE"]
+
+#: tid offset for the per-core memory-hierarchy tracks (far above any
+#: plausible hardware-thread id).
+MEM_TRACK_BASE = 1_000_000
+
+
+class PerfettoSink(Sink):
+    """Collects events and serializes Chrome trace-event JSON."""
+
+    def __init__(self, include_hits: bool = False) -> None:
+        #: whether to emit an instant per L1/L2 *hit* (high volume;
+        #: misses and coherence traffic are usually what you look at).
+        self.include_hits = include_hits
+        self._events: List[Dict[str, Any]] = []
+        self._known_tracks: Set[Tuple[int, int]] = set()
+        self._known_cores: Set[int] = set()
+        # open async reservation spans: (core, line, kind) -> span id
+        self._open_spans: Dict[Tuple[int, int, str], int] = {}
+        self._next_span = 1
+        self._last_ts = 0
+
+    # -- track bookkeeping -------------------------------------------------
+
+    def _meta(self, pid: int, name: str, tid: Optional[int] = None) -> None:
+        if tid is None:
+            self._events.append({
+                "ph": "M", "name": "process_name", "pid": pid,
+                "args": {"name": name},
+            })
+            self._events.append({
+                "ph": "M", "name": "process_sort_index", "pid": pid,
+                "args": {"sort_index": pid},
+            })
+        else:
+            self._events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": name},
+            })
+
+    def _core_track(self, core: int) -> int:
+        if core not in self._known_cores:
+            self._known_cores.add(core)
+            self._meta(core, f"core {core}")
+            self._meta(core, "memory hierarchy", MEM_TRACK_BASE + core)
+        return MEM_TRACK_BASE + core
+
+    def _thread_track(self, core: int, thread: int) -> int:
+        self._core_track(core)
+        if (core, thread) not in self._known_tracks:
+            self._known_tracks.add((core, thread))
+            self._meta(core, f"thread {thread}", thread)
+        return thread
+
+    def _instant(
+        self, ts: int, core: int, name: str, args: Dict[str, Any]
+    ) -> None:
+        self._events.append({
+            "ph": "i", "s": "t", "ts": ts, "pid": core,
+            "tid": self._core_track(core), "name": name,
+            "cat": "memory", "args": args,
+        })
+
+    # -- event handling ----------------------------------------------------
+
+    def on_event(self, event: Any) -> None:
+        self._last_ts = max(self._last_ts, event.cycle)
+        name = type(event).__name__
+        if name == "TraceEvent":
+            self._events.append({
+                "ph": "X", "ts": event.cycle, "dur": event.latency,
+                "pid": event.core,
+                "tid": self._thread_track(event.core, event.thread),
+                "name": event.kind.name, "cat": "instr",
+                "args": {"sync": event.sync,
+                         "completion": event.completion},
+            })
+        elif name == "CacheMiss":
+            self._instant(
+                event.cycle, event.core, f"{event.level}-miss",
+                {"line": hex(event.line_addr), "op": event.op,
+                 "slot": event.slot},
+            )
+        elif name == "CacheHit":
+            if self.include_hits:
+                self._instant(
+                    event.cycle, event.core, f"{event.level}-hit",
+                    {"line": hex(event.line_addr), "op": event.op},
+                )
+        elif name == "Eviction":
+            self._instant(
+                event.cycle, event.core, "L1-evict",
+                {"line": hex(event.line_addr), "dirty": event.dirty},
+            )
+        elif name == "Invalidation":
+            self._instant(
+                event.cycle, event.core, "invalidate",
+                {"line": hex(event.line_addr), "cause": event.cause},
+            )
+        elif name == "Writeback":
+            self._instant(
+                event.cycle, event.core, "writeback",
+                {"line": hex(event.line_addr), "reason": event.reason},
+            )
+        elif name == "ReservationSet":
+            key = (event.core, event.line_addr, event.kind)
+            self._end_span(key, event.cycle, "relink")
+            span = self._next_span
+            self._next_span += 1
+            self._open_spans[key] = span
+            self._events.append({
+                "ph": "b", "id": span, "ts": event.cycle, "pid": event.core,
+                "tid": self._core_track(event.core),
+                "name": f"{event.kind}-reservation", "cat": "reservation",
+                "args": {"line": hex(event.line_addr), "slot": event.slot},
+            })
+        elif name == "ReservationLost":
+            key = (event.core, event.line_addr, event.kind)
+            self._end_span(key, event.cycle, event.cause)
+            self._instant(
+                event.cycle, event.core, f"reservation-lost:{event.cause}",
+                {"line": hex(event.line_addr), "kind": event.kind,
+                 "slot": event.slot, "cause": event.cause},
+            )
+        elif name == "ElementOutcome":
+            if event.ok:
+                return  # successes are visible as the instruction slice
+            self._instant(
+                event.cycle, event.core, f"glsc-fail:{event.cause}",
+                {"op": event.op, "lanes": event.lanes,
+                 "line": hex(event.line_addr), "cause": event.cause,
+                 "slot": event.slot},
+            )
+        elif name == "LineCombine":
+            self._instant(
+                event.cycle, event.core, "line-combine",
+                {"op": event.op, "lanes_saved": event.lanes_saved,
+                 "line": hex(event.line_addr), "sync": event.sync},
+            )
+
+    def _end_span(
+        self, key: Tuple[int, int, str], ts: int, cause: str
+    ) -> None:
+        span = self._open_spans.pop(key, None)
+        if span is None:
+            return
+        core = key[0]
+        self._events.append({
+            "ph": "e", "id": span, "ts": ts, "pid": core,
+            "tid": self._core_track(core),
+            "name": f"{key[2]}-reservation", "cat": "reservation",
+            "args": {"cause": cause},
+        })
+
+    def close(self) -> None:
+        # Close any reservation still live at the end of the run so
+        # the trace contains no dangling async begins.
+        for key in list(self._open_spans):
+            self._end_span(key, self._last_ts, "run_end")
+
+    # -- output ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The complete Chrome trace-event document."""
+        from repro import __version__
+
+        return {
+            "traceEvents": list(self._events),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs.perfetto",
+                "version": __version__,
+                "clock": "1 simulated cycle = 1us",
+            },
+        }
+
+    def write(self, destination: Union[str, IO[str]]) -> None:
+        """Serialize to ``destination`` (path or open text file)."""
+        self.close()
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as fh:
+                json.dump(self.to_dict(), fh)
+        else:
+            json.dump(self.to_dict(), destination)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -40,6 +40,8 @@ from __future__ import annotations
 import concurrent.futures
 import hashlib
 import json
+import os
+import time
 from dataclasses import dataclass, replace
 from typing import (
     Any,
@@ -55,6 +57,7 @@ from typing import (
 )
 
 from repro.errors import ConfigError
+from repro.obs.telemetry import RunTelemetry, run_provenance
 from repro.sim.config import MachineConfig, named_config
 from repro.sim.stats import MachineStats
 from repro.sim.store import ResultStore, STORE_VERSION
@@ -274,13 +277,15 @@ def _make_spec_kernel(spec: RunSpec, n_threads: int):
 
 
 def execute_spec(
-    spec: RunSpec, verify: bool = True, tracer=None
+    spec: RunSpec, verify: bool = True, tracer=None, obs=None
 ) -> MachineStats:
     """Simulate one spec from scratch and return its verified stats.
 
     This is the single execution path: the serial fast-path, the
     process-pool workers, and the profiling example all funnel through
     here, so a number can never depend on *how* it was scheduled.
+    ``tracer`` and ``obs`` attach observers to the machine (see
+    :func:`~repro.sim.runner.run_prepared`).
     """
     from repro.sim.runner import run_prepared
 
@@ -293,12 +298,15 @@ def execute_spec(
         verify=verify,
         warm=spec.warm,
         tracer=tracer,
+        obs=obs,
     )
 
 
-def _worker(spec: RunSpec) -> Tuple[str, MachineStats]:
-    """Process-pool entry point: (digest, stats) for one spec."""
-    return spec.digest(), execute_spec(spec)
+def _worker(spec: RunSpec) -> Tuple[str, MachineStats, float, int]:
+    """Process-pool entry point: (digest, stats, wall seconds, pid)."""
+    started = time.perf_counter()
+    stats = execute_spec(spec)
+    return spec.digest(), stats, time.perf_counter() - started, os.getpid()
 
 
 @dataclass
@@ -323,6 +331,25 @@ class Executor:
     applied to every spec (a spec's own overrides win on conflict) —
     the mechanism the ablation benches use to flip GLSC policies for a
     whole sweep at once.
+
+    Observers (``tracer``/``obs`` on :meth:`run`/:meth:`run_sweep`)
+    force two departures from the caching pipeline, both deliberate:
+
+    * **No process pool.**  Tracers and event buses hold live Python
+      state (open files, growing lists) that cannot cross a
+      ``ProcessPoolExecutor`` boundary — under ``fork`` the observer
+      would fill up in the *child* and the parent's copy would stay
+      silently empty.  Observed sweeps therefore always simulate
+      in-process, even with ``jobs > 1``.
+    * **No cache reads.**  A memo or store hit skips the simulation,
+      so the observer would see nothing; an observed spec is always
+      simulated fresh (the result is still memoized and persisted for
+      later unobserved calls).
+
+    Every spec served — simulated, memo hit, or store hit — appends a
+    :class:`~repro.obs.telemetry.RunTelemetry` record to
+    :attr:`telemetry` (wall time, simulated cycles/second, worker
+    pid, source), which the harness surfaces via ``--telemetry``.
     """
 
     def __init__(
@@ -337,6 +364,7 @@ class Executor:
         self.store = store
         self.overrides = _freeze_overrides(overrides)
         self.counters = ExecutorCounters()
+        self.telemetry: List[RunTelemetry] = []
         self._memo: Dict[str, MachineStats] = {}
 
     # -- spec resolution -----------------------------------------------
@@ -351,12 +379,15 @@ class Executor:
 
     # -- execution ------------------------------------------------------
 
-    def run(self, spec: RunSpec) -> MachineStats:
+    def run(self, spec: RunSpec, tracer=None, obs=None) -> MachineStats:
         """Stats for one spec (simulating only if never seen before)."""
-        return self.run_sweep(Sweep([spec]))[spec]
+        return self.run_sweep(Sweep([spec]), tracer=tracer, obs=obs)[spec]
 
     def run_sweep(
-        self, sweep: Union[Sweep, Iterable[RunSpec]]
+        self,
+        sweep: Union[Sweep, Iterable[RunSpec]],
+        tracer=None,
+        obs=None,
     ) -> Dict[RunSpec, MachineStats]:
         """Execute a sweep; returns ``{input spec: stats}``.
 
@@ -365,9 +396,14 @@ class Executor:
         ``jobs > 1``), persist fresh results, and map every *input*
         spec — pre-resolution, so callers can look up with the specs
         they built — to its stats.
+
+        Passing ``tracer`` or ``obs`` switches to observed mode: every
+        distinct spec simulates fresh, in-process (see the class
+        docstring for why caches and the process pool are bypassed).
         """
         if not isinstance(sweep, Sweep):
             sweep = Sweep(sweep)
+        observed = tracer is not None or obs is not None
 
         digest_of: Dict[RunSpec, str] = {}
         pending: Dict[str, RunSpec] = {}
@@ -377,45 +413,92 @@ class Executor:
             resolved = self.resolve(spec)
             digest = resolved.digest()
             digest_of[spec] = digest
+            if digest in pending:
+                continue
+            if observed:
+                pending[digest] = resolved
+                continue
             if digest in self._memo:
                 self.counters.memo_hits += 1
-                continue
-            if digest in pending:
+                self._note_served(resolved, digest, "memo")
                 continue
             if self.store is not None:
                 stored = self.store.load(digest)
                 if stored is not None:
                     self._memo[digest] = stored
                     self.counters.store_hits += 1
+                    self._note_served(resolved, digest, "store")
                     continue
             pending[digest] = resolved
 
         if pending:
-            self._simulate(pending)
+            self._simulate(pending, tracer=tracer, obs=obs)
 
         return {spec: self._memo[digest] for spec, digest in digest_of.items()}
 
-    def _simulate(self, pending: Dict[str, RunSpec]) -> None:
+    def _simulate(
+        self, pending: Dict[str, RunSpec], tracer=None, obs=None
+    ) -> None:
         """Run every pending spec and record the results everywhere."""
         specs = list(pending.values())
-        if self.jobs > 1 and len(specs) > 1:
+        observed = tracer is not None or obs is not None
+        if not observed and self.jobs > 1 and len(specs) > 1:
             workers = min(self.jobs, len(specs))
             with concurrent.futures.ProcessPoolExecutor(workers) as pool:
                 results = list(pool.map(_worker, specs))
         else:
-            results = [(digest, execute_spec(spec))
-                       for digest, spec in pending.items()]
-        for digest, stats in results:
+            # Observers keep this path even at jobs > 1: their state
+            # would be lost across a process boundary (class docstring).
+            results = []
+            for digest, spec in pending.items():
+                started = time.perf_counter()
+                stats = execute_spec(spec, tracer=tracer, obs=obs)
+                results.append(
+                    (digest, stats, time.perf_counter() - started,
+                     os.getpid())
+                )
+        for digest, stats, wall_s, pid in results:
             self._memo[digest] = stats
             self.counters.simulated += 1
+            spec = pending[digest]
+            self.telemetry.append(
+                RunTelemetry(
+                    label=spec.label(),
+                    digest=digest,
+                    source="simulated",
+                    cycles=stats.cycles,
+                    instructions=stats.total_instructions,
+                    wall_time_s=wall_s,
+                    worker_pid=pid,
+                    created=time.time(),
+                )
+            )
             if self.store is not None:
-                spec = pending[digest]
+                provenance = run_provenance(wall_s)
+                provenance["worker_pid"] = pid
                 self.store.save(
                     digest,
                     stats,
                     spec=spec.to_dict(),
                     config=spec.config().to_dict(),
+                    provenance=provenance,
                 )
+
+    def _note_served(
+        self, spec: RunSpec, digest: str, source: str
+    ) -> None:
+        """Telemetry entry for a cache-served spec (no simulation)."""
+        stats = self._memo[digest]
+        self.telemetry.append(
+            RunTelemetry(
+                label=spec.label(),
+                digest=digest,
+                source=source,
+                cycles=stats.cycles,
+                instructions=stats.total_instructions,
+                created=time.time(),
+            )
+        )
 
     # -- introspection --------------------------------------------------
 

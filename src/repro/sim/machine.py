@@ -44,7 +44,14 @@ class Machine:
         config: MachineConfig,
         image: Optional[MemoryImage] = None,
         tracer=None,
+        obs=None,
     ) -> None:
+        """``tracer`` observes retired instructions (legacy seam);
+        ``obs`` is an :class:`~repro.obs.bus.EventBus` receiving the
+        full typed event stream (instructions, cache/coherence
+        traffic, reservations, GLSC element outcomes).  Both are
+        optional and cost nothing when absent.
+        """
         self.config = config
         self.image = image or MemoryImage(
             config.mem_size_bytes, config.geometry
@@ -54,12 +61,13 @@ class Machine:
                 "memory image line size disagrees with machine config"
             )
         self.stats = MachineStats()
-        self.coherence = CoherenceSystem(config, self.stats)
+        self.obs = obs
+        self.coherence = CoherenceSystem(config, self.stats, obs=obs)
         self.tracer = tracer
         self.cores: List[Core] = [
             Core(
                 core_id, config, self.coherence, self.image, self.stats,
-                tracer=tracer,
+                tracer=tracer, obs=obs,
             )
             for core_id in range(config.n_cores)
         ]
@@ -111,9 +119,18 @@ class Machine:
             raise SimulationError("cannot warm caches after run()")
         line_bytes = self.config.line_bytes
         first = line_bytes  # line 0 is the allocator's null sentinel
-        for core_id in range(self.config.n_cores):
-            for line in range(first, self.image.bytes_allocated, line_bytes):
-                self.coherence.read(core_id, 0, line, now=0)
+        # Warming is excluded from the statistics, so it is excluded
+        # from the event stream too: sinks see only measured traffic.
+        saved_obs = self.coherence.obs
+        self.coherence.obs = None
+        try:
+            for core_id in range(self.config.n_cores):
+                for line in range(
+                    first, self.image.bytes_allocated, line_bytes
+                ):
+                    self.coherence.read(core_id, 0, line, now=0)
+        finally:
+            self.coherence.obs = saved_obs
         self.coherence.prefetcher.reset()
         self.stats.reset_counters()
 

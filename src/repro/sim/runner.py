@@ -48,6 +48,7 @@ def run_prepared(
     verify: bool = True,
     warm: bool = False,
     tracer=None,
+    obs=None,
 ) -> MachineStats:
     """Run an already-constructed kernel instance on a fresh machine.
 
@@ -60,10 +61,11 @@ def run_prepared(
     streaming inputs, as the paper's machine does.
 
     ``tracer`` attaches an :class:`~repro.sim.trace.InstructionTrace`
-    (or compatible observer) to the machine; tracing never changes
-    timing, only records it.
+    (or compatible observer) to the machine; ``obs`` attaches an
+    :class:`~repro.obs.bus.EventBus` for the full typed event stream.
+    Observation never changes timing, only records it.
     """
-    machine = Machine(config, tracer=tracer)
+    machine = Machine(config, tracer=tracer, obs=obs)
     kernel.allocate(machine.image)
     program = kernel.program(variant)
     for _ in range(config.n_threads):
@@ -85,10 +87,12 @@ def run_kernel(
     verify: bool = True,
     warm: bool = False,
     tracer=None,
+    obs=None,
 ) -> RunResult:
     """Run kernel ``name`` on ``dataset`` under ``config``/``variant``."""
     kernel = make_kernel(name, dataset, config.n_threads)
     stats = run_prepared(
-        kernel, config, variant, verify=verify, warm=warm, tracer=tracer
+        kernel, config, variant, verify=verify, warm=warm, tracer=tracer,
+        obs=obs,
     )
     return RunResult(name, dataset, variant, config, stats)

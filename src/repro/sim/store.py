@@ -11,7 +11,11 @@ Layout (one JSON file per run, atomically written)::
 
     <cache_dir>/
       <digest>.json     {"version", "digest", "spec", "config",
-                         "stats", "created"}
+                         "stats", "provenance", "created"}
+
+Records are forward-compatible: loaders ignore keys they do not
+recognize, so adding fields (as ``provenance`` was) never invalidates
+old caches.
 
 The default cache directory is ``.glsc-cache/`` in the current working
 directory, overridable with the ``REPRO_CACHE_DIR`` environment
@@ -104,12 +108,19 @@ class ResultStore:
         stats: MachineStats,
         spec: Optional[Dict[str, Any]] = None,
         config: Optional[Dict[str, Any]] = None,
+        provenance: Optional[Dict[str, Any]] = None,
     ) -> Path:
         """Persist one result; atomic against concurrent writers.
 
         The write goes to a temp file in the same directory followed by
         ``os.replace``, so parallel executors racing on the same digest
         end with one complete file, never a torn one.
+
+        ``provenance`` records how the number was produced (repro
+        version, python/platform, wall time, worker pid — see
+        :func:`repro.obs.telemetry.run_provenance`), keeping stored
+        results auditable.  Readers ignore keys they do not know, so
+        records written before this field existed stay loadable.
         """
         self.root.mkdir(parents=True, exist_ok=True)
         record = {
@@ -118,6 +129,7 @@ class ResultStore:
             "spec": spec or {},
             "config": config or {},
             "stats": stats.to_dict(),
+            "provenance": provenance or {},
             "created": time.time(),
         }
         path = self.path_for(digest)

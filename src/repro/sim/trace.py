@@ -26,7 +26,15 @@ __all__ = ["TraceEvent", "Tracer", "InstructionTrace", "KindProfile"]
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One retired instruction."""
+    """One retired instruction.
+
+    Also an observability event (category ``"instr"``): the same
+    object a :class:`Tracer` receives flows over the
+    :class:`~repro.obs.bus.EventBus` to any sink subscribed to
+    instruction events.
+    """
+
+    category = "instr"
 
     cycle: int
     completion: int
@@ -42,11 +50,29 @@ class TraceEvent:
 
 
 class Tracer:
-    """Observer protocol; attach via ``Machine(config, tracer=...)``."""
+    """Observer protocol; attach via ``Machine(config, tracer=...)``.
+
+    Every Tracer is also a valid :class:`~repro.obs.bus.Sink` for the
+    ``instr`` category (``on_event`` delegates to :meth:`record`), so
+    the same collector works on either seam::
+
+        Machine(config, tracer=trace)            # classic
+        bus.attach(InstructionTrace())           # event-bus
+    """
+
+    #: EventBus subscription default (Sink protocol).
+    categories = ("instr",)
 
     def record(self, event: TraceEvent) -> None:
         """Called once per retired instruction, in issue order per core."""
         raise NotImplementedError
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Sink protocol: instruction events delegate to :meth:`record`."""
+        self.record(event)
+
+    def close(self) -> None:
+        """Sink protocol: nothing to flush by default."""
 
 
 @dataclass

@@ -1,0 +1,86 @@
+"""Smoke tests for the observability CLI subcommands."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestTraceSubcommand:
+    def test_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "hip.trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        telemetry_out = tmp_path / "telemetry.json"
+        code = main([
+            "trace", "hip", "--dataset", "tiny", "--topology", "1x2",
+            "--out", str(out), "--jsonl", str(jsonl),
+            "--telemetry-out", str(telemetry_out),
+        ])
+        assert code == 0
+
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        assert {e["ph"] for e in doc["traceEvents"]} <= {
+            "M", "X", "i", "b", "e"
+        }
+
+        events = [json.loads(line) for line in
+                  jsonl.read_text().splitlines()]
+        assert any(e["type"] == "CacheMiss" for e in events)
+
+        telemetry = json.loads(telemetry_out.read_text())
+        assert telemetry["source"] == "simulated"
+        assert telemetry["cycles"] > 0
+        assert telemetry["wall_time_s"] > 0
+
+        stdout = capsys.readouterr().out
+        assert "ui.perfetto.dev" in stdout
+        assert "cycles" in stdout
+
+    def test_micro_spec_accepted(self, tmp_path):
+        out = tmp_path / "micro.trace.json"
+        code = main([
+            "trace", "micro:A", "--topology", "1x2", "--out", str(out),
+        ])
+        assert code == 0
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "hip", "--dataset", "nope",
+                  "--out", str(tmp_path / "x.json")])
+
+
+class TestProfileSubcommand:
+    def test_prints_latency_and_metrics_report(self, capsys):
+        code = main([
+            "profile", "tms", "--dataset", "tiny", "--topology", "1x2",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "cycles" in stdout
+        assert "VGATHERLINK" in stdout          # kind-latency table
+        assert "events observed" in stdout      # metrics render
+        assert "sync share of occupancy" in stdout
+
+    def test_base_variant_profiles_too(self, capsys):
+        code = main([
+            "profile", "tms", "--dataset", "tiny", "--topology", "1x2",
+            "--variant", "base",
+        ])
+        assert code == 0
+        assert "LL" in capsys.readouterr().out
+
+
+class TestTelemetryFlag:
+    def test_sweep_summary_table(self, tmp_path, capsys):
+        code = main([
+            "fig8", "--kernels", "tms", "--datasets", "tiny",
+            "--cache-dir", str(tmp_path / "cache"), "--telemetry",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "source" in stdout and "cyc/s" in stdout
+        assert "simulated" in stdout
+        assert "fresh cycles" in stdout

@@ -36,7 +36,7 @@ class TestReservations:
         resfile.set(1, 2, 0x11C)
         resfile.set(0, 1, 0x200)
         killed = resfile.clear_line(0x100)
-        assert killed == 2
+        assert sorted(killed) == [(0, 0), (1, 2)]
         assert not resfile.holds(0, 0, 0x100)
         assert not resfile.holds(1, 2, 0x100)
         assert resfile.holds(0, 1, 0x200)
@@ -45,7 +45,7 @@ class TestReservations:
         resfile.set(0, 0, 0x100)
         resfile.set(1, 0, 0x100)
         killed = resfile.clear_core_line(0, 0x100)
-        assert killed == 1
+        assert killed == [(0, 0)]
         assert not resfile.holds(0, 0, 0x100)
         assert resfile.holds(1, 0, 0x100)
 

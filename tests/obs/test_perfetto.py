@@ -1,0 +1,147 @@
+"""Tests for the Chrome trace-event exporter.
+
+Includes the headline acceptance test: the ``glsc-fail:<cause>``
+instants in the exported trace account for exactly the same lanes, by
+the same causes, as ``MachineStats.glsc_element_failures``.
+"""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    CacheHit,
+    CacheMiss,
+    ElementOutcome,
+    ReservationLost,
+    ReservationSet,
+)
+from repro.obs.perfetto import MEM_TRACK_BASE, PerfettoSink
+from repro.sim.config import named_config
+from repro.sim.runner import run_kernel
+
+
+def run_traced(kernel, dataset, topology, variant, include_hits=False):
+    bus = EventBus()
+    sink = bus.attach(PerfettoSink(include_hits=include_hits))
+    stats = run_kernel(kernel, dataset, named_config(topology), variant,
+                       obs=bus)
+    bus.close()
+    return stats, sink
+
+
+class TestDocumentShape:
+    def test_top_level_schema(self):
+        stats, sink = run_traced("hip", "tiny", "1x2", "glsc")
+        doc = sink.to_dict()
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["generator"] == "repro.obs.perfetto"
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["traceEvents"]
+
+    def test_phases_are_known_chrome_phases(self):
+        stats, sink = run_traced("hip", "tiny", "1x2", "glsc")
+        phases = {e["ph"] for e in sink.to_dict()["traceEvents"]}
+        assert phases <= {"M", "X", "i", "b", "e"}
+        assert "X" in phases  # instruction slices
+        assert "M" in phases  # track metadata
+
+    def test_instruction_slices_carry_kind_names(self):
+        stats, sink = run_traced("hip", "tiny", "1x2", "glsc")
+        names = {
+            e["name"] for e in sink.to_dict()["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert "VGATHERLINK" in names
+
+    def test_memory_tracks_use_the_offset_tid(self):
+        stats, sink = run_traced("hip", "tiny", "1x2", "glsc")
+        mem_events = [
+            e for e in sink.to_dict()["traceEvents"]
+            if e.get("cat") == "memory"
+        ]
+        assert mem_events
+        for e in mem_events:
+            assert e["tid"] == MEM_TRACK_BASE + e["pid"]
+
+    def test_write_produces_loadable_json(self, tmp_path):
+        stats, sink = run_traced("hip", "tiny", "1x2", "glsc")
+        path = tmp_path / "trace.json"
+        sink.write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_hits_excluded_unless_requested(self):
+        sink = PerfettoSink()
+        sink.on_event(CacheHit(1, 0, 0, 0x40, "L1", "read"))
+        assert len(sink) == 0
+        verbose = PerfettoSink(include_hits=True)
+        verbose.on_event(CacheHit(1, 0, 0, 0x40, "L1", "read"))
+        assert any(
+            e["name"] == "L1-hit" for e in verbose.to_dict()["traceEvents"]
+        )
+
+
+class TestReservationSpans:
+    def test_spans_balance_after_close(self):
+        stats, sink = run_traced("tms", "tiny", "1x2", "glsc")
+        events = sink.to_dict()["traceEvents"]
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert begins
+        assert len(begins) == len(ends)
+        assert Counter(e["id"] for e in begins) == Counter(
+            e["id"] for e in ends
+        )
+
+    def test_relink_closes_the_previous_span(self):
+        sink = PerfettoSink()
+        sink.on_event(ReservationSet(10, 0, 1, 0x40, "glsc"))
+        sink.on_event(ReservationSet(20, 0, 2, 0x40, "glsc"))
+        sink.on_event(ReservationLost(30, 0, 2, 0x40, "glsc", "consumed"))
+        events = sink.to_dict()["traceEvents"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert [e["args"]["cause"] for e in ends] == ["relink", "consumed"]
+
+    def test_close_ends_dangling_spans_at_last_timestamp(self):
+        sink = PerfettoSink()
+        sink.on_event(ReservationSet(10, 0, 1, 0x40, "glsc"))
+        sink.on_event(CacheMiss(55, 0, 0, 0x80, "L1", "read"))
+        sink.close()
+        ends = [e for e in sink.to_dict()["traceEvents"] if e["ph"] == "e"]
+        assert len(ends) == 1
+        assert ends[0]["ts"] == 55
+        assert ends[0]["args"]["cause"] == "run_end"
+
+
+class TestFailureAttribution:
+    """ISSUE acceptance: trace failures == MachineStats failures, exactly."""
+
+    @pytest.mark.parametrize(
+        "kernel,dataset,topology",
+        [("tms", "tiny", "1x2"), ("gps", "tiny", "2x2")],
+    )
+    def test_glsc_fail_instants_match_stats_exactly(
+        self, kernel, dataset, topology
+    ):
+        result, sink = run_traced(kernel, dataset, topology, "glsc")
+        by_cause = Counter()
+        for e in sink.to_dict()["traceEvents"]:
+            if e["name"].startswith("glsc-fail:"):
+                by_cause[e["args"]["cause"]] += e["args"]["lanes"]
+        expected = {
+            cause: n
+            for cause, n in result.stats.glsc_element_failures.items()
+            if n
+        }
+        assert sum(expected.values()) > 0  # the run actually contended
+        assert dict(by_cause) == expected
+
+    def test_successful_elements_emit_no_instant(self):
+        sink = PerfettoSink()
+        sink.on_event(
+            ElementOutcome(9, 0, 0, 0x40, "gatherlink", 3, True, None)
+        )
+        assert len(sink) == 0

@@ -1,0 +1,127 @@
+"""Tests for MetricsSink aggregation and JsonlSink capture."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import (
+    CacheHit,
+    CacheMiss,
+    ElementOutcome,
+    Eviction,
+    Invalidation,
+    LineCombine,
+    ReservationLost,
+    ReservationSet,
+    Writeback,
+)
+from repro.obs.sinks import JsonlSink, MetricsSink
+
+
+class TestMetricsSink:
+    def test_bucket_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsSink(bucket=0)
+
+    def test_hierarchy_counters(self):
+        sink = MetricsSink()
+        sink.on_event(CacheHit(1, 0, 0, 0x40, "L1", "read"))
+        sink.on_event(CacheMiss(2, 0, 0, 0x80, "L1", "read"))
+        sink.on_event(CacheMiss(2, 0, 0, 0x80, "L2", "read"))
+        sink.on_event(Eviction(3, 0, 0x40, dirty=True))
+        sink.on_event(Writeback(3, 0, 0x40, "eviction"))
+        sink.on_event(Invalidation(4, 1, 0x80, "remote_write"))
+        assert sink.hits["L1"] == 1
+        assert sink.misses == {"L1": 1, "L2": 1}
+        assert sink.evictions == 1
+        assert sink.writebacks == {"eviction": 1}
+        assert sink.invalidations == {"remote_write": 1}
+        assert sink.events_seen == 6
+
+    def test_element_outcomes_split_by_result(self):
+        sink = MetricsSink()
+        sink.on_event(ElementOutcome(5, 0, 0, 0x40, "gatherlink", 3,
+                                     True, None))
+        sink.on_event(ElementOutcome(6, 0, 0, 0x80, "scattercond", 2,
+                                     False, "alias"))
+        sink.on_event(ElementOutcome(7, 0, 1, 0x80, "scattercond", 1,
+                                     False, "alias"))
+        assert sink.element_successes == {"gatherlink": 3}
+        assert sink.element_failures == {"alias": 3}
+
+    def test_failure_timeline_buckets_by_cycle(self):
+        sink = MetricsSink(bucket=100)
+        sink.on_event(ElementOutcome(50, 0, 0, 0x40, "scattercond", 2,
+                                     False, "eviction"))
+        sink.on_event(ElementOutcome(99, 0, 0, 0x40, "scattercond", 1,
+                                     False, "eviction"))
+        sink.on_event(ElementOutcome(250, 0, 0, 0x40, "scattercond", 4,
+                                     False, "eviction"))
+        assert sink.failure_timeline["eviction"] == {0: 3, 2: 4}
+
+    def test_link_lifetime_tracking(self):
+        sink = MetricsSink()
+        sink.on_event(ReservationSet(100, 0, 1, 0x40, "glsc"))
+        sink.on_event(ReservationLost(160, 0, 1, 0x40, "glsc", "consumed"))
+        assert sink.lifetime_count["consumed"] == 1
+        assert sink.mean_lifetime("consumed") == pytest.approx(60.0)
+        # 60 needs 6 bits
+        assert sink.lifetime_hist["consumed"] == {6: 1}
+        assert sink.mean_lifetime("never_seen") == 0.0
+
+    def test_scalar_losses_do_not_enter_link_lifetimes(self):
+        sink = MetricsSink()
+        sink.on_event(ReservationLost(10, 0, 0, 0x40, "scalar",
+                                      "thread_conflict"))
+        assert sink.reservation_deaths["thread_conflict"] == 1
+        assert not sink.lifetime_count
+
+    def test_combining_counts_sync_lanes_only(self):
+        sink = MetricsSink()
+        sink.on_event(LineCombine(5, 0, 0, 0x40, "gather", 3, sync=True))
+        sink.on_event(LineCombine(6, 0, 0, 0x40, "scatter", 2, sync=False))
+        assert sink.lanes_saved_by_combining == 3
+
+    def test_summary_and_render(self):
+        sink = MetricsSink()
+        sink.on_event(CacheMiss(2, 0, 0, 0x80, "L1", "read"))
+        sink.on_event(ElementOutcome(6, 0, 0, 0x80, "scattercond", 2,
+                                     False, "alias"))
+        summary = sink.summary()
+        assert summary["l1_misses"] == 1
+        assert summary["element_failures"] == {"alias": 2}
+        text = sink.render()
+        assert "alias=2" in text
+        assert "1 misses" in text
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer)
+        sink.on_event(CacheMiss(2, 0, 1, 0x80, "L1", "read"))
+        sink.on_event(Writeback(3, 0, 0x40, "eviction"))
+        sink.close()
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["type"] == "CacheMiss"
+        assert first["line_addr"] == 0x80
+
+    def test_limit_bounds_the_file(self):
+        buffer = io.StringIO()
+        sink = JsonlSink(buffer, limit=1)
+        for cycle in range(5):
+            sink.on_event(CacheMiss(cycle, 0, 0, 0x40, "L1", "read"))
+        assert sink.written == 1
+        assert sink.dropped == 4
+        assert len(buffer.getvalue().splitlines()) == 1
+
+    def test_path_destination_owns_the_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(str(path))
+        sink.on_event(Eviction(1, 0, 0x40, dirty=False))
+        sink.close()
+        data = [json.loads(line) for line in path.read_text().splitlines()]
+        assert data[0]["type"] == "Eviction"

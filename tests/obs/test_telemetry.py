@@ -1,0 +1,70 @@
+"""Tests for run-level telemetry records and provenance."""
+
+from repro.obs.telemetry import (
+    RunTelemetry,
+    render_telemetry,
+    run_provenance,
+)
+
+
+def sample(**overrides):
+    base = dict(
+        label="hip/A glsc 4x4",
+        digest="abc123",
+        source="simulated",
+        cycles=120_000,
+        instructions=40_000,
+        wall_time_s=2.0,
+        worker_pid=4242,
+        created=1754_000_000.0,
+    )
+    base.update(overrides)
+    return RunTelemetry(**base)
+
+
+class TestRunTelemetry:
+    def test_cycles_per_second(self):
+        assert sample().cycles_per_second == 60_000.0
+
+    def test_zero_wall_time_is_not_a_division_error(self):
+        assert sample(wall_time_s=0.0).cycles_per_second == 0.0
+
+    def test_round_trip(self):
+        original = sample()
+        rebuilt = RunTelemetry.from_dict(original.to_dict())
+        assert rebuilt == original
+
+    def test_to_dict_includes_derived_throughput(self):
+        assert sample().to_dict()["cycles_per_second"] == 60_000.0
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = sample().to_dict()
+        data["added_in_some_future_version"] = {"x": 1}
+        rebuilt = RunTelemetry.from_dict(data)
+        assert rebuilt.digest == "abc123"
+
+
+class TestProvenance:
+    def test_audit_fields_present(self):
+        prov = run_provenance(1.5)
+        assert prov["wall_time_s"] == 1.5
+        for key in ("repro_version", "python", "platform",
+                    "worker_pid", "created"):
+            assert key in prov
+        assert prov["worker_pid"] > 0
+
+
+class TestRender:
+    def test_table_and_totals(self):
+        text = render_telemetry([
+            sample(),
+            sample(label="hip/A glsc 1x4", source="memo", wall_time_s=0.0),
+        ])
+        assert "hip/A glsc 4x4" in text
+        assert "simulated" in text and "memo" in text
+        assert "2 specs (1 simulated, 1 cached)" in text
+        assert "120000 fresh cycles" in text  # memo'd cycles excluded
+
+    def test_empty_sweep_renders_without_error(self):
+        text = render_telemetry([])
+        assert "0 specs" in text

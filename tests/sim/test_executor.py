@@ -195,6 +195,93 @@ class TestSessionFacade:
         assert executor.simulations == 2
 
 
+class TestTelemetry:
+    def test_every_served_spec_gets_a_record(self):
+        executor = Executor()
+        executor.run(SPEC)       # simulated
+        executor.run(SPEC)       # memo
+        sources = [t.source for t in executor.telemetry]
+        assert sources == ["simulated", "memo"]
+        fresh, memo = executor.telemetry
+        assert fresh.digest == memo.digest == SPEC.digest()
+        assert fresh.label == SPEC.label()
+        assert fresh.cycles == memo.cycles > 0
+        assert fresh.wall_time_s > 0
+        assert fresh.worker_pid > 0
+        # A memo hit costs no simulation wall time.
+        assert memo.wall_time_s == 0.0
+
+    def test_store_hits_are_labelled(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        Executor(store=store).run(SPEC)
+        warm = Executor(store=store)
+        warm.run(SPEC)
+        assert [t.source for t in warm.telemetry] == ["store"]
+
+    def test_parallel_sweep_records_worker_pids(self):
+        sweep = Sweep.product(("tms", "hip"), ("tiny",), ("1x1",), (4,),
+                              ("glsc",))
+        executor = Executor(jobs=2)
+        executor.run_sweep(sweep)
+        assert len(executor.telemetry) == 2
+        for t in executor.telemetry:
+            assert t.source == "simulated"
+            assert t.worker_pid > 0
+            assert t.cycles > 0
+
+
+class TestObservedRuns:
+    """A tracer/observer must actually see the run — never be silently
+    bypassed by the memo, the store, or a worker process."""
+
+    def test_tracer_forces_fresh_inprocess_simulation(self, tmp_path):
+        from repro.sim.trace import InstructionTrace
+
+        store = ResultStore(tmp_path / "cache")
+        Executor(store=store).run(SPEC)  # store now holds the result
+
+        observed = Executor(store=store, jobs=4)
+        trace = InstructionTrace()
+        stats = observed.run(SPEC, tracer=trace)
+        assert observed.simulations == 1   # not served from the store
+        assert observed.store_hits == 0
+        assert len(trace) > 0              # the tracer saw every retire
+        assert stats.cycles > 0
+        # In-process: the recorded pid is this process, not a worker.
+        import os
+
+        assert observed.telemetry[-1].worker_pid == os.getpid()
+
+    def test_observed_run_bypasses_the_memo_too(self):
+        from repro.sim.trace import InstructionTrace
+
+        executor = Executor()
+        executor.run(SPEC)
+        trace = InstructionTrace()
+        executor.run(SPEC, tracer=trace)
+        assert executor.simulations == 2
+        assert len(trace) > 0
+
+    def test_event_bus_observer_counts_as_observed(self):
+        from repro.obs.bus import EventBus
+        from repro.obs.sinks import MetricsSink
+
+        executor = Executor(jobs=4)
+        executor.run(SPEC)
+        bus = EventBus()
+        metrics = bus.attach(MetricsSink())
+        executor.run(SPEC, obs=bus)
+        assert executor.simulations == 2
+        assert metrics.events_seen > 0
+
+    def test_observed_and_unobserved_stats_agree(self):
+        from repro.sim.trace import InstructionTrace
+
+        plain = Executor().run(SPEC)
+        traced = Executor().run(SPEC, tracer=InstructionTrace())
+        assert traced == plain  # observation never changes timing
+
+
 class TestCrossFigureDedup:
     def test_shared_points_simulated_once(self):
         executor = Executor()

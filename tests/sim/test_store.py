@@ -107,6 +107,38 @@ class TestStoreRoundTrip:
         assert len(store) == 2
 
 
+class TestProvenance:
+    def test_fresh_results_carry_provenance(self, store):
+        import os
+
+        executor = Executor(store=store)
+        executor.run(SPEC)
+        record = store.load_record(SPEC.digest())
+        prov = record["provenance"]
+        assert prov["worker_pid"] == os.getpid()
+        assert prov["wall_time_s"] > 0
+        assert prov["created"] > 0
+        for key in ("repro_version", "python", "platform"):
+            assert key in prov
+
+    def test_save_without_provenance_still_loads(self, store):
+        stats = Executor().run(SPEC)
+        store.save(SPEC.digest(), stats)
+        assert store.load(SPEC.digest()) == stats
+        assert store.load_record(SPEC.digest())["provenance"] == {}
+
+    def test_unknown_record_keys_ignored_on_load(self, store):
+        """Forward compatibility: a record written by a newer repro
+        version (extra top-level keys) must still be served."""
+        executor = Executor(store=store)
+        stats = executor.run(SPEC)
+        path = store.path_for(SPEC.digest())
+        record = json.loads(path.read_text())
+        record["added_by_a_future_version"] = {"telemetry_v2": [1, 2]}
+        path.write_text(json.dumps(record))
+        assert store.load(SPEC.digest()) == stats
+
+
 class TestHarnessCaching:
     def test_repeated_fig8_is_all_store_hits(self, store):
         """Acceptance shape: a repeat invocation simulates nothing."""

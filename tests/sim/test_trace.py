@@ -92,6 +92,41 @@ class TestSummaries:
         assert event.latency == 1
 
 
+class TestBusSeam:
+    """The tracer seam and the event bus deliver identical streams."""
+
+    def test_tracer_kwarg_and_instr_bus_agree(self):
+        from repro.obs.bus import EventBus
+
+        direct, _ = traced_run(simple_program)
+
+        bus = EventBus()
+        via_bus = bus.attach(InstructionTrace())
+        machine = Machine(
+            MachineConfig(n_cores=1, threads_per_core=1, simd_width=4),
+            obs=bus,
+        )
+        machine.add_program(simple_program(machine))
+        machine.run()
+
+        assert list(via_bus) == list(direct)
+        assert via_bus.kind_profile() == direct.kind_profile()
+
+    def test_tracer_close_called_through_bus(self):
+        from repro.obs.bus import EventBus
+
+        closes = []
+
+        class Closing(InstructionTrace):
+            def close(self):
+                closes.append(True)
+
+        bus = EventBus()
+        bus.attach(Closing())
+        bus.close()
+        assert closes == [True]
+
+
 class TestGsuTracing:
     def test_glsc_instructions_traced_as_sync(self):
         def factory(machine):
