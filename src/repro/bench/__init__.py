@@ -1,0 +1,72 @@
+"""Regression observatory: bench suites, baselines, and drift gates.
+
+Per-run observability (:mod:`repro.obs`) watches one simulation;
+this package watches the *repository* across commits.  A fixed grid
+of bench points (:mod:`repro.bench.suite`) is executed fresh and
+repeatedly (:mod:`repro.bench.runner`, median + MAD over N repeats, in
+the repeat-and-aggregate spirit of Schweizer et al.'s atomic-cost
+methodology), the resulting document is archived as a
+schema-versioned ``BENCH_<git-sha>.json`` and appended to a trajectory
+(:mod:`repro.bench.baseline`), and a :class:`~repro.bench.compare.
+Comparator` diffs every metric against the previous baseline and the
+committed fidelity-reference bands distilled from the paper's
+Figure 6/8 and Table 4 (:mod:`repro.bench.fidelity`) — classifying
+each as ok / improved / regressed so CI can fail on silent drift.
+
+Quickstart::
+
+    python -m repro.harness bench run --suite smoke --repeats 1
+    python -m repro.harness bench compare        # exit 1 on regression
+    python -m repro.harness bench report         # markdown + sparklines
+
+Three kinds of drift are caught:
+
+* **hot-path regressions** — wall time per point vs the previous
+  baseline, judged against median ± MAD noise bounds;
+* **model drift** — simulated cycle counts are deterministic, so any
+  change against the baseline is flagged;
+* **fidelity drift** — GLSC/Base speedup ratios and Table-4 failure-
+  cause mixes leaving the committed reference bands (the paper-shape
+  gate) fail the comparison outright.
+"""
+
+from repro.bench.baseline import (
+    BENCH_SCHEMA_VERSION,
+    append_trajectory,
+    bench_filename,
+    current_git_sha,
+    latest_bench_file,
+    load_bench,
+    load_trajectory,
+    trajectory_entry,
+    write_bench,
+)
+from repro.bench.compare import Comparator, Comparison, Verdict
+from repro.bench.fidelity import distill_reference, fidelity_metrics
+from repro.bench.report import render_markdown, sparkline
+from repro.bench.runner import BenchRunner
+from repro.bench.suite import BenchPoint, BenchSuite, SUITE_NAMES, get_suite
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchPoint",
+    "BenchRunner",
+    "BenchSuite",
+    "Comparator",
+    "Comparison",
+    "SUITE_NAMES",
+    "Verdict",
+    "append_trajectory",
+    "bench_filename",
+    "current_git_sha",
+    "distill_reference",
+    "fidelity_metrics",
+    "get_suite",
+    "latest_bench_file",
+    "load_bench",
+    "load_trajectory",
+    "render_markdown",
+    "sparkline",
+    "trajectory_entry",
+    "write_bench",
+]

@@ -1,0 +1,138 @@
+"""Fidelity metrics: the paper-shape numbers a bench run distills.
+
+Computed from the :class:`~repro.sim.stats.MachineStats` the bench
+runner already collected — never re-simulated ad hoc — so the
+fidelity gate and the perf gate always describe the same runs.
+
+Two metric families, mirroring what the paper's evaluation claims:
+
+* **speedup** — Base/GLSC execution-time ratio per (kernel, dataset,
+  topology, width) pair present in the suite.  Figure 6 (topology
+  axis) and Figure 8 (width axis) are slices of this one mapping;
+  the reference bands encode their trends (GLSC wins everywhere
+  except alias-heavy HIP-A, TMS wins biggest, ratio grows with
+  width).
+* **failure_mix** — per GLSC point: the element failure *rate*
+  (Table 4's headline column) and the normalized cause mix
+  (alias / thread_conflict / link_stolen / eviction / miss_policy,
+  Section 5.1's attribution), plus the dominant cause.
+
+:func:`distill_reference` turns an observed bench document into a
+fresh fidelity-reference file — the *intentional* refresh path when
+the model legitimately changes (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.sim.stats import MachineStats
+
+__all__ = ["fidelity_metrics", "distill_reference", "REFERENCE_SCHEMA_VERSION"]
+
+#: Schema version of the fidelity-reference file.
+REFERENCE_SCHEMA_VERSION = 1
+
+
+def _ratio_key(pid: str) -> Optional[str]:
+    """Collapse a point id to its variant-free ratio key, or None.
+
+    ``tms/A:4x4:w4:glsc`` -> ``tms/A:4x4:w4``.
+    """
+    head, _, variant = pid.rpartition(":")
+    if variant not in ("base", "glsc"):
+        return None
+    return head
+
+
+def fidelity_metrics(
+    stats_by_id: Mapping[str, MachineStats],
+) -> Dict[str, Any]:
+    """The fidelity section of a bench document.
+
+    ``stats_by_id`` maps bench point ids to their verified stats; the
+    result is plain JSON-able data::
+
+        {"speedup": {"tms/A:4x4:w4": 1.91, ...},
+         "failure_mix": {"tms/A:4x4:w4:glsc": {
+             "rate": 0.083, "dominant": "alias",
+             "mix": {"alias": 0.71, "thread_conflict": 0.22, ...}}}}
+    """
+    cycles: Dict[str, Dict[str, int]] = {}
+    failure_mix: Dict[str, Dict[str, Any]] = {}
+    for pid, stats in stats_by_id.items():
+        key = _ratio_key(pid)
+        if key is None:
+            continue
+        variant = pid.rpartition(":")[2]
+        cycles.setdefault(key, {})[variant] = stats.cycles
+        if variant != "glsc":
+            continue
+        total = stats.glsc_failures_total
+        mix = {
+            cause: (count / total if total else 0.0)
+            for cause, count in sorted(stats.glsc_element_failures.items())
+        }
+        dominant = (
+            max(stats.glsc_element_failures.items(), key=lambda kv: kv[1])[0]
+            if total
+            else None
+        )
+        failure_mix[pid] = {
+            "rate": stats.glsc_failure_rate,
+            "attempts": stats.glsc_element_attempts,
+            "dominant": dominant,
+            "mix": mix,
+        }
+
+    speedup = {
+        key: pair["base"] / pair["glsc"]
+        for key, pair in sorted(cycles.items())
+        if "base" in pair and "glsc" in pair and pair["glsc"] > 0
+    }
+    return {"speedup": speedup, "failure_mix": failure_mix}
+
+
+def distill_reference(
+    doc: Mapping[str, Any],
+    rel_band: float = 0.25,
+    rate_band: float = 0.05,
+    source: str = "",
+) -> Dict[str, Any]:
+    """Fidelity-reference bands distilled from an observed bench doc.
+
+    Speedup bands are ``value * (1 -/+ rel_band)`` (floored at a width
+    of ±0.02 so near-1.0 ratios keep headroom); failure-rate bands are
+    ``rate ± max(rel_band * rate, rate_band)`` clamped to [0, 1]; the
+    dominant cause is pinned whenever the point saw any failures.
+    Hand-tighten the emitted bands where the paper makes a sharper
+    claim (e.g. HIP-A's band should straddle 1.0 — Base wins there).
+    """
+    fidelity = doc.get("fidelity", {})
+    speedup_bands = {}
+    for key, value in fidelity.get("speedup", {}).items():
+        half = max(rel_band * value, 0.02)
+        speedup_bands[key] = [round(value - half, 4), round(value + half, 4)]
+    failure_bands = {}
+    for pid, entry in fidelity.get("failure_mix", {}).items():
+        rate = entry["rate"]
+        half = max(rel_band * rate, rate_band)
+        failure_bands[pid] = {
+            "rate_band": [
+                round(max(rate - half, 0.0), 4),
+                round(min(rate + half, 1.0), 4),
+            ],
+            "dominant": entry["dominant"],
+        }
+    return {
+        "schema_version": REFERENCE_SCHEMA_VERSION,
+        "source": source
+        or (
+            "distilled from bench run "
+            f"{doc.get('git_sha', 'unknown')} (suite "
+            f"{doc.get('suite', '?')}); trends per ISCA'08 Fig 6/8 + "
+            "Table 4 — see EXPERIMENTS.md"
+        ),
+        "speedup_bands": speedup_bands,
+        "failure_mix": failure_bands,
+    }

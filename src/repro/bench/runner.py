@@ -1,0 +1,144 @@
+"""BenchRunner: execute a suite fresh, N times, and aggregate.
+
+Single-sample wall times lie — a page-cache hiccup or a turbo step
+makes one run 30% off.  Following the repeat-and-aggregate
+methodology of Schweizer et al.'s atomic-operation cost study, every
+point is simulated ``repeats`` times and summarized as median + MAD
+(median absolute deviation), which the comparator later uses as the
+point's noise bound.
+
+Every repeat is a *fresh* simulation: the runner drives the executor
+through the observed-run path (an empty :class:`~repro.obs.bus.
+EventBus` — no sinks, so zero event overhead), which by contract
+bypasses the memo and the on-disk store and simulates in-process.
+That is exactly the property a benchmark needs, reused instead of
+re-implemented.
+
+Simulated cycle counts are deterministic, so the runner also asserts
+every repeat of a point returns identical cycles — a free
+bitwise-reproducibility check on every bench run.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import VerificationError
+from repro.obs.bus import EventBus
+from repro.obs.telemetry import run_provenance
+from repro.sim.executor import Executor
+from repro.sim.stats import MachineStats
+
+from repro.bench.baseline import BENCH_SCHEMA_VERSION, current_git_sha
+from repro.bench.fidelity import fidelity_metrics
+from repro.bench.suite import BenchSuite
+
+__all__ = ["BenchRunner", "mad"]
+
+
+def mad(samples: List[float]) -> float:
+    """Median absolute deviation — the robust noise scale."""
+    if len(samples) < 2:
+        return 0.0
+    center = statistics.median(samples)
+    return statistics.median(abs(s - center) for s in samples)
+
+
+class BenchRunner:
+    """Runs a :class:`~repro.bench.suite.BenchSuite` into a bench doc."""
+
+    def __init__(
+        self,
+        suite: BenchSuite,
+        repeats: int = 3,
+        git_sha: Optional[str] = None,
+        progress=None,
+    ) -> None:
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.suite = suite
+        self.repeats = repeats
+        self.git_sha = git_sha or current_git_sha()
+        self._progress = progress  # callable(str) or None
+        #: Stats per point id from the last :meth:`run` (repeat 0).
+        self.stats_by_id: Dict[str, MachineStats] = {}
+
+    def _note(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    def run(self) -> Dict[str, Any]:
+        """Execute the suite and return the bench document (JSON-able)."""
+        specs = self.suite.specs()
+        ids = self.suite.ids()
+        wall_samples: Dict[str, List[float]] = {pid: [] for pid in ids}
+        cycles_seen: Dict[str, int] = {}
+        self.stats_by_id = {}
+
+        started = time.perf_counter()
+        for repeat in range(self.repeats):
+            # A sinkless bus keeps every wants_* flag False (no event
+            # overhead) while still forcing the executor's observed
+            # path: fresh in-process simulation, no memo/store reads.
+            executor = Executor()
+            results = executor.run_sweep(specs, obs=EventBus())
+            by_label = {
+                t.label: t for t in executor.telemetry
+                if t.source == "simulated"
+            }
+            for pid, spec in zip(ids, specs):
+                stats = results[spec]
+                telemetry = by_label[spec.label()]
+                wall_samples[pid].append(telemetry.wall_time_s)
+                if repeat == 0:
+                    self.stats_by_id[pid] = stats
+                    cycles_seen[pid] = stats.cycles
+                elif stats.cycles != cycles_seen[pid]:
+                    raise VerificationError(
+                        f"bench point {pid} is non-deterministic: "
+                        f"{cycles_seen[pid]} cycles on repeat 0, "
+                        f"{stats.cycles} on repeat {repeat}"
+                    )
+            self._note(
+                f"repeat {repeat + 1}/{self.repeats}: "
+                f"{len(specs)} points in "
+                f"{time.perf_counter() - started:.1f}s total"
+            )
+
+        points = []
+        for pid, spec in zip(ids, specs):
+            samples = wall_samples[pid]
+            wall_median = statistics.median(samples)
+            stats = self.stats_by_id[pid]
+            points.append(
+                {
+                    "id": pid,
+                    "spec": spec.to_dict(),
+                    "cycles": stats.cycles,
+                    "instructions": stats.total_instructions,
+                    "wall_s": {
+                        "median": wall_median,
+                        "mad": mad(samples),
+                        "min": min(samples),
+                        "samples": samples,
+                    },
+                    "cyc_per_s": (
+                        stats.cycles / wall_median if wall_median > 0 else 0.0
+                    ),
+                    "summary": stats.summary(),
+                }
+            )
+
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "git_sha": self.git_sha,
+            "created": time.time(),
+            "suite": self.suite.name,
+            "repeats": self.repeats,
+            "deterministic": True,  # enforced above, repeat-vs-repeat
+            "provenance": run_provenance(time.perf_counter() - started),
+            "points": points,
+            "fidelity": fidelity_metrics(self.stats_by_id),
+        }

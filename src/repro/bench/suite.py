@@ -1,0 +1,157 @@
+"""Bench suites: the fixed grids of RunSpecs the observatory watches.
+
+A suite is deliberately *declared*, not discovered: the grid is part
+of the contract with the trajectory and the fidelity reference, so a
+point silently disappearing is itself a reportable event (the
+comparator flags ids present in the baseline but missing from a new
+run).  Spatter's gather/scatter suite works the same way — a fixed,
+named set of patterns whose archived results stay comparable across
+machines and commits.
+
+Two registered suites:
+
+* ``full`` — every paper kernel x SIMD width {1, 4, 16} x topology
+  {1x1, 4x4} x variant {base, glsc} on dataset A: 84 points, the grid
+  behind Figures 6/8 and Table 4;
+* ``smoke`` — two kernels (one alias-heavy, one not) on the tiny
+  dataset at widths {1, 4}: 16 points, fast enough for a CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.kernels.registry import KERNEL_ORDER
+from repro.sim.executor import RunSpec
+
+__all__ = ["BenchPoint", "BenchSuite", "SUITE_NAMES", "get_suite"]
+
+#: The SIMD widths and topologies the full grid sweeps (paper Fig 6/8).
+FULL_WIDTHS: Tuple[int, ...] = (1, 4, 16)
+FULL_TOPOLOGIES: Tuple[str, ...] = ("1x1", "4x4")
+VARIANTS: Tuple[str, ...] = ("base", "glsc")
+
+
+def point_id(spec: RunSpec) -> str:
+    """Stable identity of a bench point across runs and files.
+
+    ``kernel/dataset:topology:wW:variant`` — every character is legal
+    in JSON keys and shell arguments, and the id round-trips through
+    :func:`spec_from_id`.
+    """
+    return (
+        f"{spec.kernel}/{spec.dataset}:{spec.topology}"
+        f":w{spec.simd_width}:{spec.variant}"
+    )
+
+
+def spec_from_id(pid: str) -> RunSpec:
+    """Inverse of :func:`point_id` (bench points carry no overrides)."""
+    try:
+        # rsplit: microbenchmark kernels ("micro:A") contain a colon.
+        kernel_dataset, topology, width, variant = pid.rsplit(":", 3)
+        kernel, dataset = kernel_dataset.rsplit("/", 1)
+        if not width.startswith("w"):
+            raise ValueError(pid)
+        spec = RunSpec(kernel, dataset, topology, int(width[1:]), variant)
+    except ValueError as exc:
+        raise ConfigError(f"malformed bench point id {pid!r}") from exc
+    if spec.is_micro:
+        return RunSpec.micro(
+            spec.kernel.split(":", 1)[1], topology, spec.simd_width, variant
+        )
+    return spec
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One cell of a suite's grid: a spec plus its stable id."""
+
+    spec: RunSpec
+
+    @property
+    def id(self) -> str:
+        return point_id(self.spec)
+
+
+class BenchSuite:
+    """A named, ordered, duplicate-free grid of bench points."""
+
+    def __init__(self, name: str, specs: Sequence[RunSpec]) -> None:
+        self.name = name
+        self.points: List[BenchPoint] = []
+        seen: Dict[str, RunSpec] = {}
+        for spec in specs:
+            pid = point_id(spec)
+            if pid in seen:
+                raise ConfigError(
+                    f"suite {name!r} declares point {pid!r} twice"
+                )
+            seen[pid] = spec
+            self.points.append(BenchPoint(spec))
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        kernels: Sequence[str],
+        dataset: str,
+        topologies: Sequence[str] = FULL_TOPOLOGIES,
+        widths: Sequence[int] = FULL_WIDTHS,
+        variants: Sequence[str] = VARIANTS,
+    ) -> "BenchSuite":
+        """The Cartesian grid suite over the given axes."""
+        return cls(
+            name,
+            [
+                RunSpec(kernel, dataset, topology, width, variant)
+                for kernel in kernels
+                for topology in topologies
+                for width in widths
+                for variant in variants
+            ],
+        )
+
+    @classmethod
+    def full(cls) -> "BenchSuite":
+        """Every kernel x {1,4,16}-wide x {1x1,4x4} x {base,glsc}, dataset A."""
+        return cls.grid("full", KERNEL_ORDER, "A")
+
+    @classmethod
+    def smoke(cls) -> "BenchSuite":
+        """Reduced CI grid: tms (alias-heavy) + hip (Base-competitive)."""
+        return cls.grid("smoke", ("tms", "hip"), "tiny", widths=(1, 4))
+
+    # -- access -----------------------------------------------------------
+
+    def ids(self) -> List[str]:
+        return [point.id for point in self.points]
+
+    def specs(self) -> List[RunSpec]:
+        return [point.spec for point in self.points]
+
+    def __iter__(self) -> Iterator[BenchPoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:
+        return f"BenchSuite({self.name!r}, {len(self.points)} points)"
+
+
+#: Registered suite names, in documentation order.
+SUITE_NAMES: Tuple[str, ...] = ("full", "smoke")
+
+
+def get_suite(name: str) -> BenchSuite:
+    """Look a registered suite up by name."""
+    if name == "full":
+        return BenchSuite.full()
+    if name == "smoke":
+        return BenchSuite.smoke()
+    raise ConfigError(f"unknown bench suite {name!r}; known: {SUITE_NAMES}")

@@ -7,16 +7,26 @@ Usage::
     python -m repro.harness all --jobs 4 --telemetry
     python -m repro.harness fig8 --no-cache
 
-plus two observability subcommands::
+plus four non-experiment subcommands::
 
     python -m repro.harness trace hip --dataset A --out hip.trace.json
     python -m repro.harness profile tms --variant glsc
+    python -m repro.harness bench run --suite smoke --repeats 1
+    python -m repro.harness cache stats
 
 ``trace`` runs one kernel with the full event bus attached and writes
 a Chrome trace-event JSON file — open it at https://ui.perfetto.dev to
 see every thread's instructions and the memory-hierarchy events on a
 cycle timeline.  ``profile`` runs one kernel with an instruction trace
 and metrics aggregation and prints the latency/attribution report.
+``bench`` is the regression observatory (see :mod:`repro.bench`):
+``bench run`` archives a ``BENCH_<git-sha>.json`` + trajectory point,
+``bench compare`` gates it against the previous baseline and the
+committed fidelity-reference bands (exit 1 on a regression), ``bench
+report`` renders the markdown verdict/trajectory report, and ``bench
+reference`` distills fresh reference bands from an archived run.
+``cache`` inspects and maintains the on-disk result store
+(``ls`` / ``stats`` / ``prune``).
 
 (Installed as the ``glsc-harness`` console script.)
 
@@ -204,8 +214,9 @@ def _main_trace(argv: List[str]) -> int:
     bus = EventBus()
     perfetto = bus.attach(PerfettoSink(include_hits=args.include_hits))
     metrics = bus.attach(MetricsSink())
+    jsonl = None
     if args.jsonl is not None:
-        bus.attach(JsonlSink(str(args.jsonl), limit=args.jsonl_limit))
+        jsonl = bus.attach(JsonlSink(str(args.jsonl), limit=args.jsonl_limit))
     executor = Executor()
     stats = executor.run(spec, obs=bus)
     bus.close()
@@ -214,6 +225,8 @@ def _main_trace(argv: List[str]) -> int:
     telemetry = executor.telemetry[-1]
     print(f"{spec.label()}: {stats.cycles} cycles, "
           f"{len(perfetto)} trace events -> {out}")
+    if jsonl is not None:
+        print(f"{jsonl.summary()} -> {args.jsonl}")
     print(metrics.render())
     print(f"[{telemetry.wall_time_s:.2f}s wall, "
           f"{telemetry.cycles_per_second:.0f} cyc/s]")
@@ -273,15 +286,314 @@ def _main_profile(argv: List[str]) -> int:
     return 0
 
 
+def _main_bench(argv: List[str]) -> int:
+    """``bench``: the regression observatory (run/compare/report/reference)."""
+    from repro.bench import (
+        BenchRunner,
+        Comparator,
+        append_trajectory,
+        current_git_sha,
+        get_suite,
+        latest_bench_file,
+        load_bench,
+        load_trajectory,
+        render_markdown,
+        trajectory_entry,
+        write_bench,
+    )
+    from repro.bench.baseline import (
+        REFERENCE_NAME,
+        TRAJECTORY_NAME,
+        load_reference,
+        previous_entry,
+    )
+    from repro.bench.fidelity import distill_reference
+    from repro.bench.suite import SUITE_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="glsc-harness bench",
+        description=(
+            "Performance & fidelity regression observatory: archive a "
+            "bench run, gate it against the previous baseline and the "
+            "paper-shape reference bands, and render trend reports."
+        ),
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    def _add_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--dir", type=Path, default=Path("."), metavar="PATH",
+            help="artifact directory holding BENCH_*.json, the "
+                 "trajectory, and the reference (default: .)",
+        )
+
+    p_run = sub.add_parser("run", help="execute a suite and archive it")
+    _add_dir(p_run)
+    p_run.add_argument("--suite", default="full", choices=list(SUITE_NAMES))
+    p_run.add_argument(
+        "--repeats", type=int, default=3, metavar="N",
+        help="fresh simulations per point (default: 3)",
+    )
+    p_run.add_argument(
+        "--no-trajectory", action="store_true",
+        help="write the BENCH file only; do not append the trajectory",
+    )
+
+    for verb, help_text in (
+        ("compare", "gate the newest run; exit 1 on a regression"),
+        ("report", "render the markdown verdict + trajectory report"),
+    ):
+        p = sub.add_parser(verb, help=help_text)
+        _add_dir(p)
+        p.add_argument(
+            "--bench", type=Path, default=None, metavar="FILE",
+            help="bench document (default: newest BENCH_*.json in --dir)",
+        )
+        p.add_argument(
+            "--reference", type=Path, default=None, metavar="FILE",
+            help=f"fidelity-reference bands (default: --dir/{REFERENCE_NAME})",
+        )
+        p.add_argument(
+            "--skip-perf", action="store_true",
+            help="skip wall-time verdicts (baseline from another machine)",
+        )
+        p.add_argument(
+            "--skip-cycles", action="store_true",
+            help="skip deterministic cycle-drift verdicts",
+        )
+        p.add_argument(
+            "--rel-tol", type=float, default=0.15, metavar="F",
+            help="relative wall-time tolerance (default: 0.15)",
+        )
+        if verb == "report":
+            p.add_argument(
+                "--out", type=Path, default=None, metavar="FILE",
+                help="write markdown here instead of stdout",
+            )
+
+    p_ref = sub.add_parser(
+        "reference", help="distill fresh fidelity bands from a bench run"
+    )
+    _add_dir(p_ref)
+    p_ref.add_argument("--bench", type=Path, default=None, metavar="FILE")
+    p_ref.add_argument(
+        "--out", type=Path, default=None, metavar="FILE",
+        help=f"output path (default: --dir/{REFERENCE_NAME})",
+    )
+    p_ref.add_argument(
+        "--rel-band", type=float, default=0.25, metavar="F",
+        help="half-width of the emitted bands, relative (default: 0.25)",
+    )
+    p_ref.add_argument(
+        "--fresh", action="store_true",
+        help="overwrite instead of merging into an existing reference "
+             "(merging keeps bands for points this run did not cover, "
+             "e.g. the smoke suite's)",
+    )
+
+    args = parser.parse_args(argv)
+    trajectory_path = args.dir / TRAJECTORY_NAME
+
+    if args.verb == "run":
+        suite = get_suite(args.suite)
+        sha = current_git_sha(args.dir)
+        print(
+            f"bench run: suite {suite.name} ({len(suite)} points), "
+            f"{args.repeats} repeat(s), sha {sha}"
+        )
+        runner = BenchRunner(
+            suite, repeats=args.repeats, git_sha=sha,
+            progress=lambda msg: print(f"  {msg}"),
+        )
+        doc = runner.run()
+        path = write_bench(doc, args.dir)
+        entry = trajectory_entry(doc)
+        headline = entry["headline"]
+        if not args.no_trajectory:
+            append_trajectory(doc, trajectory_path)
+        print(
+            f"archived {path} "
+            f"({headline['points']} points, "
+            f"{headline['total_wall_s']:.2f}s median wall, "
+            f"{headline['cyc_per_s']:.0f} cyc/s, "
+            f"mean Base/GLSC {headline['mean_speedup']:.3f})"
+            + ("" if args.no_trajectory else f"; trajectory -> {trajectory_path}")
+        )
+        return 0
+
+    # compare / report / reference share the bench-document lookup.
+    bench_path = args.bench or latest_bench_file(args.dir)
+    if bench_path is None:
+        print(
+            f"no BENCH_*.json under {args.dir}; run `bench run` first",
+            file=sys.stderr,
+        )
+        return 2
+    doc = load_bench(bench_path)
+
+    if args.verb == "reference":
+        out = args.out or (args.dir / REFERENCE_NAME)
+        reference = distill_reference(doc, rel_band=args.rel_band)
+        existing = None if args.fresh else load_reference(out)
+        if existing is not None:
+            merged = dict(existing)
+            merged["source"] = reference["source"]
+            merged["speedup_bands"] = dict(
+                existing.get("speedup_bands", {}),
+                **reference["speedup_bands"],
+            )
+            merged["failure_mix"] = dict(
+                existing.get("failure_mix", {}),
+                **reference["failure_mix"],
+            )
+            reference = merged
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(reference, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"reference bands from {bench_path.name} "
+            f"{'->' if existing is None else 'merged into'} {out} "
+            f"({len(reference['speedup_bands'])} speedup bands, "
+            f"{len(reference['failure_mix'])} failure-mix bands)"
+        )
+        return 0
+
+    trajectory = load_trajectory(trajectory_path)
+    baseline = previous_entry(
+        trajectory, doc.get("suite", "?"), exclude_sha=doc.get("git_sha")
+    )
+    reference = load_reference(args.reference or (args.dir / REFERENCE_NAME))
+    comparator = Comparator(
+        rel_tol=args.rel_tol,
+        check_perf=not args.skip_perf,
+        check_cycles=not args.skip_cycles,
+    )
+    comparison = comparator.compare(doc, baseline, reference)
+
+    if args.verb == "report":
+        markdown = render_markdown(comparison, trajectory, doc=doc)
+        if args.out is not None:
+            args.out.write_text(markdown, encoding="utf-8")
+            print(f"report -> {args.out}")
+        else:
+            print(markdown)
+        return 0
+
+    print(comparison.render())
+    if baseline is None and reference is None:
+        print(
+            "warning: neither a baseline trajectory entry nor a "
+            "reference file was found; nothing was actually gated",
+            file=sys.stderr,
+        )
+    return 1 if comparison.failed else 0
+
+
+def _main_cache(argv: List[str]) -> int:
+    """``cache``: inspect and maintain the on-disk result store."""
+    parser = argparse.ArgumentParser(
+        prog="glsc-harness cache",
+        description=(
+            "Inspect/maintain the persistent result store: list "
+            "entries, aggregate stats (incl. hit/miss totals), and "
+            "prune entries stranded by config-schema changes."
+        ),
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+    for verb, help_text in (
+        ("ls", "list stored results"),
+        ("stats", "aggregate store statistics"),
+        ("prune", "delete stale/corrupt entries"),
+    ):
+        p = sub.add_parser(verb, help=help_text)
+        p.add_argument(
+            "--cache-dir", type=Path, default=None, metavar="PATH",
+            help=(
+                "result-store directory (default: $REPRO_CACHE_DIR or "
+                f"{default_cache_dir()})"
+            ),
+        )
+        if verb == "ls":
+            p.add_argument(
+                "--kernel", default=None, metavar="NAME",
+                help="only entries of this kernel",
+            )
+        if verb == "prune":
+            p.add_argument(
+                "--dry-run", action="store_true",
+                help="report what would be removed without deleting",
+            )
+    args = parser.parse_args(argv)
+    store = ResultStore(args.cache_dir)
+
+    if args.verb == "ls":
+        count = 0
+        print(f"{'digest':12s}  {'spec':44s} {'cycles':>10s}  created")
+        for digest, record in store.records():
+            spec_dict = record.get("spec") or {}
+            if args.kernel and spec_dict.get("kernel") != args.kernel:
+                continue
+            try:
+                label = RunSpec.from_dict(spec_dict).label() if spec_dict \
+                    else "(no spec recorded)"
+            except Exception:
+                label = "(unreadable spec)"
+            cycles = (record.get("stats") or {}).get("cycles", 0)
+            created = time.strftime(
+                "%Y-%m-%d %H:%M",
+                time.localtime(record.get("created", 0)),
+            )
+            print(f"{digest[:12]:12s}  {label[:44]:44s} "
+                  f"{cycles:>10d}  {created}")
+            count += 1
+        print(f"{count} entries in {store.root}")
+        return 0
+
+    if args.verb == "stats":
+        info = store.describe()
+        print(f"store: {info['root']}")
+        print(
+            f"  {info['entries']} entries, "
+            f"{info['size_bytes'] / 1024:.1f} KiB, "
+            f"{info['stale']} stale"
+        )
+        print(
+            f"  served {info['hits']} hits / {info['misses']} misses "
+            "(persistent tally)"
+        )
+        print(
+            f"  {info['simulated_wall_s']:.2f}s of simulation represented "
+            "(sum of record provenance wall times)"
+        )
+        if info["by_kernel"]:
+            per = ", ".join(
+                f"{k}={n}" for k, n in sorted(info["by_kernel"].items())
+            )
+            print(f"  by kernel: {per}")
+        return 0
+
+    # prune
+    stale = store.prune(dry_run=args.dry_run)
+    action = "would remove" if args.dry_run else "removed"
+    print(f"{action} {len(stale)} stale entries from {store.root}")
+    for digest in stale:
+        print(f"  {digest[:12]}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro.harness`` / ``glsc-harness``."""
     argv = list(sys.argv[1:] if argv is None else argv)
     # Subcommand dispatch: the experiment names stay positional for
-    # back-compat, so only the two observability verbs are special.
+    # back-compat, so only the non-experiment verbs are special.
     if argv and argv[0] == "trace":
         return _main_trace(argv[1:])
     if argv and argv[0] == "profile":
         return _main_profile(argv[1:])
+    if argv and argv[0] == "bench":
+        return _main_bench(argv[1:])
+    if argv and argv[0] == "cache":
+        return _main_cache(argv[1:])
     parser = argparse.ArgumentParser(
         prog="glsc-harness",
         description=(

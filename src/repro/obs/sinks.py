@@ -10,6 +10,7 @@ object per line — for ad-hoc analysis with standard tools.
 from __future__ import annotations
 
 import json
+import warnings
 from collections import Counter, defaultdict
 from typing import IO, Any, Dict, List, Optional, Tuple, Union
 
@@ -227,7 +228,12 @@ class JsonlSink(Sink):
 
     Once ``limit`` events are written, further events only increment
     :attr:`dropped` — the file stays a prefix of the stream, like
-    :class:`~repro.sim.trace.InstructionTrace`'s event list.
+    :class:`~repro.sim.trace.InstructionTrace`'s event list.  The
+    first dropped event emits a one-time :class:`RuntimeWarning` (a
+    truncated dump silently passing for a complete one is exactly the
+    kind of observability gap this layer exists to close);
+    :meth:`summary` reports the written/dropped totals and the CLI
+    prints it after every ``trace --jsonl`` run.
     """
 
     def __init__(
@@ -245,11 +251,27 @@ class JsonlSink(Sink):
 
     def on_event(self, event: Any) -> None:
         if self.limit is not None and self.written >= self.limit:
+            if self.dropped == 0:
+                warnings.warn(
+                    f"JsonlSink hit its {self.limit}-event bound; "
+                    "further events are dropped (the file is a prefix "
+                    "of the stream, not the whole run)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             self.dropped += 1
             return
         json.dump(event_to_dict(event), self._fh, separators=(",", ":"))
         self._fh.write("\n")
         self.written += 1
+
+    def summary(self) -> str:
+        """One-line accounting of what made it to disk."""
+        bound = "unbounded" if self.limit is None else f"limit {self.limit}"
+        return (
+            f"jsonl: {self.written} events written, "
+            f"{self.dropped} dropped ({bound})"
+        )
 
     def close(self) -> None:
         self._fh.flush()

@@ -131,6 +131,25 @@ class RunSpec:
             warm=True,
         )
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`to_dict` (store records, bench documents).
+
+        Unknown keys are ignored so specs stored by newer writers stay
+        loadable; overrides round-trip through the JSON pair-list form.
+        """
+        return cls(
+            kernel=data["kernel"],
+            dataset=data.get("dataset", "A"),
+            topology=data.get("topology", "4x4"),
+            simd_width=int(data.get("simd_width", 4)),
+            variant=data.get("variant", "glsc"),
+            overrides=tuple(
+                (pair[0], pair[1]) for pair in data.get("overrides", ())
+            ),
+            warm=bool(data.get("warm", False)),
+        )
+
     def with_overrides(self, **extra: Any) -> "RunSpec":
         """A copy with ``extra`` config overrides merged in (extra wins)."""
         merged = dict(self.overrides)

@@ -17,6 +17,13 @@ Records are forward-compatible: loaders ignore keys they do not
 recognize, so adding fields (as ``provenance`` was) never invalidates
 old caches.
 
+The store also keeps a best-effort hit/miss tally in a ``store.meta``
+sidecar (not a ``*.json`` result file, so it can never be mistaken
+for a record): every :meth:`ResultStore.load` bumps the persistent
+totals, which ``repro cache stats`` surfaces together with the
+simulated wall time the cached records represent (read from each
+record's provenance).
+
 The default cache directory is ``.glsc-cache/`` in the current working
 directory, overridable with the ``REPRO_CACHE_DIR`` environment
 variable or the harness ``--cache-dir`` flag.
@@ -29,7 +36,7 @@ import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.sim.stats import MachineStats
 
@@ -53,6 +60,9 @@ class ResultStore:
     directory is always safe.
     """
 
+    #: Sidecar file holding the persistent hit/miss tally.
+    TALLY_NAME = "store.meta"
+
     def __init__(self, root: Optional[Path] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
 
@@ -67,6 +77,7 @@ class ResultStore:
     def load(self, digest: str) -> Optional[MachineStats]:
         """The stored stats for ``digest``, or ``None`` on a miss."""
         record = self.load_record(digest)
+        self._bump_tally(hit=record is not None)
         if record is None:
             return None
         return MachineStats.from_dict(record["stats"])
@@ -158,3 +169,129 @@ class ResultStore:
             except OSError:
                 pass
         return removed
+
+    # -- inspection / maintenance (``repro cache``) ----------------------
+
+    def records(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Every valid ``(digest, record)`` pair currently on disk."""
+        for digest in self.digests():
+            record = self.load_record(digest)
+            if record is not None:
+                yield digest, record
+
+    def tally(self) -> Dict[str, int]:
+        """The persistent hit/miss totals (zeroes when never tallied)."""
+        try:
+            with open(self.root / self.TALLY_NAME, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return {"hits": 0, "misses": 0}
+        if not isinstance(data, dict):
+            return {"hits": 0, "misses": 0}
+        return {
+            "hits": int(data.get("hits", 0)),
+            "misses": int(data.get("misses", 0)),
+        }
+
+    def _bump_tally(self, hit: bool) -> None:
+        """Best-effort persistent hit/miss accounting (never raises)."""
+        try:
+            totals = self.tally()
+            totals["hits" if hit else "misses"] += 1
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.root), prefix=".tally.", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(totals, fh)
+            os.replace(tmp_name, self.root / self.TALLY_NAME)
+        except OSError:
+            pass
+
+    def stale_digests(self) -> List[str]:
+        """Digests whose entries can no longer be produced or trusted.
+
+        An entry is stale when its record is unreadable/invalid (wrong
+        version, torn write) or when re-deriving the digest from the
+        record's stored spec no longer matches its filename — the
+        signature of a :class:`~repro.sim.config.MachineConfig` schema
+        change that left orphaned keys behind.  Records without a
+        stored spec (pre-provenance writers) cannot be re-derived and
+        are conservatively kept.
+        """
+        from repro.sim.executor import RunSpec  # deferred: import cycle
+
+        stale = []
+        for digest in self.digests():
+            record = self.load_record(digest)
+            if record is None:
+                stale.append(digest)
+                continue
+            spec_dict = record.get("spec") or {}
+            if not spec_dict:
+                continue
+            try:
+                fresh = RunSpec.from_dict(spec_dict).digest()
+            except Exception:
+                stale.append(digest)
+                continue
+            if fresh != digest:
+                stale.append(digest)
+        return stale
+
+    def prune(self, dry_run: bool = False) -> List[str]:
+        """Remove every stale entry; returns the digests affected."""
+        stale = self.stale_digests()
+        if not dry_run:
+            for digest in stale:
+                try:
+                    self.path_for(digest).unlink()
+                except OSError:
+                    pass
+        return stale
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of the stored result files."""
+        total = 0
+        for digest in self.digests():
+            try:
+                total += self.path_for(digest).stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def describe(self) -> Dict[str, Any]:
+        """Aggregate view for ``repro cache stats``.
+
+        Hit/miss totals come from the persistent tally; the simulated
+        wall time the cache represents (i.e. what a cold re-run would
+        cost) is summed from each record's provenance.
+        """
+        entries = 0
+        wall_saved = 0.0
+        by_kernel: Dict[str, int] = {}
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for _, record in self.records():
+            entries += 1
+            provenance = record.get("provenance") or {}
+            wall_saved += float(provenance.get("wall_time_s", 0.0) or 0.0)
+            kernel = (record.get("spec") or {}).get("kernel", "?")
+            by_kernel[kernel] = by_kernel.get(kernel, 0) + 1
+            created = record.get("created")
+            if isinstance(created, (int, float)):
+                oldest = created if oldest is None else min(oldest, created)
+                newest = created if newest is None else max(newest, created)
+        tally = self.tally()
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "size_bytes": self.size_bytes(),
+            "hits": tally["hits"],
+            "misses": tally["misses"],
+            "simulated_wall_s": wall_saved,
+            "by_kernel": by_kernel,
+            "oldest": oldest,
+            "newest": newest,
+            "stale": len(self.stale_digests()),
+        }

@@ -1,0 +1,74 @@
+"""Bench-suite grid tests: declared shape, stable ids, round-trips."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.bench.suite import (
+    BenchSuite,
+    get_suite,
+    point_id,
+    spec_from_id,
+    SUITE_NAMES,
+)
+from repro.kernels.registry import KERNEL_ORDER
+from repro.sim.executor import RunSpec
+
+
+class TestFullSuite:
+    def test_grid_shape(self):
+        suite = get_suite("full")
+        # every kernel x {1,4,16} x {1x1,4x4} x {base,glsc} on dataset A
+        assert len(suite) == len(KERNEL_ORDER) * 3 * 2 * 2 == 84
+
+    def test_every_kernel_and_axis_present(self):
+        suite = get_suite("full")
+        specs = suite.specs()
+        assert {s.kernel for s in specs} == set(KERNEL_ORDER)
+        assert {s.simd_width for s in specs} == {1, 4, 16}
+        assert {s.topology for s in specs} == {"1x1", "4x4"}
+        assert {s.variant for s in specs} == {"base", "glsc"}
+        assert all(s.dataset == "A" for s in specs)
+
+    def test_every_glsc_point_has_its_base_twin(self):
+        """The fidelity speedup ratios need both variants per cell."""
+        suite = get_suite("full")
+        ids = set(suite.ids())
+        for pid in ids:
+            if pid.endswith(":glsc"):
+                assert pid[: -len("glsc")] + "base" in ids
+
+    def test_ids_unique_and_ordered(self):
+        suite = get_suite("full")
+        assert len(set(suite.ids())) == len(suite)
+
+
+class TestSmokeSuite:
+    def test_reduced_grid(self):
+        suite = get_suite("smoke")
+        assert len(suite) == 16
+        assert {s.kernel for s in suite.specs()} == {"tms", "hip"}
+        assert all(s.dataset == "tiny" for s in suite.specs())
+
+    def test_registry(self):
+        assert set(SUITE_NAMES) == {"full", "smoke"}
+        with pytest.raises(ConfigError):
+            get_suite("nope")
+
+
+class TestPointIds:
+    def test_round_trip(self):
+        spec = RunSpec("tms", "A", "4x4", 16, "base")
+        assert spec_from_id(point_id(spec)) == spec
+
+    def test_micro_round_trip(self):
+        spec = RunSpec.micro("B", "4x4", 4, "glsc")
+        assert spec_from_id(point_id(spec)) == spec
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ConfigError):
+            spec_from_id("no-separators-here")
+
+    def test_duplicate_points_rejected(self):
+        spec = RunSpec("tms", "A", "4x4", 4, "glsc")
+        with pytest.raises(ConfigError):
+            BenchSuite("dup", [spec, spec])

@@ -73,6 +73,108 @@ class TestProfileSubcommand:
         assert "LL" in capsys.readouterr().out
 
 
+class TestCacheSubcommand:
+    @pytest.fixture
+    def populated(self, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["fig8", "--kernels", "tms", "--datasets", "tiny",
+                     "--cache-dir", str(cache)]) == 0
+        return cache
+
+    def test_ls_lists_entries(self, populated, capsys):
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert "tms/tiny" in out
+        assert "6 entries" in out
+
+    def test_ls_kernel_filter(self, populated, capsys):
+        capsys.readouterr()
+        assert main(["cache", "ls", "--cache-dir", str(populated),
+                     "--kernel", "hip"]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_stats_reports_hits_and_misses(self, populated, capsys):
+        # A second, fully cached invocation generates store hits.
+        assert main(["fig8", "--kernels", "tms", "--datasets", "tiny",
+                     "--cache-dir", str(populated)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert "6 entries" in out
+        assert "served 6 hits / 6 misses" in out
+        assert "by kernel: tms=6" in out
+        assert "of simulation represented" in out
+
+    def test_prune_removes_stale_only(self, populated, capsys):
+        from repro.sim.store import ResultStore
+
+        store = ResultStore(populated)
+        good = len(store)
+        (populated / ("ee" * 32 + ".json")).write_text("{corrupt")
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache-dir",
+                     str(populated)]) == 0
+        assert "removed 1 stale entries" in capsys.readouterr().out
+        assert len(store) == good
+
+
+class TestBenchSubcommand:
+    def test_run_compare_report_round_trip(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BENCH_SHA", "feed123")
+        assert main(["bench", "run", "--suite", "smoke", "--repeats", "1",
+                     "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "archived" in out
+
+        bench = tmp_path / "BENCH_feed123.json"
+        doc = json.loads(bench.read_text())
+        assert doc["schema_version"] == 1
+        assert doc["suite"] == "smoke"
+        assert len(doc["points"]) == 16
+        assert (tmp_path / "BENCH_TRAJECTORY.jsonl").exists()
+
+        # Distill reference bands, then the gate passes on itself.
+        assert main(["bench", "reference", "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "compare", "--dir", str(tmp_path)]) == 0
+        assert "GATE: ok" in capsys.readouterr().out
+
+        report = tmp_path / "report.md"
+        assert main(["bench", "report", "--dir", str(tmp_path),
+                     "--out", str(report)]) == 0
+        text = report.read_text()
+        assert "# Bench report" in text and "## Trajectory" in text
+
+    def test_compare_without_artifacts_errors(self, tmp_path, capsys):
+        assert main(["bench", "compare", "--dir", str(tmp_path)]) == 2
+        assert "run `bench run` first" in capsys.readouterr().err
+
+    def test_reference_merges_unless_fresh(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SHA", "feed124")
+        assert main(["bench", "run", "--suite", "smoke", "--repeats", "1",
+                     "--dir", str(tmp_path), "--no-trajectory"]) == 0
+        assert main(["bench", "reference", "--dir", str(tmp_path)]) == 0
+
+        # A band from another suite must survive a re-distill...
+        ref_path = tmp_path / "BENCH_REFERENCE.json"
+        reference = json.loads(ref_path.read_text())
+        reference["speedup_bands"]["other/A:4x4:w4"] = [1.0, 2.0]
+        ref_path.write_text(json.dumps(reference))
+        assert main(["bench", "reference", "--dir", str(tmp_path)]) == 0
+        merged = json.loads(ref_path.read_text())
+        assert merged["speedup_bands"]["other/A:4x4:w4"] == [1.0, 2.0]
+        assert "tms/tiny:4x4:w4" in merged["speedup_bands"]
+
+        # ...but --fresh starts over.
+        assert main(["bench", "reference", "--dir", str(tmp_path),
+                     "--fresh"]) == 0
+        fresh = json.loads(ref_path.read_text())
+        assert "other/A:4x4:w4" not in fresh["speedup_bands"]
+
+
 class TestTelemetryFlag:
     def test_sweep_summary_table(self, tmp_path, capsys):
         code = main([

@@ -112,11 +112,39 @@ class TestJsonlSink:
     def test_limit_bounds_the_file(self):
         buffer = io.StringIO()
         sink = JsonlSink(buffer, limit=1)
-        for cycle in range(5):
-            sink.on_event(CacheMiss(cycle, 0, 0, 0x40, "L1", "read"))
+        with pytest.warns(RuntimeWarning, match="1-event bound"):
+            for cycle in range(5):
+                sink.on_event(CacheMiss(cycle, 0, 0, 0x40, "L1", "read"))
         assert sink.written == 1
         assert sink.dropped == 4
         assert len(buffer.getvalue().splitlines()) == 1
+
+    def test_first_drop_warns_exactly_once(self):
+        import warnings
+
+        sink = JsonlSink(io.StringIO(), limit=2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for cycle in range(6):
+                sink.on_event(CacheMiss(cycle, 0, 0, 0x40, "L1", "read"))
+        runtime = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1
+        assert sink.dropped == 4
+
+    def test_summary_line_reports_written_and_dropped(self):
+        sink = JsonlSink(io.StringIO(), limit=1)
+        with pytest.warns(RuntimeWarning):
+            for cycle in range(3):
+                sink.on_event(CacheMiss(cycle, 0, 0, 0x40, "L1", "read"))
+        assert sink.summary() == \
+            "jsonl: 1 events written, 2 dropped (limit 1)"
+
+    def test_summary_unbounded(self):
+        sink = JsonlSink(io.StringIO())
+        sink.on_event(Eviction(1, 0, 0x40, dirty=False))
+        assert sink.summary() == \
+            "jsonl: 1 events written, 0 dropped (unbounded)"
 
     def test_path_destination_owns_the_file(self, tmp_path):
         path = tmp_path / "events.jsonl"

@@ -155,6 +155,92 @@ class TestHarnessCaching:
         assert [r.ratios for r in rows_warm] == [r.ratios for r in rows_cold]
 
 
+class TestMaintenance:
+    """The `repro cache` surface: records, tally, stale detection."""
+
+    def test_records_yields_valid_entries_only(self, store):
+        Executor(store=store).run(SPEC)
+        (store.root / ("ab" * 32 + ".json")).write_text("{corrupt")
+        entries = list(store.records())
+        assert len(entries) == 1
+        digest, record = entries[0]
+        assert digest == SPEC.digest()
+        assert record["spec"]["kernel"] == "tms"
+
+    def test_tally_counts_hits_and_misses(self, store):
+        assert store.tally() == {"hits": 0, "misses": 0}
+        store.load("0" * 64)
+        Executor(store=store).run(SPEC)      # one store miss, then save
+        Executor(store=store).run(SPEC)      # one store hit
+        tally = store.tally()
+        assert tally["hits"] == 1
+        assert tally["misses"] == 2
+
+    def test_tally_sidecar_is_not_a_record(self, store):
+        Executor(store=store).run(SPEC)
+        store.load(SPEC.digest())
+        assert (store.root / ResultStore.TALLY_NAME).exists()
+        assert len(store) == 1  # digests() sees only result files
+
+    def test_stale_digest_detection_and_prune(self, store):
+        Executor(store=store).run(SPEC)
+        digest = SPEC.digest()
+        # Simulate a config-schema change stranding the entry: the
+        # stored spec no longer re-derives the filename digest.
+        path = store.path_for(digest)
+        record = json.loads(path.read_text())
+        stranded = store.root / ("cd" * 32 + ".json")
+        record["digest"] = stranded.stem
+        stranded.write_text(json.dumps(record))
+
+        assert store.stale_digests() == [stranded.stem]
+        assert store.prune(dry_run=True) == [stranded.stem]
+        assert stranded.exists()                    # dry run deletes nothing
+        assert store.prune() == [stranded.stem]
+        assert not stranded.exists()
+        assert digest in store                      # healthy entry survives
+
+    def test_corrupt_entry_is_stale(self, store):
+        Executor(store=store).run(SPEC)
+        store.path_for(SPEC.digest()).write_text("{torn write")
+        assert store.stale_digests() == [SPEC.digest()]
+
+    def test_record_without_spec_is_kept(self, store):
+        stats = Executor().run(SPEC)
+        store.save(SPEC.digest(), stats)            # no spec recorded
+        assert store.stale_digests() == []
+
+    def test_describe_aggregates(self, store):
+        Executor(store=store).run(SPEC)
+        Executor(store=store).run(SPEC)             # one hit
+        info = store.describe()
+        assert info["entries"] == 1
+        assert info["by_kernel"] == {"tms": 1}
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["size_bytes"] > 0
+        assert info["simulated_wall_s"] > 0
+        assert info["stale"] == 0
+
+
+class TestSpecFromDict:
+    def test_round_trip(self):
+        spec = RunSpec("hip", "B", "4x1", 16, "base",
+                       overrides={"mem_latency": 99}, warm=True)
+        rebuilt = RunSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.digest() == spec.digest()
+
+    def test_json_round_trip_preserves_digest(self):
+        wire = json.loads(json.dumps(SPEC.to_dict()))
+        assert RunSpec.from_dict(wire).digest() == SPEC.digest()
+
+    def test_unknown_keys_ignored(self):
+        data = SPEC.to_dict()
+        data["field_from_the_future"] = True
+        assert RunSpec.from_dict(data) == SPEC
+
+
 class TestDefaults:
     def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
