@@ -136,6 +136,7 @@ def trajectory_entry(doc: Mapping[str, Any]) -> Dict[str, Any]:
         cycles[point["id"]] = point["cycles"]
     total_wall = sum(w["median"] for w in wall.values())
     total_cycles = sum(cycles.values())
+    total_instructions = sum(p.get("instructions", 0) for p in points)
     speedups = list(doc.get("fidelity", {}).get("speedup", {}).values())
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -148,6 +149,12 @@ def trajectory_entry(doc: Mapping[str, Any]) -> Dict[str, Any]:
             "total_wall_s": total_wall,
             "total_cycles": total_cycles,
             "cyc_per_s": total_cycles / total_wall if total_wall else 0.0,
+            "sim_khz": (
+                total_cycles / total_wall / 1e3 if total_wall else 0.0
+            ),
+            "instr_per_sec": (
+                total_instructions / total_wall if total_wall else 0.0
+            ),
             "mean_speedup": (
                 sum(speedups) / len(speedups) if speedups else 0.0
             ),

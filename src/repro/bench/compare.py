@@ -17,6 +17,10 @@ Three gates, in increasing order of severity:
   band, or a flipped dominant failure cause is a hard ``regressed``:
   the reproduction no longer shows the paper's shape.
 
+A fourth, purely informational check reports aggregate simulator
+throughput (``sim_khz``) against the previous trajectory entry; it can
+say ``changed`` or ``improved`` but never fails the gate.
+
 The CLI exits non-zero iff :attr:`Comparison.failed`.
 """
 
@@ -179,6 +183,77 @@ class Comparator:
                 )
         return out
 
+    def _throughput_verdicts(
+        self,
+        current: Mapping[str, Any],
+        baseline: Mapping[str, Any],
+    ) -> List[Verdict]:
+        """Aggregate simulator throughput (sim_khz), informational only.
+
+        Throughput is the *simulator's* speed, not the model's output:
+        it moves with host load, interpreter version, and hot-path
+        work, so it never gates.  A drop beyond the noise bound is
+        reported as ``changed`` (visible in the table and the CI step
+        summary), an equally large rise as ``improved``.
+        """
+        points = current.get("points", [])
+        total_wall = sum(p["wall_s"]["median"] for p in points)
+        total_cycles = sum(p["cycles"] for p in points)
+        total_instr = sum(p.get("instructions", 0) for p in points)
+        if total_wall <= 0.0:
+            return []
+        new_khz = total_cycles / total_wall / 1e3
+        headline = baseline.get("headline", {})
+        old_khz = headline.get("sim_khz")
+        if old_khz is None:
+            # Pre-sim_khz trajectory entries still carry cyc_per_s.
+            old_cps = headline.get("cyc_per_s")
+            old_khz = old_cps / 1e3 if old_cps else None
+        if not old_khz:
+            return [
+                Verdict(
+                    f"sim_khz:{current.get('suite', '?')}",
+                    "throughput", "new", None, new_khz,
+                    note="no throughput baseline",
+                )
+            ]
+        # Noise bound: the wall-time MADs of the current run, scaled
+        # the same way the per-point perf gate scales them, expressed
+        # as a fraction of the total wall.
+        total_mad = sum(p["wall_s"].get("mad", 0.0) for p in points)
+        noise_frac = max(
+            self.rel_tol, self.mad_mult * total_mad / total_wall
+        )
+        out: List[Verdict] = []
+        if new_khz < old_khz * (1.0 - noise_frac):
+            verdict, note = "changed", (
+                f"simulator throughput down beyond noise "
+                f"(±{100 * noise_frac:.0f}%); informational, not gating"
+            )
+        elif new_khz > old_khz * (1.0 + noise_frac):
+            verdict, note = "improved", (
+                f"simulator throughput up beyond noise "
+                f"(±{100 * noise_frac:.0f}%)"
+            )
+        else:
+            verdict, note = "ok", ""
+        out.append(
+            Verdict(
+                f"sim_khz:{current.get('suite', '?')}",
+                "throughput", verdict, old_khz, new_khz, note=note,
+            )
+        )
+        old_ips = headline.get("instr_per_sec")
+        if old_ips and total_instr:
+            out.append(
+                Verdict(
+                    f"instr_per_sec:{current.get('suite', '?')}",
+                    "throughput", "ok", old_ips,
+                    total_instr / total_wall,
+                )
+            )
+        return out
+
     def _cycle_verdicts(
         self,
         current: Mapping[str, Any],
@@ -285,6 +360,9 @@ class Comparator:
             if self.check_perf:
                 comparison.verdicts.extend(
                     self._perf_verdicts(current, baseline)
+                )
+                comparison.verdicts.extend(
+                    self._throughput_verdicts(current, baseline)
                 )
             if self.check_cycles:
                 comparison.verdicts.extend(

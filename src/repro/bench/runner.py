@@ -127,6 +127,14 @@ class BenchRunner:
                     "cyc_per_s": (
                         stats.cycles / wall_median if wall_median > 0 else 0.0
                     ),
+                    "sim_khz": (
+                        stats.cycles / wall_median / 1e3
+                        if wall_median > 0 else 0.0
+                    ),
+                    "instr_per_sec": (
+                        stats.total_instructions / wall_median
+                        if wall_median > 0 else 0.0
+                    ),
                     "summary": stats.summary(),
                 }
             )

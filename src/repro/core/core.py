@@ -6,27 +6,37 @@ picking among ready threads round-robin — the standard fine-grained
 SMT policy, and what lets the paper's 1x4 configuration hide memory
 latency.
 
-Instruction execution is dispatched to the LSU (scalar + contiguous
-SIMD) and the GSU (indexed SIMD, including the GLSC instructions).
-ALU/VALU work costs one cycle per operation.  A thread blocks on its
-own memory instruction until the unit reports the completion cycle;
+Instruction execution is dispatched through a per-thread *handler
+table* compiled when the thread is attached: one bound callable per
+:class:`~repro.isa.instructions.Kind`, closing over the LSU/GSU and
+the thread's SMT slot.  Issuing an instruction is then a single
+indexed call — no per-issue chain of kind comparisons.  ALU/VALU work
+costs one cycle per operation.  A thread blocks on its own memory
+instruction until the unit reports the completion cycle;
 gather/scatter instructions are blocking per the paper (Section 2.2).
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import ProgramError, SimulationError
 from repro.core.gsu import Gsu
 from repro.core.lsu import Lsu
 from repro.core.ports import L1Port
-from repro.isa.instructions import Instr, Kind, MEMORY_KINDS
+from repro.isa.instructions import (
+    IS_COMPUTE_OP,
+    IS_MEMORY_OP,
+    Instr,
+    Kind,
+    N_KINDS,
+)
 from repro.isa.program import Program, ThreadCtx
 from repro.mem.coherence import CoherenceSystem
 from repro.mem.image import MemoryImage
 from repro.sim.config import MachineConfig
 from repro.sim.stats import MachineStats, ThreadStats
+from repro.sim.trace import TraceEvent
 
 __all__ = ["HwThread", "Core"]
 
@@ -35,9 +45,30 @@ T_READY = "ready"
 T_BARRIER = "barrier"
 T_DONE = "done"
 
+_OP_BARRIER = int(Kind.BARRIER)
+
+#: Type of one compiled instruction handler: (instr, now) -> (completion,
+#: architectural result).
+Handler = Callable[[Instr, int], Tuple[int, Any]]
+
 
 class HwThread:
     """Runtime state of one hardware thread context."""
+
+    __slots__ = (
+        "global_tid",
+        "slot",
+        "core_id",
+        "ctx",
+        "stats",
+        "state",
+        "ready_at",
+        "barrier_group",
+        "barrier_since",
+        "handlers",
+        "_pending_result",
+        "_send",
+    )
 
     def __init__(
         self,
@@ -49,15 +80,17 @@ class HwThread:
     ) -> None:
         self.global_tid = global_tid
         self.slot = slot
+        self.core_id = -1  # assigned by Core.add_thread
         self.ctx = ctx
         self.stats = stats
         self.state = T_READY
         self.ready_at = 0
         self.barrier_group: Optional[str] = None
         self.barrier_since = 0
+        self.handlers: List[Handler] = []
         self._pending_result: Any = None
-        self._started = False
-        self._gen = program(ctx)
+        # send(None) on a fresh generator is next(): no "started" flag.
+        self._send = program(ctx).send
 
     def runnable_at(self, now: int) -> bool:
         """Whether this thread can issue an instruction at ``now``."""
@@ -69,11 +102,7 @@ class HwThread:
         Returns None when the program has finished.
         """
         try:
-            if not self._started:
-                self._started = True
-                instr = next(self._gen)
-            else:
-                instr = self._gen.send(self._pending_result)
+            instr = self._send(self._pending_result)
         except StopIteration:
             return None
         if not isinstance(instr, Instr):
@@ -90,6 +119,24 @@ class HwThread:
 
 class Core:
     """One in-order SMT core with private L1 port, LSU, and GSU."""
+
+    __slots__ = (
+        "core_id",
+        "config",
+        "port",
+        "lsu",
+        "gsu",
+        "threads",
+        "tracer",
+        "obs",
+        "done_events",
+        "barrier_arrivals",
+        "_rr",
+        "_last_it",
+        "_next_ready",
+        "_issue_width",
+        "_maybe_observed",
+    )
 
     def __init__(
         self,
@@ -111,7 +158,20 @@ class Core:
         self.threads: List[HwThread] = []
         self.tracer = tracer
         self.obs = obs
+        # Threads that finished / hit a barrier during the last tick(s).
+        # The machine loop replaces these with shared lists so it learns
+        # of lifecycle changes without rescanning every thread.
+        self.done_events: List[HwThread] = []
+        self.barrier_arrivals: List[HwThread] = []
         self._rr = 0
+        # Machine-loop iteration this core last ticked at; idle ticks
+        # are skipped and their round-robin advances applied lazily.
+        self._last_it = -1
+        # The machine's cached next_ready_cycle() for this core (used
+        # to validate wakeup-heap entries).
+        self._next_ready: Optional[int] = None
+        self._issue_width = config.issue_width
+        self._maybe_observed = tracer is not None or obs is not None
 
     def add_thread(self, thread: HwThread) -> None:
         """Attach a hardware thread to this core."""
@@ -120,32 +180,100 @@ class Core:
                 f"core {self.core_id} already has "
                 f"{self.config.threads_per_core} threads"
             )
+        thread.core_id = self.core_id
+        thread.handlers = self._compile_handlers(thread.slot)
         self.threads.append(thread)
 
     # -- scheduling --------------------------------------------------------
 
-    def tick(self, now: int) -> None:
-        """Issue up to ``issue_width`` instructions at cycle ``now``."""
-        n = len(self.threads)
+    def tick(self, now: int, it: Optional[int] = None) -> Optional[int]:
+        """Issue up to ``issue_width`` instructions at cycle ``now``.
+
+        ``it`` is the machine loop's iteration counter.  The reference
+        loop ticked every core every iteration, advancing the
+        round-robin pointer even on idle ticks; the event-driven loop
+        only ticks cores with runnable threads, so the skipped
+        advances are applied here in one step to keep the arbitration
+        sequence bit-identical.
+
+        Returns the post-tick :meth:`next_ready_cycle` value, computed
+        in the same pass so the machine loop never rescans the threads.
+        """
+        threads = self.threads
+        n = len(threads)
         if n == 0:
-            return
+            return None
+        if it is None:
+            it = self._last_it + 1
+        rr = self._rr + (it - self._last_it - 1)
+        self._last_it = it
         issued = 0
+        width = self._issue_width
+        maybe_observed = self._maybe_observed
+        next_ready: Optional[int] = None
         for i in range(n):
-            if issued >= self.config.issue_width:
-                break
-            thread = self.threads[(self._rr + i) % n]
-            if not thread.runnable_at(now):
-                continue
-            self._issue_one(thread, now)
-            issued += 1
-        self._rr = (self._rr + 1) % n
+            thread = threads[(rr + i) % n] if n > 1 else threads[0]
+            if (
+                issued < width
+                and thread.state == T_READY
+                and thread.ready_at <= now
+            ):
+                # -- issue path, inlined (the hottest loop in the sim) --
+                try:
+                    instr = thread._send(thread._pending_result)
+                except StopIteration:
+                    thread.state = T_DONE
+                    thread.stats.finish_cycle = now
+                    self.done_events.append(thread)
+                else:
+                    if not isinstance(instr, Instr):
+                        raise ProgramError(
+                            f"thread {thread.global_tid} yielded "
+                            f"{type(instr).__name__}, expected Instr"
+                        )
+                    kind = instr.kind
+                    completion, result = thread.handlers[kind](instr, now)
+                    if maybe_observed:
+                        self._observe(thread, instr, now, completion)
+                    stats = thread.stats
+                    icount = instr.count if IS_COMPUTE_OP[kind] else 1
+                    busy = completion - now
+                    if busy < 1:
+                        busy = 1
+                    stats.instructions += icount
+                    stats.busy_cycles += busy
+                    if IS_MEMORY_OP[kind]:
+                        stats.mem_instructions += 1
+                        if busy > 1:
+                            stats.mem_stall_cycles += busy - 1
+                    if instr.sync:
+                        stats.sync_instructions += icount
+                        stats.sync_cycles += busy
+                    thread._pending_result = result
+                    if kind == _OP_BARRIER:
+                        thread.state = T_BARRIER
+                        thread.barrier_group = instr.group
+                        thread.barrier_since = now
+                        self.barrier_arrivals.append(thread)
+                    else:
+                        thread.ready_at = completion
+                issued += 1
+            if thread.state == T_READY:
+                r = thread.ready_at
+                if next_ready is None or r < next_ready:
+                    next_ready = r
+        self._rr = (rr + 1) % n
+        return next_ready
 
     def next_ready_cycle(self) -> Optional[int]:
         """Earliest cycle any thread here can issue, or None if none can."""
-        candidates = [
-            t.ready_at for t in self.threads if t.state == T_READY
-        ]
-        return min(candidates) if candidates else None
+        best: Optional[int] = None
+        for t in self.threads:
+            if t.state == T_READY:
+                r = t.ready_at
+                if best is None or r < best:
+                    best = r
+        return best
 
     def all_done(self) -> bool:
         """Whether every thread on this core has finished."""
@@ -153,108 +281,131 @@ class Core:
 
     # -- execution -----------------------------------------------------------
 
-    def _issue_one(self, thread: HwThread, now: int) -> None:
-        instr = thread.next_instr()
-        if instr is None:
-            thread.state = T_DONE
-            thread.stats.finish_cycle = now
-            return
-        completion, result = self._execute(thread, instr, now)
+    def _observe(
+        self, thread: HwThread, instr: Instr, now: int, completion: int
+    ) -> None:
         obs = self.obs
         wants_instr = obs is not None and obs.wants_instr
-        if self.tracer is not None or wants_instr:
-            from repro.sim.trace import TraceEvent
-
-            event = TraceEvent(
-                cycle=now,
-                completion=completion,
-                thread=thread.global_tid,
-                core=self.core_id,
-                kind=instr.kind,
-                sync=instr.sync,
-            )
-            if self.tracer is not None:
-                self.tracer.record(event)
-            if wants_instr:
-                obs.emit(event)
-        icount = instr.count if instr.kind in (Kind.ALU, Kind.VALU) else 1
-        thread.stats.instructions += icount
-        thread.stats.busy_cycles += max(completion - now, 1)
-        if instr.kind in MEMORY_KINDS:
-            thread.stats.mem_instructions += 1
-            thread.stats.mem_stall_cycles += max(completion - now - 1, 0)
-        if instr.sync:
-            thread.stats.sync_instructions += icount
-            thread.stats.sync_cycles += max(completion - now, 1)
-        thread.deliver(result)
-        if instr.kind == Kind.BARRIER:
-            thread.state = T_BARRIER
-            thread.barrier_group = instr.group
-            thread.barrier_since = now
-        else:
-            thread.ready_at = completion
+        if self.tracer is None and not wants_instr:
+            return
+        event = TraceEvent(
+            cycle=now,
+            completion=completion,
+            thread=thread.global_tid,
+            core=self.core_id,
+            kind=instr.kind,
+            sync=instr.sync,
+        )
+        if self.tracer is not None:
+            self.tracer.record(event)
+        if wants_instr:
+            obs.emit(event)
 
     def _execute(self, thread: HwThread, instr: Instr, now: int):
         """Execute one instruction; returns (completion cycle, result)."""
-        kind = instr.kind
-        slot = thread.slot
-        if kind == Kind.ALU:
+        return thread.handlers[instr.kind](instr, now)
+
+    # -- dispatch compilation ----------------------------------------------
+
+    def _compile_handlers(self, slot: int) -> List[Handler]:
+        """Bind one handler per instruction kind for SMT slot ``slot``.
+
+        Each handler closes over the unit method and the slot, so the
+        issue path pays one list index + one call instead of a dispatch
+        chain; operand decode is just attribute loads off the Instr.
+        """
+        lsu = self.lsu
+        gsu = self.gsu
+        load, store = lsu.load, lsu.store
+        ll, sc = lsu.ll, lsu.sc
+        vload, vstore = lsu.vload, lsu.vstore
+        gather, scatter = gsu.gather, gsu.scatter
+
+        def h_alu(instr: Instr, now: int):
             return now + instr.count, None
-        if kind == Kind.VALU:
+
+        def h_valu(instr: Instr, now: int):
             return now + instr.count, instr.fn()
-        if kind == Kind.LOAD:
-            value, completion = self.lsu.load(
-                slot, instr.addr, now, sync=instr.sync
-            )
+
+        def h_load(instr: Instr, now: int):
+            value, completion = load(slot, instr.addr, now, sync=instr.sync)
             return completion, value
-        if kind == Kind.STORE:
-            completion = self.lsu.store(
+
+        def h_store(instr: Instr, now: int):
+            completion = store(
                 slot, instr.addr, instr.value, now, sync=instr.sync
             )
             return completion, None
-        if kind == Kind.LL:
-            value, completion = self.lsu.ll(slot, instr.addr, now)
+
+        def h_ll(instr: Instr, now: int):
+            value, completion = ll(slot, instr.addr, now)
             return completion, value
-        if kind == Kind.SC:
-            success, completion = self.lsu.sc(
-                slot, instr.addr, instr.value, now
-            )
+
+        def h_sc(instr: Instr, now: int):
+            success, completion = sc(slot, instr.addr, instr.value, now)
             return completion, success
-        if kind == Kind.VLOAD:
-            values, completion = self.lsu.vload(
+
+        def h_vload(instr: Instr, now: int):
+            values, completion = vload(
                 slot, instr.addr, instr.count, now, sync=instr.sync
             )
             return completion, values
-        if kind == Kind.VSTORE:
-            completion = self.lsu.vstore(
+
+        def h_vstore(instr: Instr, now: int):
+            completion = vstore(
                 slot, instr.addr, instr.values, instr.mask, now,
                 sync=instr.sync,
             )
             return completion, None
-        if kind == Kind.VGATHER:
-            (values, _), completion = self.gsu.gather(
+
+        def h_vgather(instr: Instr, now: int):
+            (values, _), completion = gather(
                 slot, instr.base, instr.indices, instr.mask, now,
                 linked=False, sync=instr.sync,
             )
             return completion, values
-        if kind == Kind.VGATHERLINK:
-            result, completion = self.gsu.gather(
+
+        def h_vgatherlink(instr: Instr, now: int):
+            result, completion = gather(
                 slot, instr.base, instr.indices, instr.mask, now,
                 linked=True,
             )
             return completion, result
-        if kind == Kind.VSCATTER:
-            _, completion = self.gsu.scatter(
+
+        def h_vscatter(instr: Instr, now: int):
+            _, completion = scatter(
                 slot, instr.base, instr.indices, instr.values, instr.mask,
                 now, conditional=False, sync=instr.sync,
             )
             return completion, None
-        if kind == Kind.VSCATTERCOND:
-            out_mask, completion = self.gsu.scatter(
+
+        def h_vscattercond(instr: Instr, now: int):
+            out_mask, completion = scatter(
                 slot, instr.base, instr.indices, instr.values, instr.mask,
                 now, conditional=True,
             )
             return completion, out_mask
-        if kind == Kind.BARRIER:
+
+        def h_barrier(instr: Instr, now: int):
             return now + 1, None
-        raise SimulationError(f"unhandled instruction kind {kind}")
+
+        def h_unhandled(instr: Instr, now: int):
+            raise SimulationError(
+                f"unhandled instruction kind {instr.kind}"
+            )
+
+        table: List[Handler] = [h_unhandled] * N_KINDS
+        table[Kind.ALU] = h_alu
+        table[Kind.VALU] = h_valu
+        table[Kind.LOAD] = h_load
+        table[Kind.STORE] = h_store
+        table[Kind.LL] = h_ll
+        table[Kind.SC] = h_sc
+        table[Kind.VLOAD] = h_vload
+        table[Kind.VSTORE] = h_vstore
+        table[Kind.VGATHER] = h_vgather
+        table[Kind.VGATHERLINK] = h_vgatherlink
+        table[Kind.VSCATTER] = h_vscatter
+        table[Kind.VSCATTERCOND] = h_vscattercond
+        table[Kind.BARRIER] = h_barrier
+        return table

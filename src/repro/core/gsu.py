@@ -74,6 +74,11 @@ class Gsu:
         self.port = port
         self.obs = obs
         self._gen_free = 0  # when the address generator is next available
+        self._line_bytes = config.geometry.line_bytes
+        self._assembly_cycles = config.gsu_assembly_cycles
+        self._combine_lines = config.gsu_combine_lines
+        self._hit_latency = config.l1_hit_latency
+        self._alias_in_gather = config.glsc_alias_in_gather
 
     # ------------------------------------------------------------------
     # shared plumbing
@@ -82,12 +87,12 @@ class Gsu:
     def _lane_requests(
         self, base: int, indices: Sequence[int], mask: Mask
     ) -> List[_LaneRequest]:
-        geometry = self.config.geometry
+        line_bytes = self._line_bytes
         requests = []
         for order, lane in enumerate(mask.active_lanes()):
             addr = base + indices[lane] * WORD_BYTES
             requests.append(
-                _LaneRequest(lane, order, addr, geometry.line_addr(addr))
+                _LaneRequest(lane, order, addr, addr - addr % line_bytes)
             )
         return requests
 
@@ -143,7 +148,7 @@ class Gsu:
         if extra <= 0:
             return completion
         obs = self.obs
-        if self.config.gsu_combine_lines:
+        if self._combine_lines:
             if sync:
                 self.stats.l1_accesses_saved_by_combining += extra
             if obs is not None and obs.wants_glsc:
@@ -169,7 +174,7 @@ class Gsu:
                     )
                 )
             completion = max(
-                completion, acc_start + self.config.l1_hit_latency
+                completion, acc_start + self._hit_latency
             )
         return completion
 
@@ -207,7 +212,7 @@ class Gsu:
 
         alias_losers: List[_LaneRequest] = []
         link_candidates = requests
-        if linked and self.config.glsc_alias_in_gather:
+        if linked and self._alias_in_gather:
             link_candidates, alias_losers = self._resolve_aliases(requests)
             for req in alias_losers:
                 self.stats.record_glsc_failure("alias")
@@ -222,7 +227,7 @@ class Gsu:
         # Pipeline floor: setup/assembly overhead plus one
         # address-generation cycle per active lane gives exactly the
         # (4 + SIMD-width) minimum of Table 1 when everything hits.
-        completion = start + self.config.gsu_assembly_cycles + len(requests)
+        completion = start + self._assembly_cycles + len(requests)
         groups = self._group_by_line(link_candidates)
         for line_addr, group in groups.items():
             first = group[0]
@@ -288,7 +293,7 @@ class Gsu:
         start = self._start_generation(now, len(requests))
         out_bits = 0
         sync = sync or conditional
-        completion = start + self.config.gsu_assembly_cycles + len(requests)
+        completion = start + self._assembly_cycles + len(requests)
         obs = self.obs
         wants_glsc = obs is not None and obs.wants_glsc
 
@@ -296,7 +301,7 @@ class Gsu:
             self.stats.scattercond_count += 1
             self.stats.scattercond_elements += len(requests)
             survivors = requests
-            if not self.config.glsc_alias_in_gather:
+            if not self._alias_in_gather:
                 survivors, losers = self._resolve_aliases(requests)
                 for req in losers:
                     self.stats.record_glsc_failure("alias")

@@ -48,6 +48,7 @@ class Lsu:
         self.image = image
         self.stats = stats
         self.port = port
+        self._line_bytes = config.geometry.line_bytes
 
     # -- scalar ------------------------------------------------------------
 
@@ -99,18 +100,19 @@ class Lsu:
     ) -> Tuple[Tuple[float, ...], int]:
         """Contiguous SIMD load; returns (values, completion cycle)."""
         nbytes = width * WORD_BYTES
-        geometry = self.config.geometry
+        line_bytes = self._line_bytes
         completion = now
-        line = geometry.line_addr(addr)
+        line = addr - addr % line_bytes
         end = addr + nbytes - 1
+        last_line = end - end % line_bytes
         offset = 0
-        while line <= geometry.line_addr(end):
+        while line <= last_line:
             start = self.port.book(now + offset)
             access = self.coherence.read(
                 self.core_id, slot, max(line, addr), start, sync=sync
             )
             completion = max(completion, start + access.latency)
-            line += geometry.line_bytes
+            line += line_bytes
             offset += 1
         values = tuple(self.image.load_words(addr, width))
         return values, completion
@@ -125,7 +127,7 @@ class Lsu:
         sync: bool = False,
     ) -> int:
         """Contiguous SIMD store under mask; write-buffered."""
-        geometry = self.config.geometry
+        line_bytes = self._line_bytes
         width = len(values)
         if mask is None:
             mask = Mask.all_ones(width)
@@ -135,7 +137,7 @@ class Lsu:
         touched_lines = []
         for lane in active:
             lane_addr = addr + lane * WORD_BYTES
-            line = geometry.line_addr(lane_addr)
+            line = lane_addr - lane_addr % line_bytes
             if line not in touched_lines:
                 touched_lines.append(line)
         completion = now

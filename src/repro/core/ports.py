@@ -20,13 +20,16 @@ __all__ = ["L1Port"]
 class L1Port:
     """Single-cycle-occupancy port shared by the LSU and GSU of a core."""
 
+    __slots__ = ("_next_free", "busy_cycles")
+
     def __init__(self) -> None:
         self._next_free = 0
         self.busy_cycles = 0
 
     def book(self, earliest: int) -> int:
         """Reserve the port at the first free cycle >= ``earliest``."""
-        start = max(earliest, self._next_free)
+        free = self._next_free
+        start = earliest if earliest > free else free
         self._next_free = start + 1
         self.busy_cycles += 1
         return start

@@ -338,6 +338,12 @@ def _main_bench(argv: List[str]) -> int:
         "--no-trajectory", action="store_true",
         help="write the BENCH file only; do not append the trajectory",
     )
+    p_run.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile; writes profile_<sha>.pstats next to "
+             "the BENCH file and prints the top 20 functions by "
+             "cumulative time",
+    )
 
     for verb, help_text in (
         ("compare", "gate the newest run; exit 1 on a regression"),
@@ -405,7 +411,16 @@ def _main_bench(argv: List[str]) -> int:
             suite, repeats=args.repeats, git_sha=sha,
             progress=lambda msg: print(f"  {msg}"),
         )
-        doc = runner.run()
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            doc = runner.run()
+            profiler.disable()
+        else:
+            doc = runner.run()
         path = write_bench(doc, args.dir)
         entry = trajectory_entry(doc)
         headline = entry["headline"]
@@ -415,10 +430,17 @@ def _main_bench(argv: List[str]) -> int:
             f"archived {path} "
             f"({headline['points']} points, "
             f"{headline['total_wall_s']:.2f}s median wall, "
-            f"{headline['cyc_per_s']:.0f} cyc/s, "
+            f"{headline['sim_khz']:.1f} sim_khz, "
+            f"{headline['instr_per_sec']:.0f} instr/s, "
             f"mean Base/GLSC {headline['mean_speedup']:.3f})"
             + ("" if args.no_trajectory else f"; trajectory -> {trajectory_path}")
         )
+        if args.profile:
+            pstats_path = args.dir / f"profile_{sha}.pstats"
+            profiler.dump_stats(pstats_path)
+            print(f"profile -> {pstats_path}")
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(20)
         return 0
 
     # compare / report / reference share the bench-document lookup.

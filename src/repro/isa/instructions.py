@@ -27,17 +27,31 @@ accesses (Table 4).
 
 from __future__ import annotations
 
-from enum import Enum, auto
+from enum import Enum, IntEnum, auto
 from typing import Callable, Optional, Sequence, Tuple
 
 from repro.errors import IsaError
 from repro.isa.masks import Mask
 
-__all__ = ["Kind", "Instr", "GSU_KINDS", "MEMORY_KINDS", "ATOMIC_KINDS"]
+__all__ = [
+    "Kind",
+    "Instr",
+    "GSU_KINDS",
+    "MEMORY_KINDS",
+    "ATOMIC_KINDS",
+    "N_KINDS",
+    "IS_COMPUTE_OP",
+    "IS_MEMORY_OP",
+]
 
 
-class Kind(Enum):
-    """Instruction kind; drives dispatch in the core model."""
+class Kind(IntEnum):
+    """Instruction kind; drives dispatch in the core model.
+
+    An ``IntEnum`` so a kind can index the per-opcode dispatch and
+    accounting tables directly (``handlers[instr.kind]``) without a
+    hash lookup on the hot issue path.
+    """
 
     ALU = auto()
     VALU = auto()
@@ -52,6 +66,11 @@ class Kind(Enum):
     VGATHERLINK = auto()
     VSCATTERCOND = auto()
     BARRIER = auto()
+
+    # Keep the plain-Enum rendering ("Kind.ALU", not "1") on every
+    # Python version; 3.11 switched IntEnum's str/format to the int's.
+    __str__ = Enum.__str__
+    __format__ = Enum.__format__
 
 
 #: Kinds handled by the gather/scatter unit.
@@ -73,6 +92,20 @@ MEMORY_KINDS = frozenset(
 
 #: Kinds with read-modify-write / reservation semantics.
 ATOMIC_KINDS = frozenset({Kind.LL, Kind.SC, Kind.VGATHERLINK, Kind.VSCATTERCOND})
+
+#: Size of any table indexed by ``Kind`` (member values start at 1).
+N_KINDS = len(Kind) + 1
+
+#: ``IS_COMPUTE_OP[kind]`` — instruction retires ``count`` operations.
+IS_COMPUTE_OP = tuple(
+    Kind(v) in (Kind.ALU, Kind.VALU) if v else False for v in range(N_KINDS)
+)
+
+#: ``IS_MEMORY_OP[kind]`` — tuple mirror of :data:`MEMORY_KINDS`.
+IS_MEMORY_OP = tuple(
+    Kind(v) in MEMORY_KINDS if v else False for v in range(N_KINDS)
+)
+
 
 
 class Instr:
@@ -143,7 +176,19 @@ class Instr:
         """``count`` scalar ALU operations (1 cycle each)."""
         if count < 1:
             raise IsaError(f"alu count must be >= 1, got {count}")
-        return cls(Kind.ALU, count=count, sync=sync)
+        instr = cls.__new__(cls)
+        instr.kind = Kind.ALU
+        instr.count = count
+        instr.fn = None
+        instr.addr = None
+        instr.value = None
+        instr.base = None
+        instr.indices = None
+        instr.values = None
+        instr.mask = None
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def valu(cls, fn: Callable, count: int = 1, sync: bool = False) -> "Instr":
@@ -157,34 +202,106 @@ class Instr:
             raise IsaError(f"valu count must be >= 1, got {count}")
         if not callable(fn):
             raise IsaError("valu requires a callable")
-        return cls(Kind.VALU, fn=fn, count=count, sync=sync)
+        instr = cls.__new__(cls)
+        instr.kind = Kind.VALU
+        instr.count = count
+        instr.fn = fn
+        instr.addr = None
+        instr.value = None
+        instr.base = None
+        instr.indices = None
+        instr.values = None
+        instr.mask = None
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def load(cls, addr: int, sync: bool = False) -> "Instr":
         """Scalar word load."""
-        return cls(Kind.LOAD, addr=_check_addr(addr), sync=sync)
+        instr = cls.__new__(cls)
+        instr.kind = Kind.LOAD
+        instr.count = 1
+        instr.fn = None
+        instr.addr = _check_addr(addr)
+        instr.value = None
+        instr.base = None
+        instr.indices = None
+        instr.values = None
+        instr.mask = None
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def store(cls, addr: int, value, sync: bool = False) -> "Instr":
         """Scalar word store."""
-        return cls(Kind.STORE, addr=_check_addr(addr), value=value, sync=sync)
+        instr = cls.__new__(cls)
+        instr.kind = Kind.STORE
+        instr.count = 1
+        instr.fn = None
+        instr.addr = _check_addr(addr)
+        instr.value = value
+        instr.base = None
+        instr.indices = None
+        instr.values = None
+        instr.mask = None
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def ll(cls, addr: int, sync: bool = True) -> "Instr":
         """Scalar load-linked; sets this thread's reservation."""
-        return cls(Kind.LL, addr=_check_addr(addr), sync=sync)
+        instr = cls.__new__(cls)
+        instr.kind = Kind.LL
+        instr.count = 1
+        instr.fn = None
+        instr.addr = _check_addr(addr)
+        instr.value = None
+        instr.base = None
+        instr.indices = None
+        instr.values = None
+        instr.mask = None
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def sc(cls, addr: int, value, sync: bool = True) -> "Instr":
         """Scalar store-conditional; result is a success boolean."""
-        return cls(Kind.SC, addr=_check_addr(addr), value=value, sync=sync)
+        instr = cls.__new__(cls)
+        instr.kind = Kind.SC
+        instr.count = 1
+        instr.fn = None
+        instr.addr = _check_addr(addr)
+        instr.value = value
+        instr.base = None
+        instr.indices = None
+        instr.values = None
+        instr.mask = None
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def vload(cls, addr: int, width: int, sync: bool = False) -> "Instr":
         """Contiguous SIMD load of ``width`` words starting at ``addr``."""
         if width < 1:
             raise IsaError(f"vload width must be >= 1, got {width}")
-        return cls(Kind.VLOAD, addr=_check_addr(addr), count=width, sync=sync)
+        instr = cls.__new__(cls)
+        instr.kind = Kind.VLOAD
+        instr.count = width
+        instr.fn = None
+        instr.addr = _check_addr(addr)
+        instr.value = None
+        instr.base = None
+        instr.indices = None
+        instr.values = None
+        instr.mask = None
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def vstore(
@@ -197,9 +314,19 @@ class Instr:
         """Contiguous SIMD store of ``values`` under ``mask``."""
         values = tuple(values)
         mask = _check_mask(mask, len(values))
-        return cls(
-            Kind.VSTORE, addr=_check_addr(addr), values=values, mask=mask, sync=sync
-        )
+        instr = cls.__new__(cls)
+        instr.kind = Kind.VSTORE
+        instr.count = 1
+        instr.fn = None
+        instr.addr = _check_addr(addr)
+        instr.value = None
+        instr.base = None
+        instr.indices = None
+        instr.values = values
+        instr.mask = mask
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def vgather(
@@ -212,13 +339,19 @@ class Instr:
         """Indexed SIMD load: lane i reads ``base[indices[i]]``."""
         indices = _check_indices(indices)
         mask = _check_mask(mask, len(indices))
-        return cls(
-            Kind.VGATHER,
-            base=_check_addr(base),
-            indices=indices,
-            mask=mask,
-            sync=sync,
-        )
+        instr = cls.__new__(cls)
+        instr.kind = Kind.VGATHER
+        instr.count = 1
+        instr.fn = None
+        instr.addr = None
+        instr.value = None
+        instr.base = _check_addr(base)
+        instr.indices = indices
+        instr.values = None
+        instr.mask = mask
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def vscatter(
@@ -243,14 +376,19 @@ class Instr:
                 f"{len(values)} vs {len(indices)}"
             )
         mask = _check_mask(mask, len(indices))
-        return cls(
-            Kind.VSCATTER,
-            base=_check_addr(base),
-            indices=indices,
-            values=values,
-            mask=mask,
-            sync=sync,
-        )
+        instr = cls.__new__(cls)
+        instr.kind = Kind.VSCATTER
+        instr.count = 1
+        instr.fn = None
+        instr.addr = None
+        instr.value = None
+        instr.base = _check_addr(base)
+        instr.indices = indices
+        instr.values = values
+        instr.mask = mask
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def vgatherlink(
@@ -267,13 +405,19 @@ class Instr:
         """
         indices = _check_indices(indices)
         mask = _check_mask(mask, len(indices))
-        return cls(
-            Kind.VGATHERLINK,
-            base=_check_addr(base),
-            indices=indices,
-            mask=mask,
-            sync=sync,
-        )
+        instr = cls.__new__(cls)
+        instr.kind = Kind.VGATHERLINK
+        instr.count = 1
+        instr.fn = None
+        instr.addr = None
+        instr.value = None
+        instr.base = _check_addr(base)
+        instr.indices = indices
+        instr.values = None
+        instr.mask = mask
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def vscattercond(
@@ -297,19 +441,36 @@ class Instr:
                 f"{len(values)} vs {len(indices)}"
             )
         mask = _check_mask(mask, len(indices))
-        return cls(
-            Kind.VSCATTERCOND,
-            base=_check_addr(base),
-            indices=indices,
-            values=values,
-            mask=mask,
-            sync=sync,
-        )
+        instr = cls.__new__(cls)
+        instr.kind = Kind.VSCATTERCOND
+        instr.count = 1
+        instr.fn = None
+        instr.addr = None
+        instr.value = None
+        instr.base = _check_addr(base)
+        instr.indices = indices
+        instr.values = values
+        instr.mask = mask
+        instr.sync = sync
+        instr.group = None
+        return instr
 
     @classmethod
     def barrier(cls, group: str = "all") -> "Instr":
         """Block until every thread in ``group`` arrives."""
-        return cls(Kind.BARRIER, group=group, sync=True)
+        instr = cls.__new__(cls)
+        instr.kind = Kind.BARRIER
+        instr.count = 1
+        instr.fn = None
+        instr.addr = None
+        instr.value = None
+        instr.base = None
+        instr.indices = None
+        instr.values = None
+        instr.mask = None
+        instr.sync = True
+        instr.group = group
+        return instr
 
 
 def _check_addr(addr: int) -> int:

@@ -59,13 +59,13 @@ class ThreadCtx:
 
     # -- compute -------------------------------------------------------------
 
-    def alu(self, count: int = 1, sync: bool = False) -> Instr:
-        """``count`` scalar ALU operations."""
-        return Instr.alu(count=count, sync=sync)
+    # Width-free constructors alias the Instr classmethods directly:
+    # every instruction a kernel issues goes through one of these, so
+    # the delegation frame is worth eliminating.  Signatures (including
+    # defaults such as ``sync=True`` on ll/sc) match the old wrappers.
 
-    def valu(self, fn: Callable, count: int = 1, sync: bool = False) -> Instr:
-        """Vector ALU op; ``fn()`` computes the architectural result."""
-        return Instr.valu(fn, count=count, sync=sync)
+    alu = staticmethod(Instr.alu)
+    valu = staticmethod(Instr.valu)
 
     def kalu(self, fn: Callable, sync: bool = False) -> Instr:
         """Mask-register op (same cost model as a vector ALU op)."""
@@ -73,21 +73,10 @@ class ThreadCtx:
 
     # -- scalar memory -----------------------------------------------------
 
-    def load(self, addr: int, sync: bool = False) -> Instr:
-        """Scalar word load."""
-        return Instr.load(addr, sync=sync)
-
-    def store(self, addr: int, value, sync: bool = False) -> Instr:
-        """Scalar word store."""
-        return Instr.store(addr, value, sync=sync)
-
-    def ll(self, addr: int) -> Instr:
-        """Scalar load-linked."""
-        return Instr.ll(addr)
-
-    def sc(self, addr: int, value) -> Instr:
-        """Scalar store-conditional."""
-        return Instr.sc(addr, value)
+    load = staticmethod(Instr.load)
+    store = staticmethod(Instr.store)
+    ll = staticmethod(Instr.ll)
+    sc = staticmethod(Instr.sc)
 
     # -- SIMD memory -----------------------------------------------------------
 
@@ -95,52 +84,15 @@ class ThreadCtx:
         """Contiguous SIMD-width load."""
         return Instr.vload(addr, self.w, sync=sync)
 
-    def vstore(
-        self, addr: int, values: Sequence, mask: Optional[Mask] = None,
-        sync: bool = False,
-    ) -> Instr:
-        """Contiguous SIMD-width store under mask."""
-        return Instr.vstore(addr, values, mask, sync=sync)
-
-    def vgather(
-        self, base: int, indices: Sequence[int], mask: Optional[Mask] = None,
-        sync: bool = False,
-    ) -> Instr:
-        """Indexed SIMD load."""
-        return Instr.vgather(base, indices, mask, sync=sync)
-
-    def vscatter(
-        self,
-        base: int,
-        indices: Sequence[int],
-        values: Sequence,
-        mask: Optional[Mask] = None,
-        sync: bool = False,
-    ) -> Instr:
-        """Indexed SIMD store (aliasing undefined; avoid aliased lanes)."""
-        return Instr.vscatter(base, indices, values, mask, sync=sync)
-
-    def vgatherlink(
-        self, base: int, indices: Sequence[int], mask: Optional[Mask] = None
-    ) -> Instr:
-        """Gather-linked (GLSC); result is ``(values, out_mask)``."""
-        return Instr.vgatherlink(base, indices, mask)
-
-    def vscattercond(
-        self,
-        base: int,
-        indices: Sequence[int],
-        values: Sequence,
-        mask: Optional[Mask] = None,
-    ) -> Instr:
-        """Scatter-conditional (GLSC); result is the success mask."""
-        return Instr.vscattercond(base, indices, values, mask)
+    vstore = staticmethod(Instr.vstore)
+    vgather = staticmethod(Instr.vgather)
+    vscatter = staticmethod(Instr.vscatter)
+    vgatherlink = staticmethod(Instr.vgatherlink)
+    vscattercond = staticmethod(Instr.vscattercond)
 
     # -- synchronization substrate ---------------------------------------------
 
-    def barrier(self, group: str = "all") -> Instr:
-        """All-thread rendezvous."""
-        return Instr.barrier(group)
+    barrier = staticmethod(Instr.barrier)
 
 
 def check_program(program: Program) -> None:

@@ -9,16 +9,19 @@ holds the gather-link reservation.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import SimulationError
 from repro.mem.layout import LineGeometry
 
 __all__ = ["MSI_M", "MSI_S", "L1Line", "L1Cache"]
 
-#: MSI states; absence from the cache is the I state.
-MSI_M = "M"
-MSI_S = "S"
+#: MSI states, interned as small ints for cheap compares on the hot
+#: path; absence from the cache is the I state.
+MSI_S = 1
+MSI_M = 2
+
+_STATE_NAMES = {MSI_S: "S", MSI_M: "M"}
 
 
 class L1Line:
@@ -33,7 +36,7 @@ class L1Line:
         "prefetched",
     )
 
-    def __init__(self, line_addr: int, state: str, now: int) -> None:
+    def __init__(self, line_addr: int, state: int, now: int) -> None:
         self.line_addr = line_addr
         self.state = state
         self.glsc_valid = False
@@ -48,11 +51,28 @@ class L1Line:
 
     def __repr__(self) -> str:
         glsc = f", glsc=t{self.glsc_tid}" if self.glsc_valid else ""
-        return f"L1Line({self.line_addr:#x}, {self.state}{glsc})"
+        state = _STATE_NAMES.get(self.state, self.state)
+        return f"L1Line({self.line_addr:#x}, {state}{glsc})"
 
 
 class L1Cache:
-    """A set-associative, LRU, tags-only L1 cache for one core."""
+    """A set-associative, LRU, tags-only L1 cache for one core.
+
+    Each set is an insertion-ordered dict keyed by line address, so
+    lookups are O(1) instead of a way scan, while eviction keeps the
+    reference semantics: least ``last_use`` wins, ties broken by
+    insertion (fill) order.
+    """
+
+    __slots__ = (
+        "core_id",
+        "n_sets",
+        "assoc",
+        "geometry",
+        "_sets",
+        "_set_shift",
+        "_set_mask",
+    )
 
     def __init__(
         self,
@@ -67,19 +87,22 @@ class L1Cache:
         self.n_sets = n_sets
         self.assoc = assoc
         self.geometry = geometry
-        self._sets: List[List[L1Line]] = [[] for _ in range(n_sets)]
+        # Validates the power-of-two requirement once, up front.
+        geometry.set_index(0, n_sets)
+        self._set_shift = geometry.line_bytes.bit_length() - 1
+        self._set_mask = n_sets - 1
+        self._sets: List[Dict[int, L1Line]] = [{} for _ in range(n_sets)]
 
     # -- lookup ----------------------------------------------------------
 
-    def _set_for(self, line_addr: int) -> List[L1Line]:
-        return self._sets[self.geometry.set_index(line_addr, self.n_sets)]
+    def _set_for(self, line_addr: int) -> Dict[int, L1Line]:
+        return self._sets[(line_addr >> self._set_shift) & self._set_mask]
 
     def lookup(self, line_addr: int) -> Optional[L1Line]:
         """The resident line for ``line_addr``, or None (I state)."""
-        for line in self._set_for(line_addr):
-            if line.line_addr == line_addr:
-                return line
-        return None
+        return self._sets[
+            (line_addr >> self._set_shift) & self._set_mask
+        ].get(line_addr)
 
     def touch(self, line: L1Line, now: int) -> None:
         """Record a use for LRU purposes."""
@@ -90,7 +113,7 @@ class L1Cache:
     def install(
         self,
         line_addr: int,
-        state: str,
+        state: int,
         now: int,
         victim_ok: Optional[Callable[[L1Line], bool]] = None,
     ) -> Optional[L1Line]:
@@ -104,8 +127,7 @@ class L1Cache:
         or ``None`` when no acceptable victim exists (install refused).
         """
         cache_set = self._set_for(line_addr)
-        existing = self.lookup(line_addr)
-        if existing is not None:
+        if line_addr in cache_set:
             raise SimulationError(
                 f"install of already-resident line {line_addr:#x} "
                 f"in core {self.core_id}"
@@ -114,26 +136,21 @@ class L1Cache:
         if len(cache_set) >= self.assoc:
             candidates = [
                 line
-                for line in cache_set
+                for line in cache_set.values()
                 if victim_ok is None or victim_ok(line)
             ]
             if not candidates:
                 return None
             evicted = min(candidates, key=lambda line: line.last_use)
-            cache_set.remove(evicted)
-        cache_set.append(L1Line(line_addr, state, now))
+            del cache_set[evicted.line_addr]
+        cache_set[line_addr] = L1Line(line_addr, state, now)
         if evicted is None:
             return L1Line(-1, MSI_S, now)  # sentinel: no victim
         return evicted
 
     def invalidate(self, line_addr: int) -> Optional[L1Line]:
         """Remove ``line_addr`` (→ I).  Returns the line that was resident."""
-        cache_set = self._set_for(line_addr)
-        for line in cache_set:
-            if line.line_addr == line_addr:
-                cache_set.remove(line)
-                return line
-        return None
+        return self._set_for(line_addr).pop(line_addr, None)
 
     def downgrade(self, line_addr: int) -> Optional[L1Line]:
         """M → S transition (remote read observed).  Returns the line."""
@@ -145,7 +162,7 @@ class L1Cache:
     def resident_lines(self) -> Iterator[L1Line]:
         """All resident lines (for invariant checks and tests)."""
         for cache_set in self._sets:
-            yield from cache_set
+            yield from cache_set.values()
 
     def occupancy(self) -> int:
         """Number of resident lines."""

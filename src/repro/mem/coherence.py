@@ -32,7 +32,7 @@ from __future__ import annotations
 import random
 from typing import Dict, NamedTuple, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import AlignmentError, SimulationError
 from repro.core.glsc import GlscTracker, make_tracker
 from repro.mem.cache import L1Cache, L1Line, MSI_M, MSI_S
 from repro.obs.events import (
@@ -116,6 +116,19 @@ class CoherenceSystem:
         # same L2 bank queue behind each other (the reason the paper's
         # L2 is split into 16 banks).
         self._bank_free = [0] * config.l2_banks
+        self._line_bytes = self.geometry.line_bytes
+        # Hot-path accelerators: positional L1 access (the dict keys
+        # are exactly 0..n_cores-1) and a shared immutable result for
+        # the overwhelmingly common L1-hit outcome.
+        self._l1_list = [self.l1s[core] for core in range(config.n_cores)]
+        self._l1_lookups = [l1.lookup for l1 in self._l1_list]
+        self._hit_l1 = AccessResult(config.l1_hit_latency, LEVEL_L1)
+
+    def _line_addr(self, addr: int) -> int:
+        """Inline-friendly line rounding for the hot transactions."""
+        if addr < 0:
+            raise AlignmentError(f"negative address {addr:#x}")
+        return addr - addr % self._line_bytes
 
     # ------------------------------------------------------------------
     # public transactions
@@ -131,17 +144,26 @@ class CoherenceSystem:
         sync: bool = False,
     ) -> AccessResult:
         """Load transaction: line ends up S (or stays M) in ``core``'s L1."""
-        line_addr = self.geometry.line_addr(addr)
-        self._count_l1_access(sync, now)
-        line = self.l1s[core].lookup(line_addr)
+        if addr < 0:
+            raise AlignmentError(f"negative address {addr:#x}")
+        line_addr = addr - addr % self._line_bytes
+        stats = self.stats
+        stats.l1_accesses += 1
+        if sync:
+            stats.l1_sync_accesses += 1
+        if self._chaos_rng is not None:
+            self._maybe_inject_loss(now)
+        line = self._l1_lookups[core](line_addr)
         if line is not None:
-            self._note_demand_hit(line)
-            self.l1s[core].touch(line, now)
-            self.stats.l1_hits += 1
+            if line.prefetched:
+                stats.prefetch_hits += 1
+                line.prefetched = False
+            line.last_use = now
+            stats.l1_hits += 1
             obs = self.obs
             if obs is not None and obs.wants_cache:
                 obs.emit(CacheHit(now, core, slot, line_addr, "L1", "read"))
-            return AccessResult(self.config.l1_hit_latency, LEVEL_L1)
+            return self._hit_l1
         result = self._read_miss(core, slot, line_addr, now, victim_ok=None)
         self._train_prefetcher(core, slot, line_addr, now)
         return result
@@ -161,7 +183,7 @@ class CoherenceSystem:
         (a store-conditional's own reservation must be consumed by the
         caller *before* invoking this).
         """
-        line_addr = self.geometry.line_addr(addr)
+        line_addr = self._line_addr(addr)
         self._count_l1_access(sync, now)
         result = self._obtain_modified(core, slot, line_addr, now)
         self._kill_reservations_on_write(core, line_addr, now)
@@ -187,7 +209,7 @@ class CoherenceSystem:
           ``glsc_fail_on_miss`` chose to fail it rather than wait
           (freedom (c)); the fill still happens so a retry will hit.
         """
-        line_addr = self.geometry.line_addr(addr)
+        line_addr = self._line_addr(addr)
         self._count_l1_access(sync=True, now=now)
         cfg = self.config
         obs = self.obs
@@ -196,12 +218,12 @@ class CoherenceSystem:
             holder = self.glsc.holder(core, line_addr)
             if holder is not None and holder != slot:
                 return (
-                    AccessResult(cfg.l1_hit_latency, LEVEL_L1),
+                    self._hit_l1,
                     False,
                     "link_stolen",
                 )
             self._note_demand_hit(line)
-            self.l1s[core].touch(line, now)
+            line.last_use = now
             self.stats.l1_hits += 1
             self.glsc.link(core, slot, line_addr)
             self._glsc_loss_cause.pop((core, line_addr), None)
@@ -214,7 +236,7 @@ class CoherenceSystem:
                     obs.emit(
                         ReservationSet(now, core, slot, line_addr, "glsc")
                     )
-            return (AccessResult(cfg.l1_hit_latency, LEVEL_L1), True, None)
+            return (self._hit_l1, True, None)
 
         if cfg.glsc_fail_on_miss:
             # Fail the lane fast but start the fill in the background,
@@ -225,7 +247,7 @@ class CoherenceSystem:
             )
             self._train_prefetcher(core, slot, line_addr, now)
             return (
-                AccessResult(cfg.l1_hit_latency, LEVEL_L1),
+                self._hit_l1,
                 False,
                 "miss_policy",
             )
@@ -262,14 +284,14 @@ class CoherenceSystem:
         GLSC entry is consumed, the line is brought to M, and all other
         reservations on the line are destroyed.
         """
-        line_addr = self.geometry.line_addr(addr)
+        line_addr = self._line_addr(addr)
         self._count_l1_access(sync=True, now=now)
         if not self.glsc.check(core, slot, line_addr):
             cause = self._glsc_loss_cause.pop(
                 (core, line_addr), "thread_conflict"
             )
             return (
-                AccessResult(self.config.l1_hit_latency, LEVEL_L1),
+                self._hit_l1,
                 False,
                 cause,
             )
@@ -322,9 +344,58 @@ class CoherenceSystem:
             )
         if not held:
             self._count_l1_access(sync=True, now=now)
-            return AccessResult(self.config.l1_hit_latency, LEVEL_L1), False
+            return self._hit_l1, False
         result = self.write(core, slot, addr, now, sync=True)
         return result, True
+
+    # ------------------------------------------------------------------
+    # bulk warm-up
+    # ------------------------------------------------------------------
+
+    def can_warm_fill(self) -> bool:
+        """Whether :meth:`warm_fill` is equivalent to the per-read loop.
+
+        Chaos injection consumes RNG draws on every access, so a warm
+        pass that skips accesses would desynchronize the draw sequence;
+        callers fall back to the slow loop in that case.
+        """
+        return self._chaos_rng is None
+
+    def warm_fill(self, first: int, limit: int) -> None:
+        """Bulk cache warm-up: sequential line fill into every core's L1.
+
+        State-equivalent to::
+
+            for core in range(n_cores):
+                for line in range(first, limit, line_bytes):
+                    self.read(core, 0, line, now=0)
+
+        but the per-access bookkeeping of the full ``read`` transaction
+        — latency accounting, chaos checks, result allocation, LRU
+        touches that rewrite 0 with 0 — is skipped.  Misses still go
+        through the real protocol path (``_read_miss`` + prefetcher
+        training), so L1/L2/directory contents, bank clocks, DRAM
+        access counts, and prefetched-bit patterns match the slow loop
+        bit for bit.  Stats counters are *not* maintained; callers
+        reset them afterwards (as ``Machine.warm_caches`` always did).
+        """
+        if self._chaos_rng is not None:
+            raise SimulationError(
+                "warm_fill requires chaos injection to be disabled"
+            )
+        line_bytes = self._line_bytes
+        for core in range(self.config.n_cores):
+            lookup = self.l1s[core].lookup
+            for line_addr in range(first, limit, line_bytes):
+                line = lookup(line_addr)
+                if line is not None:
+                    # The slow path's demand-hit bookkeeping reduces to
+                    # clearing the prefetched bit (stats reset anyway,
+                    # last_use is already 0 during warming).
+                    line.prefetched = False
+                    continue
+                self._read_miss(core, 0, line_addr, 0, victim_ok=None)
+                self._train_prefetcher(core, 0, line_addr, 0)
 
     # ------------------------------------------------------------------
     # transaction internals
@@ -444,13 +515,13 @@ class CoherenceSystem:
         cfg = self.config
         obs = self.obs
         wants_cache = obs is not None and obs.wants_cache
-        line = self.l1s[core].lookup(line_addr)
+        line = self._l1_lookups[core](line_addr)
         if line is not None and line.state == MSI_M:
-            self.l1s[core].touch(line, now)
+            line.last_use = now
             self.stats.l1_hits += 1
             if wants_cache:
                 obs.emit(CacheHit(now, core, slot, line_addr, "L1", "write"))
-            return AccessResult(cfg.l1_hit_latency, LEVEL_L1)
+            return self._hit_l1
 
         if line is not None:  # S -> M upgrade
             # Not counted as an L1 hit or miss by the stats, so no L1
@@ -474,7 +545,7 @@ class CoherenceSystem:
             entry.set_owner(core)
             entry.last_use = now
             line.state = MSI_M
-            self.l1s[core].touch(line, now)
+            line.last_use = now
             return AccessResult(latency, level)
 
         # Write miss: read-for-ownership.

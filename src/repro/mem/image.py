@@ -104,7 +104,11 @@ class MemoryImage:
     # -- word access ------------------------------------------------------
 
     def _word_index(self, addr: int) -> int:
-        index = self.geometry.word_index(addr)
+        # Hot path: addr >> 2 is word_index() for a valid address; the
+        # slow path re-runs the full check to raise the canonical error.
+        if addr < 0 or addr & 3:
+            self.geometry.check_word_aligned(addr)
+        index = addr >> 2
         if index >= self._n_words:
             raise MemoryError_(
                 f"address {addr:#x} beyond simulated memory "
@@ -114,11 +118,27 @@ class MemoryImage:
 
     def load_word(self, addr: int) -> Number:
         """Read the 32-bit word at byte address ``addr``."""
-        return self._words.get(self._word_index(addr), 0)
+        if addr < 0 or addr & 3:
+            self.geometry.check_word_aligned(addr)
+        index = addr >> 2
+        if index >= self._n_words:
+            raise MemoryError_(
+                f"address {addr:#x} beyond simulated memory "
+                f"({self.size_bytes} bytes)"
+            )
+        return self._words.get(index, 0)
 
     def store_word(self, addr: int, value: Number) -> None:
         """Write the 32-bit word at byte address ``addr``."""
-        self._words[self._word_index(addr)] = value
+        if addr < 0 or addr & 3:
+            self.geometry.check_word_aligned(addr)
+        index = addr >> 2
+        if index >= self._n_words:
+            raise MemoryError_(
+                f"address {addr:#x} beyond simulated memory "
+                f"({self.size_bytes} bytes)"
+            )
+        self._words[index] = value
 
     def load_words(self, addr: int, count: int) -> List[Number]:
         """Read ``count`` consecutive words starting at ``addr``."""
@@ -155,10 +175,18 @@ class ArrayView:
         return self.base + index * WORD_BYTES
 
     def __getitem__(self, index: int) -> Number:
-        return self._image.load_word(self.addr(index))
+        if not 0 <= index < self.length:
+            raise MemoryError_(
+                f"index {index} out of range for array of {self.length}"
+            )
+        return self._image.load_word(self.base + index * WORD_BYTES)
 
     def __setitem__(self, index: int, value: Number) -> None:
-        self._image.store_word(self.addr(index), value)
+        if not 0 <= index < self.length:
+            raise MemoryError_(
+                f"index {index} out of range for array of {self.length}"
+            )
+        self._image.store_word(self.base + index * WORD_BYTES, value)
 
     def __len__(self) -> int:
         return self.length

@@ -13,7 +13,7 @@ the best-effort model permits (Section 3).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.mem.directory import DirectoryEntry
@@ -23,7 +23,24 @@ __all__ = ["L2Cache"]
 
 
 class L2Cache:
-    """Set-associative inclusive L2 with per-line directory entries."""
+    """Set-associative inclusive L2 with per-line directory entries.
+
+    Sets are insertion-ordered dicts keyed by line address (O(1)
+    lookup, reference-identical LRU tie-breaking by fill order) and
+    materialize lazily: a 16MB L2 has 32k sets, of which a simulation
+    touches a tiny fraction.
+    """
+
+    __slots__ = (
+        "n_sets",
+        "assoc",
+        "n_banks",
+        "geometry",
+        "_sets",
+        "_set_shift",
+        "_set_mask",
+        "_bank_mask",
+    )
 
     def __init__(
         self,
@@ -38,27 +55,28 @@ class L2Cache:
         self.assoc = assoc
         self.n_banks = n_banks
         self.geometry = geometry
-        # Sets materialize lazily: a 16MB L2 has 32k sets, of which a
-        # simulation touches a tiny fraction.
-        self._sets: Dict[int, List[DirectoryEntry]] = {}
+        # Validates the power-of-two requirements once, up front.
+        geometry.set_index(0, n_sets)
+        geometry.bank_index(0, n_banks)
+        self._set_shift = geometry.line_bytes.bit_length() - 1
+        self._set_mask = n_sets - 1
+        self._bank_mask = n_banks - 1
+        self._sets: Dict[int, Dict[int, DirectoryEntry]] = {}
 
-    def _set_for(self, line_addr: int) -> List[DirectoryEntry]:
-        index = self.geometry.set_index(line_addr, self.n_sets)
+    def _set_for(self, line_addr: int) -> Dict[int, DirectoryEntry]:
+        index = (line_addr >> self._set_shift) & self._set_mask
         cache_set = self._sets.get(index)
         if cache_set is None:
-            cache_set = self._sets[index] = []
+            cache_set = self._sets[index] = {}
         return cache_set
 
     def bank_of(self, line_addr: int) -> int:
         """Which bank serves ``line_addr`` (lines interleave across banks)."""
-        return self.geometry.bank_index(line_addr, self.n_banks)
+        return (line_addr >> self._set_shift) & self._bank_mask
 
     def lookup(self, line_addr: int) -> Optional[DirectoryEntry]:
         """The directory entry for a resident line, or None (L2 miss)."""
-        for entry in self._set_for(line_addr):
-            if entry.line_addr == line_addr:
-                return entry
-        return None
+        return self._set_for(line_addr).get(line_addr)
 
     def fetch(
         self, line_addr: int, now: int
@@ -70,32 +88,27 @@ class L2Cache:
         evicted and returned as ``victim`` so the coherence controller
         can back-invalidate its L1 copies (inclusivity).
         """
-        entry = self.lookup(line_addr)
+        cache_set = self._set_for(line_addr)
+        entry = cache_set.get(line_addr)
         if entry is not None:
             entry.last_use = now
             return entry, True, None
-        cache_set = self._set_for(line_addr)
         victim: Optional[DirectoryEntry] = None
         if len(cache_set) >= self.assoc:
-            victim = min(cache_set, key=lambda e: e.last_use)
-            cache_set.remove(victim)
+            victim = min(cache_set.values(), key=lambda e: e.last_use)
+            del cache_set[victim.line_addr]
         entry = DirectoryEntry(line_addr, now)
-        cache_set.append(entry)
+        cache_set[line_addr] = entry
         return entry, False, victim
 
     def evict_for_test(self, line_addr: int) -> Optional[DirectoryEntry]:
         """Force-evict a line (testing hook for inclusion behaviour)."""
-        cache_set = self._set_for(line_addr)
-        for entry in cache_set:
-            if entry.line_addr == line_addr:
-                cache_set.remove(entry)
-                return entry
-        return None
+        return self._set_for(line_addr).pop(line_addr, None)
 
     def entries(self) -> Iterator[DirectoryEntry]:
         """All resident directory entries (for invariant checks)."""
         for cache_set in self._sets.values():
-            yield from cache_set
+            yield from cache_set.values()
 
     def occupancy(self) -> int:
         """Number of resident lines."""

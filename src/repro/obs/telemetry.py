@@ -46,9 +46,27 @@ class RunTelemetry:
             return 0.0
         return self.cycles / self.wall_time_s
 
+    @property
+    def sim_khz(self) -> float:
+        """Simulated kilocycles per wall-clock second.
+
+        The headline throughput unit: a 100 sim_khz simulator retires
+        100k simulated cycles per real second.
+        """
+        return self.cycles_per_second / 1e3
+
+    @property
+    def instr_per_sec(self) -> float:
+        """Simulated instructions retired per wall-clock second."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.instructions / self.wall_time_s
+
     def to_dict(self) -> Dict[str, Any]:
         out = asdict(self)
         out["cycles_per_second"] = self.cycles_per_second
+        out["sim_khz"] = self.sim_khz
+        out["instr_per_sec"] = self.instr_per_sec
         return out
 
     @classmethod

@@ -4,10 +4,16 @@
 coherence system over one flat memory image, accepts one program per
 hardware thread, and runs the cycle loop to completion.
 
-The loop is cycle-quantized but event-skipping: when no thread can
-issue at the current cycle, time jumps to the earliest wakeup.  This
-keeps long memory stalls cheap to simulate without changing observable
-timing.
+The loop is cycle-quantized but event-skipping, and event-*driven*: a
+min-heap of per-core wakeup cycles decides both which cores to tick
+and how far to jump when no thread can issue.  Cores that cannot issue
+at the current cycle are never visited (their round-robin pointers are
+advanced lazily, see :meth:`~repro.core.core.Core.tick`), a live-thread
+counter replaces the per-cycle all-done scan, and barrier arrivals are
+reported by the cores instead of being rediscovered by scanning every
+thread each cycle.  None of this changes observable timing: cycle
+counts and stats are bit-identical to the reference loop
+(``tests/bench/test_equivalence.py`` holds the golden values).
 
 Barriers are resolved here: a thread executing a ``barrier``
 instruction parks until every live thread in its group has arrived,
@@ -18,11 +24,11 @@ paper accounts for it (Figure 5a).
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import List, Optional, Tuple
 
 from repro.errors import ConfigError, DeadlockError, SimulationError
-from repro.core.core import Core, HwThread, T_BARRIER, T_DONE, T_READY
+from repro.core.core import Core, HwThread, T_READY
 from repro.isa.program import Program, ThreadCtx, check_program
 from repro.mem.coherence import CoherenceSystem
 from repro.mem.image import MemoryImage
@@ -114,21 +120,29 @@ class Machine:
         datasets are large enough that cold misses amortize away; our
         scaled-down datasets would otherwise be dominated by compulsory
         misses.  Warming traffic is excluded from the statistics.
+
+        The fill uses :meth:`CoherenceSystem.warm_fill`, which skips
+        the per-access accounting of the full ``read`` transaction but
+        leaves the identical cache/directory/bank/prefetcher end state.
+        When chaos injection is configured the slow per-read path is
+        used instead so the RNG draw sequence matches the reference.
         """
         if self._ran:
             raise SimulationError("cannot warm caches after run()")
         line_bytes = self.config.line_bytes
         first = line_bytes  # line 0 is the allocator's null sentinel
+        limit = self.image.bytes_allocated
         # Warming is excluded from the statistics, so it is excluded
         # from the event stream too: sinks see only measured traffic.
         saved_obs = self.coherence.obs
         self.coherence.obs = None
         try:
-            for core_id in range(self.config.n_cores):
-                for line in range(
-                    first, self.image.bytes_allocated, line_bytes
-                ):
-                    self.coherence.read(core_id, 0, line, now=0)
+            if self.coherence.can_warm_fill():
+                self.coherence.warm_fill(first, limit)
+            else:
+                for core_id in range(self.config.n_cores):
+                    for line in range(first, limit, line_bytes):
+                        self.coherence.read(core_id, 0, line, now=0)
         finally:
             self.coherence.obs = saved_obs
         self.coherence.prefetcher.reset()
@@ -143,66 +157,164 @@ class Machine:
         self._ran = True
         if not self.threads:
             raise SimulationError("no programs attached")
+        cores = self.cores
+        max_cycles = self.config.max_cycles
+        live = len(self.threads)
+        # Cores report thread lifecycle changes into these shared lists
+        # so the loop never rescans all threads.
+        done_events: List[HwThread] = []
+        barrier_arrivals: List[HwThread] = []
+        barrier_waiters: List[HwThread] = []
+        # Wakeup heap: (cycle, core_id) for every core that has a READY
+        # thread.  An entry is current iff its cycle still equals the
+        # core's cached ``_next_ready``; anything else is stale and is
+        # dropped when popped (values are re-pushed on every change, so
+        # a current entry always exists).
+        heap: List[Tuple[int, int]] = []
+        for core in cores:
+            core.done_events = done_events
+            core.barrier_arrivals = barrier_arrivals
+            ready = core.next_ready_cycle()
+            core._next_ready = ready
+            if ready is not None:
+                heap.append((ready, core.core_id))
+        heapify(heap)
         cycle = 0
-        while not all(core.all_done() for core in self.cores):
-            for core in self.cores:
-                core.tick(cycle)
-            self._resolve_barriers(cycle)
-            cycle = self._advance_clock(cycle)
-            if cycle > self.config.max_cycles:
-                raise SimulationError(
-                    f"exceeded max_cycles={self.config.max_cycles}; "
-                    f"likely livelock"
+        it = 0
+        if len(cores) == 1:
+            # Single-core machines need no wakeup heap: the one core is
+            # ticked every iteration (its next READY cycle *is* the
+            # clock), which drops all heap bookkeeping from the loop.
+            # Tick/advance ordering, `it` sequencing, and every error
+            # edge match the general loop below exactly.
+            core = cores[0]
+            while True:
+                wake = core.tick(cycle, it)
+                if done_events:
+                    live -= len(done_events)
+                    del done_events[:]
+                if barrier_arrivals:
+                    for thread in barrier_arrivals:
+                        if thread.barrier_group != "all":
+                            raise SimulationError(
+                                f"unknown barrier group "
+                                f"{thread.barrier_group!r}; only 'all' is "
+                                f"supported by the machine barrier"
+                            )
+                    barrier_waiters.extend(barrier_arrivals)
+                    del barrier_arrivals[:]
+                if barrier_waiters and len(barrier_waiters) == live:
+                    self._release_barrier(barrier_waiters, cycle, heap)
+                    wake = core._next_ready
+                if live == 0:
+                    cycle += 1
+                    if cycle > max_cycles:
+                        raise SimulationError(
+                            f"exceeded max_cycles={max_cycles}; "
+                            f"likely livelock"
+                        )
+                    break
+                if wake is None:
+                    raise DeadlockError(
+                        "all live threads are blocked at barriers that "
+                        "cannot be released"
+                    )
+                cycle = cycle + 1 if wake <= cycle else wake
+                if cycle > max_cycles:
+                    raise SimulationError(
+                        f"exceeded max_cycles={max_cycles}; likely livelock"
+                    )
+                it += 1
+            self.stats.cycles = max(
+                t.stats.finish_cycle for t in self.threads
+            )
+            return self.stats
+        to_tick: List[int] = []
+        while True:
+            # -- tick every core with a thread runnable at `cycle`,
+            #    in core-id order (shared L2-bank/directory state makes
+            #    the order observable).
+            del to_tick[:]
+            while heap and heap[0][0] <= cycle:
+                entry = heappop(heap)
+                cid = entry[1]
+                if cores[cid]._next_ready == entry[0] and cid not in to_tick:
+                    to_tick.append(cid)
+            to_tick.sort()
+            for cid in to_tick:
+                core = cores[cid]
+                ready = core.tick(cycle, it)
+                core._next_ready = ready
+                if ready is not None:
+                    heappush(heap, (ready, cid))
+            # -- thread lifecycle events from this round of ticks
+            if done_events:
+                live -= len(done_events)
+                del done_events[:]
+            if barrier_arrivals:
+                for thread in barrier_arrivals:
+                    if thread.barrier_group != "all":
+                        raise SimulationError(
+                            f"unknown barrier group "
+                            f"{thread.barrier_group!r}; only 'all' is "
+                            f"supported by the machine barrier"
+                        )
+                barrier_waiters.extend(barrier_arrivals)
+                del barrier_arrivals[:]
+            if barrier_waiters and len(barrier_waiters) == live:
+                self._release_barrier(barrier_waiters, cycle, heap)
+            # -- advance the clock
+            if live == 0:
+                cycle += 1
+                if cycle > max_cycles:
+                    raise SimulationError(
+                        f"exceeded max_cycles={max_cycles}; likely livelock"
+                    )
+                break
+            while heap and cores[heap[0][1]]._next_ready != heap[0][0]:
+                heappop(heap)
+            if not heap:
+                # Threads exist but none is READY: they must all be
+                # parked at barriers that cannot be released.
+                raise DeadlockError(
+                    "all live threads are blocked at barriers that cannot "
+                    "be released"
                 )
+            wake = heap[0][0]
+            cycle = cycle + 1 if wake <= cycle else wake
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles}; likely livelock"
+                )
+            it += 1
         self.stats.cycles = max(
-            (t.stats.finish_cycle for t in self.threads), default=cycle
+            t.stats.finish_cycle for t in self.threads
         )
         return self.stats
 
     # -- internals --------------------------------------------------------------
 
-    def _resolve_barriers(self, now: int) -> None:
-        """Release every barrier group whose live members all arrived."""
-        waiting: Dict[str, List[HwThread]] = defaultdict(list)
-        live_by_group: Dict[str, int] = defaultdict(int)
-        for thread in self.threads:
-            if thread.state == T_BARRIER:
-                waiting[thread.barrier_group].append(thread)
-            if thread.state != T_DONE:
-                live_by_group["all"] += 1
-        for group, members in waiting.items():
-            expected = (
-                live_by_group["all"] if group == "all" else None
-            )
-            if expected is None:
-                raise SimulationError(
-                    f"unknown barrier group {group!r}; only 'all' is "
-                    f"supported by the machine barrier"
-                )
-            if len(members) == expected:
-                release = now + BARRIER_RELEASE_COST
-                for thread in members:
-                    wait = release - thread.barrier_since
-                    thread.stats.sync_cycles += wait
-                    thread.stats.busy_cycles += wait
-                    thread.state = T_READY
-                    thread.ready_at = release
-                    thread.barrier_group = None
-
-    def _advance_clock(self, cycle: int) -> int:
-        """Next cycle to simulate, skipping idle gaps."""
-        wakeups = []
-        for core in self.cores:
+    def _release_barrier(
+        self,
+        waiters: List[HwThread],
+        now: int,
+        heap: List[Tuple[int, int]],
+    ) -> None:
+        """Release all barrier waiters; reschedule their cores' wakeups."""
+        release = now + BARRIER_RELEASE_COST
+        cores_affected = set()
+        for thread in waiters:
+            wait = release - thread.barrier_since
+            thread.stats.sync_cycles += wait
+            thread.stats.busy_cycles += wait
+            thread.state = T_READY
+            thread.ready_at = release
+            thread.barrier_group = None
+            cores_affected.add(thread.core_id)
+        del waiters[:]
+        for cid in sorted(cores_affected):
+            core = self.cores[cid]
             ready = core.next_ready_cycle()
+            core._next_ready = ready
             if ready is not None:
-                wakeups.append(ready)
-        if not wakeups:
-            if all(core.all_done() for core in self.cores):
-                return cycle + 1
-            # Threads exist but none is READY: they must all be parked
-            # at barriers that cannot release.
-            raise DeadlockError(
-                "all live threads are blocked at barriers that cannot "
-                "be released"
-            )
-        return max(cycle + 1, min(wakeups))
+                heappush(heap, (ready, cid))

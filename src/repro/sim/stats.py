@@ -31,7 +31,7 @@ FAILURE_CAUSES = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadStats:
     """Counters for one software thread."""
 
@@ -54,7 +54,7 @@ class ThreadStats:
         return cls(**{k: v for k, v in data.items() if k in known})
 
 
-@dataclass
+@dataclass(slots=True)
 class MachineStats:
     """Counters for the whole machine plus per-thread detail."""
 

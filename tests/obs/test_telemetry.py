@@ -37,6 +37,19 @@ class TestRunTelemetry:
     def test_to_dict_includes_derived_throughput(self):
         assert sample().to_dict()["cycles_per_second"] == 60_000.0
 
+    def test_sim_khz_and_instr_per_sec(self):
+        t = sample()
+        assert t.sim_khz == 60.0
+        assert t.instr_per_sec == 20_000.0
+        out = t.to_dict()
+        assert out["sim_khz"] == 60.0
+        assert out["instr_per_sec"] == 20_000.0
+
+    def test_sim_khz_zero_wall_time(self):
+        t = sample(wall_time_s=0.0)
+        assert t.sim_khz == 0.0
+        assert t.instr_per_sec == 0.0
+
     def test_from_dict_ignores_unknown_keys(self):
         data = sample().to_dict()
         data["added_in_some_future_version"] = {"x": 1}

@@ -1,0 +1,51 @@
+"""Parallel sweeps must persist byte-identical results to serial ones.
+
+The executor's contract is that ``jobs`` is a throughput knob, not a
+semantics knob: fanning the smoke grid across worker processes must
+produce the same digests and the same stored stats, byte for byte,
+as running the grid serially.  Only the provenance block (worker pid,
+wall time, timestamps) may differ — it records *how* a number was
+produced, not the number.
+"""
+
+import json
+
+from repro.bench.suite import BenchSuite
+from repro.sim.executor import Executor
+from repro.sim.store import ResultStore
+
+
+def canonical_records(store: ResultStore):
+    """digest -> canonical JSON bytes of the record, sans provenance."""
+    out = {}
+    for digest in store.digests():
+        record = store.load_record(digest)
+        assert record is not None, f"unreadable record {digest}"
+        record.pop("provenance", None)
+        record.pop("created", None)
+        out[digest] = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        ).encode()
+    return out
+
+
+def test_parallel_smoke_sweep_matches_serial_byte_for_byte(tmp_path):
+    specs = list(BenchSuite.smoke().specs())
+
+    serial_store = ResultStore(tmp_path / "serial")
+    Executor(jobs=1, store=serial_store).run_sweep(specs)
+
+    parallel_store = ResultStore(tmp_path / "parallel")
+    parallel = Executor(jobs=4, store=parallel_store)
+    parallel.run_sweep(specs)
+
+    serial_records = canonical_records(serial_store)
+    parallel_records = canonical_records(parallel_store)
+
+    assert set(serial_records) == set(parallel_records)
+    assert len(serial_records) == len(specs)
+    for digest, payload in serial_records.items():
+        assert parallel_records[digest] == payload, (
+            f"store record {digest} differs between serial and "
+            f"parallel execution"
+        )
