@@ -8,19 +8,25 @@ run).  Spatter's gather/scatter suite works the same way — a fixed,
 named set of patterns whose archived results stay comparable across
 machines and commits.
 
-Two registered suites:
+Three registered suites:
 
 * ``full`` — every paper kernel x SIMD width {1, 4, 16} x topology
   {1x1, 4x4} x variant {base, glsc} on dataset A: 84 points, the grid
   behind Figures 6/8 and Table 4;
 * ``smoke`` — two kernels (one alias-heavy, one not) on the tiny
-  dataset at widths {1, 4}: 16 points, fast enough for a CI gate.
+  dataset at widths {1, 4}: 16 points, fast enough for a CI gate;
+* ``ablations`` — the Section 3.2/3.3 design-freedom flips (combining
+  off, alias-at-gather, fail-on-miss, eviction-tolerant links, GLSC
+  buffer sizes, prefetcher off) as override-carrying points next to
+  their plain base/glsc baselines, so the policy trade-offs the paper
+  *discusses* are gated by ``bench compare`` like the grids the paper
+  *plots*.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.kernels.registry import KERNEL_ORDER
@@ -34,33 +40,77 @@ FULL_TOPOLOGIES: Tuple[str, ...] = ("1x1", "4x4")
 VARIANTS: Tuple[str, ...] = ("base", "glsc")
 
 
+def _override_token(value: Any) -> str:
+    """One override value as an id token (inverse: :func:`_parse_token`)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _parse_token(token: str) -> Any:
+    """Recover an override value's type from its id token."""
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    for parse in (int, float):
+        try:
+            return parse(token)
+        except ValueError:
+            continue
+    return token
+
+
 def point_id(spec: RunSpec) -> str:
     """Stable identity of a bench point across runs and files.
 
     ``kernel/dataset:topology:wW:variant`` — every character is legal
     in JSON keys and shell arguments, and the id round-trips through
-    :func:`spec_from_id`.
+    :func:`spec_from_id`.  A spec carrying config overrides (the
+    ablation points, protocol-matrix runs) appends one more segment,
+    ``:k=v,k2=v2``, in the overrides' canonical sorted order.
     """
-    return (
+    base = (
         f"{spec.kernel}/{spec.dataset}:{spec.topology}"
         f":w{spec.simd_width}:{spec.variant}"
     )
+    if not spec.overrides:
+        return base
+    extra = ",".join(
+        f"{name}={_override_token(value)}" for name, value in spec.overrides
+    )
+    return f"{base}:{extra}"
 
 
 def spec_from_id(pid: str) -> RunSpec:
-    """Inverse of :func:`point_id` (bench points carry no overrides)."""
+    """Inverse of :func:`point_id`, overrides segment included."""
+    overrides: Dict[str, Any] = {}
+    head = pid
+    maybe_head, _, last = pid.rpartition(":")
+    if maybe_head and "=" in last:
+        head = maybe_head
+        try:
+            for pair in last.split(","):
+                name, _, token = pair.partition("=")
+                if not name or not token:
+                    raise ValueError(pid)
+                overrides[name] = _parse_token(token)
+        except ValueError as exc:
+            raise ConfigError(f"malformed bench point id {pid!r}") from exc
     try:
         # rsplit: microbenchmark kernels ("micro:A") contain a colon.
-        kernel_dataset, topology, width, variant = pid.rsplit(":", 3)
+        kernel_dataset, topology, width, variant = head.rsplit(":", 3)
         kernel, dataset = kernel_dataset.rsplit("/", 1)
         if not width.startswith("w"):
             raise ValueError(pid)
-        spec = RunSpec(kernel, dataset, topology, int(width[1:]), variant)
+        spec = RunSpec(kernel, dataset, topology, int(width[1:]), variant,
+                       overrides=overrides)
     except ValueError as exc:
         raise ConfigError(f"malformed bench point id {pid!r}") from exc
     if spec.is_micro:
         return RunSpec.micro(
-            spec.kernel.split(":", 1)[1], topology, spec.simd_width, variant
+            spec.kernel.split(":", 1)[1], topology, spec.simd_width, variant,
+            overrides=overrides or None,
         )
     return spec
 
@@ -126,6 +176,64 @@ class BenchSuite:
         """Reduced CI grid: tms (alias-heavy) + hip (Base-competitive)."""
         return cls.grid("smoke", ("tms", "hip"), "tiny", widths=(1, 4))
 
+    @classmethod
+    def ablations(cls) -> "BenchSuite":
+        """The Section 3.2/3.3 failure-policy and design-freedom flips.
+
+        Mirrors ``benchmarks/test_ablations.py`` as archived bench
+        points: each policy flip is an override-carrying GLSC point on
+        the 4x4 W4 dataset-A cell, accompanied by the plain base/glsc
+        baselines of the same cell so the fidelity metrics still get
+        their speedup pairing.
+        """
+
+        def cell(kernel: str, variant: str = "glsc",
+                 **overrides: Any) -> RunSpec:
+            return RunSpec(kernel, "A", "4x4", 4, variant,
+                           overrides=overrides)
+
+        specs = [
+            # plain baselines: base/glsc pairs for the fidelity ratios
+            cell("tms", "base"), cell("tms"),
+            cell("gbc", "base"), cell("gbc"),
+            cell("hip", "base"), cell("hip"),
+            # same-line combining off (benefit source #3)
+            cell("tms", gsu_combine_lines=False),
+            cell("gbc", gsu_combine_lines=False),
+            cell("hip", gsu_combine_lines=False),
+            # alias resolution at gather-link time (Section 3.1)
+            cell("hip", glsc_alias_in_gather=True),
+            # fail-on-miss link policy (Section 3.2c)
+            cell("tms", glsc_fail_on_miss=True),
+            # links tolerate eviction instead of dying (Section 3.2b)
+            cell("tms", glsc_fail_on_link_eviction=False),
+            # GLSC entries in a small buffer vs the L1 tags (Section 3.3)
+            cell("gbc", glsc_buffer_entries=4),
+            cell("gbc", glsc_buffer_entries=64),
+            # the stride prefetcher's contribution to the Base variant
+            cell("tms", "base", prefetch_enabled=False),
+        ]
+        return cls("ablations", specs)
+
+    def with_protocol(self, protocol: str) -> "BenchSuite":
+        """This grid re-run under a non-default coherence protocol.
+
+        Every point gains a ``protocol`` override (so ids and digests
+        differ from the default-protocol run) and the suite is renamed
+        ``<name>@<protocol>`` — trajectory baselines therefore never
+        mix protocols.  Asking for the default protocol returns the
+        suite unchanged.
+        """
+        from repro.mem.protocol import DEFAULT_PROTOCOL
+
+        if protocol == DEFAULT_PROTOCOL:
+            return self
+        return BenchSuite(
+            f"{self.name}@{protocol}",
+            [spec.with_overrides(protocol=protocol)
+             for spec in self.specs()],
+        )
+
     # -- access -----------------------------------------------------------
 
     def ids(self) -> List[str]:
@@ -145,13 +253,25 @@ class BenchSuite:
 
 
 #: Registered suite names, in documentation order.
-SUITE_NAMES: Tuple[str, ...] = ("full", "smoke")
+SUITE_NAMES: Tuple[str, ...] = ("full", "smoke", "ablations")
 
 
-def get_suite(name: str) -> BenchSuite:
-    """Look a registered suite up by name."""
+def get_suite(name: str, protocol: Optional[str] = None) -> BenchSuite:
+    """Look a registered suite up by name.
+
+    ``protocol`` (when given and non-default) rewrites the grid via
+    :meth:`BenchSuite.with_protocol`.
+    """
     if name == "full":
-        return BenchSuite.full()
-    if name == "smoke":
-        return BenchSuite.smoke()
-    raise ConfigError(f"unknown bench suite {name!r}; known: {SUITE_NAMES}")
+        suite = BenchSuite.full()
+    elif name == "smoke":
+        suite = BenchSuite.smoke()
+    elif name == "ablations":
+        suite = BenchSuite.ablations()
+    else:
+        raise ConfigError(
+            f"unknown bench suite {name!r}; known: {SUITE_NAMES}"
+        )
+    if protocol is not None:
+        suite = suite.with_protocol(protocol)
+    return suite

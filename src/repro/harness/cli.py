@@ -50,6 +50,7 @@ from typing import List, Optional
 
 from repro.harness import experiments, report
 from repro.kernels.registry import KERNEL_ORDER
+from repro.mem.protocol import DEFAULT_PROTOCOL, protocol_names
 from repro.sim.executor import Executor, RunSpec
 from repro.sim.store import ResultStore, default_cache_dir
 
@@ -150,17 +151,38 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--width", type=int, default=4, metavar="W",
                         help="SIMD width (default: 4)")
     parser.add_argument("--variant", default="glsc", choices=list(VARIANTS))
+    parser.add_argument(
+        "--protocol", default=None, choices=list(protocol_names()),
+        help=(
+            "coherence protocol the memory hierarchy runs "
+            f"(default: {DEFAULT_PROTOCOL})"
+        ),
+    )
     parser.add_argument("--warm", action="store_true",
                         help="warm the caches before measuring")
 
 
+def _protocol_overrides(protocol: Optional[str]):
+    """A non-default ``--protocol`` as a config-override dict (or None).
+
+    The default protocol is deliberately *not* spelled out as an
+    override: ``--protocol msi`` must digest (and cache) identically
+    to not passing the flag at all.
+    """
+    if protocol is None or protocol == DEFAULT_PROTOCOL:
+        return None
+    return {"protocol": protocol}
+
+
 def _spec_from_args(args: argparse.Namespace) -> RunSpec:
+    overrides = _protocol_overrides(args.protocol)
     if args.kernel.startswith("micro:"):
         return RunSpec.micro(
             args.kernel.split(":", 1)[1],
             topology=args.topology,
             simd_width=args.width,
             variant=args.variant,
+            overrides=overrides,
         )
     return RunSpec(
         kernel=args.kernel,
@@ -168,6 +190,7 @@ def _spec_from_args(args: argparse.Namespace) -> RunSpec:
         topology=args.topology,
         simd_width=args.width,
         variant=args.variant,
+        overrides=overrides or (),
         warm=args.warm,
     )
 
@@ -331,6 +354,15 @@ def _main_bench(argv: List[str]) -> int:
     _add_dir(p_run)
     p_run.add_argument("--suite", default="full", choices=list(SUITE_NAMES))
     p_run.add_argument(
+        "--protocol", default=None, choices=list(protocol_names()),
+        help=(
+            "run the suite under this coherence protocol; non-default "
+            "choices rename the suite to <suite>@<protocol> so "
+            "baselines never mix protocols "
+            f"(default: {DEFAULT_PROTOCOL})"
+        ),
+    )
+    p_run.add_argument(
         "--repeats", type=int, default=3, metavar="N",
         help="fresh simulations per point (default: 3)",
     )
@@ -401,7 +433,7 @@ def _main_bench(argv: List[str]) -> int:
     trajectory_path = args.dir / TRAJECTORY_NAME
 
     if args.verb == "run":
-        suite = get_suite(args.suite)
+        suite = get_suite(args.suite, protocol=args.protocol)
         sha = current_git_sha(args.dir)
         print(
             f"bench run: suite {suite.name} ({len(suite)} points), "

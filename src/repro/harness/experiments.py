@@ -39,9 +39,8 @@ Paper mapping:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.harness.session import Session
 from repro.kernels.micro import SCENARIOS
 from repro.kernels.registry import KERNEL_ORDER, KERNELS
 from repro.sim.config import CONFIG_NAMES, MachineConfig
@@ -79,10 +78,15 @@ WIDTHS = (1, 4, 16)
 
 
 def _executor(
-    session: Optional[Session] = None,
+    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> Executor:
-    """Resolve the executor to run on (new API, façade, or fresh)."""
+    """Resolve the executor to run on (new API, façade, or fresh).
+
+    ``session`` is only duck-typed (anything with an ``.executor``
+    attribute works) so this module no longer imports the deprecated
+    :class:`~repro.harness.session.Session` façade.
+    """
     if executor is not None:
         return executor
     if session is not None:
@@ -146,7 +150,7 @@ def sweep_fig5a(
 def fig5a(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
-    session: Optional[Session] = None,
+    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Fig5Row]:
     """Figure 5(a): % of time in synchronization, 1x1, 1-wide GLSC."""
@@ -177,7 +181,7 @@ def sweep_fig5b(
 def fig5b(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
-    session: Optional[Session] = None,
+    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Fig5Row]:
     """Figure 5(b): SIMD efficiency of the GLSC binaries at 1x1."""
@@ -246,7 +250,7 @@ def fig6(
     datasets: Sequence[str] = DATASETS,
     topologies: Sequence[str] = CONFIG_NAMES,
     simd_width: int = 4,
-    session: Optional[Session] = None,
+    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Fig6Row]:
     """Figure 6: Base vs GLSC speedups over 1x1 GLSC, 4-wide SIMD."""
@@ -306,7 +310,7 @@ def table4(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
     simd_width: int = 4,
-    session: Optional[Session] = None,
+    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Table4Row]:
     """Table 4: where GLSC's benefit comes from, plus failure rates."""
@@ -371,7 +375,7 @@ def sweep_fig7(
 def fig7(
     scenarios: Sequence[str] = SCENARIOS,
     widths: Tuple[int, int] = (4, 16),
-    session: Optional[Session] = None,
+    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Fig7Row]:
     """Figure 7: microbenchmark Base/GLSC ratios for scenarios A-D."""
@@ -418,7 +422,7 @@ def fig8(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
     widths: Sequence[int] = WIDTHS,
-    session: Optional[Session] = None,
+    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Fig8Row]:
     """Figure 8: Base/GLSC ratio vs SIMD width at 4x4."""

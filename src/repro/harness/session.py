@@ -5,9 +5,9 @@ now revolves around :class:`~repro.sim.executor.RunSpec` and
 :class:`~repro.sim.executor.Executor` — immutable run descriptions,
 dedup, process-pool parallelism, and a persistent store
 (:mod:`repro.sim.store`).  ``Session`` survives as a thin façade so
-existing call sites keep working, but every method that triggers a
-simulation emits a :class:`DeprecationWarning` pointing at the
-replacement::
+existing call sites keep working, but constructing one (and every
+method that triggers a simulation) emits a
+:class:`DeprecationWarning` pointing at the replacement::
 
     # old                                  # new
     Session().run("tms", "A",              Executor().run(
@@ -53,6 +53,12 @@ class Session:
         executor: Optional[Executor] = None,
         **overrides: Any,
     ) -> None:
+        warnings.warn(
+            "Session is deprecated; construct an Executor directly "
+            "(see repro.sim.executor)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.overrides: Dict[str, Any] = dict(overrides)
         self.executor = executor or Executor(
             jobs=jobs, store=store, **overrides

@@ -1,10 +1,16 @@
 """Private L1 data cache model.
 
 Tags-only timing cache: data words live in the flat
-:class:`~repro.mem.image.MemoryImage`; the cache tracks presence, MSI
+:class:`~repro.mem.image.MemoryImage`; the cache tracks presence,
 coherence state, LRU, and — the paper's L1 extension (Section 3.3) —
 one *GLSC entry* per line: a valid bit plus the SMT-thread id that
 holds the gather-link reservation.
+
+Which states a line can actually occupy is the business of the
+configured :class:`~repro.mem.protocol.CoherenceProtocol`: the default
+MSI policy uses only S and M, MESI adds E (clean exclusive), and MOESI
+adds O (owned — dirty but shared).  The cache itself is
+state-agnostic; it stores whatever small int the protocol installs.
 """
 
 from __future__ import annotations
@@ -14,14 +20,27 @@ from typing import Callable, Dict, Iterator, List, Optional
 from repro.errors import SimulationError
 from repro.mem.layout import LineGeometry
 
-__all__ = ["MSI_M", "MSI_S", "L1Line", "L1Cache"]
+__all__ = [
+    "MSI_M",
+    "MSI_S",
+    "MESI_E",
+    "MOESI_O",
+    "STATE_NAMES",
+    "L1Line",
+    "L1Cache",
+]
 
-#: MSI states, interned as small ints for cheap compares on the hot
-#: path; absence from the cache is the I state.
+#: Coherence states, interned as small ints for cheap compares on the
+#: hot path; absence from the cache is the I state.  S and M are the
+#: MSI core every protocol shares; E and O exist only under the
+#: protocols that install them (``mesi`` / ``moesi``).
 MSI_S = 1
 MSI_M = 2
+MESI_E = 3
+MOESI_O = 4
 
-_STATE_NAMES = {MSI_S: "S", MSI_M: "M"}
+STATE_NAMES = {MSI_S: "S", MSI_M: "M", MESI_E: "E", MOESI_O: "O"}
+_STATE_NAMES = STATE_NAMES
 
 
 class L1Line:

@@ -1,4 +1,4 @@
-"""Directory-based MSI coherence controller.
+"""Directory-based coherence controller (mechanism half of the seam).
 
 This is the glue of the memory hierarchy: it owns the per-core L1s,
 the shared inclusive L2 (with directory state), main memory, the
@@ -25,16 +25,32 @@ caller learns the total latency and schedules its thread's wakeup —
 which preserves the *relative* timing behaviour (miss overlap happens
 in the GSU, which issues many transactions whose latencies run
 concurrently).
+
+The *policy* side — what a miss or upgrade does to coherence state,
+and which states exist — lives in :mod:`repro.mem.protocol` behind
+the message vocabulary of :mod:`repro.mem.messages`; this class keeps
+the mechanism every protocol shares (install/evict/invalidate,
+reservation kills, bank occupancy, chaos injection) and delegates the
+transactions to the policy selected by ``MachineConfig.protocol``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, NamedTuple, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import AlignmentError, SimulationError
 from repro.core.glsc import GlscTracker, make_tracker
-from repro.mem.cache import L1Cache, L1Line, MSI_M, MSI_S
+from repro.mem.cache import L1Cache, L1Line
+from repro.mem.messages import Inv, PutM, PutS
+from repro.mem.protocol import (
+    AccessResult,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_MEM,
+    LEVEL_REMOTE,
+    make_protocol,
+)
 from repro.obs.events import (
     CacheHit,
     CacheMiss,
@@ -51,20 +67,14 @@ from repro.mem.reservations import ReservationFile
 from repro.sim.config import MachineConfig
 from repro.sim.stats import MachineStats
 
-__all__ = ["AccessResult", "CoherenceSystem"]
-
-#: Deepest level a transaction reached (for tests and debugging).
-LEVEL_L1 = "L1"
-LEVEL_L2 = "L2"
-LEVEL_REMOTE = "REMOTE"
-LEVEL_MEM = "MEM"
-
-
-class AccessResult(NamedTuple):
-    """Outcome of one coherence transaction."""
-
-    latency: int
-    level: str
+__all__ = [
+    "AccessResult",
+    "CoherenceSystem",
+    "LEVEL_L1",
+    "LEVEL_L2",
+    "LEVEL_MEM",
+    "LEVEL_REMOTE",
+]
 
 
 class CoherenceSystem:
@@ -123,6 +133,14 @@ class CoherenceSystem:
         self._l1_list = [self.l1s[core] for core in range(config.n_cores)]
         self._l1_lookups = [l1.lookup for l1 in self._l1_list]
         self._hit_l1 = AccessResult(config.l1_hit_latency, LEVEL_L1)
+        # Policy half of the seam: the protocol owns the transaction
+        # state machine; the bound-method aliases keep the miss paths
+        # one call deep, exactly as the pre-seam private methods were.
+        self.protocol = make_protocol(config.protocol, self)
+        self._dirty_states = self.protocol.dirty_states
+        self._read_miss = self.protocol.read_miss
+        self._obtain_modified = self.protocol.obtain_modified
+        self._prefetch_fill = self.protocol.prefetch_fill
 
     def _line_addr(self, addr: int) -> int:
         """Inline-friendly line rounding for the hot transactions."""
@@ -452,142 +470,11 @@ class CoherenceSystem:
 
         return ok
 
-    def _read_miss(
-        self,
-        core: int,
-        slot: int,
-        line_addr: int,
-        now: int,
-        victim_ok,
-    ) -> Optional[AccessResult]:
-        """Service a read miss; returns None if the install was refused."""
-        cfg = self.config
-        obs = self.obs
-        wants_cache = obs is not None and obs.wants_cache
-        self.stats.l1_misses += 1
-        if wants_cache:
-            obs.emit(CacheMiss(now, core, slot, line_addr, "L1", "read"))
-        latency = cfg.l1_hit_latency + cfg.l2_latency
-        latency += self._book_l2_bank(line_addr, now)
-        level = LEVEL_L2
-        entry, l2_hit, l2_victim = self.l2.fetch(line_addr, now)
-        self.stats.l2_accesses += 1
-        if l2_victim is not None:
-            self._back_invalidate(l2_victim, now)
-        if not l2_hit:
-            self.stats.l2_misses += 1
-            latency += self.dram.access()
-            self.stats.mem_accesses += 1
-            level = LEVEL_MEM
-        if wants_cache:
-            obs.emit(
-                CacheMiss(now, core, slot, line_addr, "L2", "read")
-                if not l2_hit
-                else CacheHit(now, core, slot, line_addr, "L2", "read")
-            )
-        if entry.owner is not None and entry.owner != core:
-            # Dirty in a remote L1: forward + downgrade (M -> S) and
-            # write the data back to the L2.  Reservations survive a
-            # remote *read*; only writes kill them.
-            owner = entry.owner
-            if self.l1s[owner].downgrade(line_addr) is None:
-                raise SimulationError(
-                    f"directory says core {owner} owns {line_addr:#x} "
-                    f"but its L1 does not hold it"
-                )
-            self.stats.writebacks += 1
-            if obs is not None and obs.wants_coherence:
-                obs.emit(Writeback(now, owner, line_addr, "downgrade"))
-            entry.clear_owner()
-            latency += cfg.remote_l1_latency
-            if level != LEVEL_MEM:
-                level = LEVEL_REMOTE
-        installed = self._install_l1(core, line_addr, MSI_S, now, victim_ok)
-        if not installed:
-            return None
-        entry.add_sharer(core)
-        return AccessResult(latency, level)
-
-    def _obtain_modified(
-        self, core: int, slot: int, line_addr: int, now: int
-    ) -> AccessResult:
-        """Bring ``line_addr`` to M state in ``core``'s L1."""
-        cfg = self.config
-        obs = self.obs
-        wants_cache = obs is not None and obs.wants_cache
-        line = self._l1_lookups[core](line_addr)
-        if line is not None and line.state == MSI_M:
-            line.last_use = now
-            self.stats.l1_hits += 1
-            if wants_cache:
-                obs.emit(CacheHit(now, core, slot, line_addr, "L1", "write"))
-            return self._hit_l1
-
-        if line is not None:  # S -> M upgrade
-            # Not counted as an L1 hit or miss by the stats, so no L1
-            # hit/miss event is emitted either.
-            latency = cfg.l1_hit_latency + cfg.l2_latency
-            latency += self._book_l2_bank(line_addr, now)
-            level = LEVEL_L2
-            self.stats.l2_accesses += 1
-            entry = self.l2.lookup(line_addr)
-            if entry is None:
-                raise SimulationError(
-                    f"L1 of core {core} holds {line_addr:#x} but the "
-                    f"inclusive L2 does not"
-                )
-            others = entry.sharers - {core}
-            if others:
-                latency += cfg.remote_l1_latency
-                level = LEVEL_REMOTE
-                for other in sorted(others):
-                    self._invalidate_l1(other, line_addr, now)
-            entry.set_owner(core)
-            entry.last_use = now
-            line.state = MSI_M
-            line.last_use = now
-            return AccessResult(latency, level)
-
-        # Write miss: read-for-ownership.
-        self.stats.l1_misses += 1
-        if wants_cache:
-            obs.emit(CacheMiss(now, core, slot, line_addr, "L1", "write"))
-        self._train_prefetcher(core, slot, line_addr, now)
-        latency = cfg.l1_hit_latency + cfg.l2_latency
-        latency += self._book_l2_bank(line_addr, now)
-        level = LEVEL_L2
-        entry, l2_hit, l2_victim = self.l2.fetch(line_addr, now)
-        self.stats.l2_accesses += 1
-        if l2_victim is not None:
-            self._back_invalidate(l2_victim, now)
-        if not l2_hit:
-            self.stats.l2_misses += 1
-            latency += self.dram.access()
-            self.stats.mem_accesses += 1
-            level = LEVEL_MEM
-        if wants_cache:
-            obs.emit(
-                CacheMiss(now, core, slot, line_addr, "L2", "write")
-                if not l2_hit
-                else CacheHit(now, core, slot, line_addr, "L2", "write")
-            )
-        holders = set(entry.sharers)
-        if holders - {core}:
-            latency += cfg.remote_l1_latency
-            if level != LEVEL_MEM:
-                level = LEVEL_REMOTE
-            for other in sorted(holders - {core}):
-                self._invalidate_l1(other, line_addr, now)
-        if not self._install_l1(core, line_addr, MSI_M, now, victim_ok=None):
-            raise SimulationError("unfiltered L1 install refused")
-        entry.set_owner(core)
-        return AccessResult(latency, level)
-
     def _install_l1(
         self,
         core: int,
         line_addr: int,
-        state: str,
+        state: int,
         now: int,
         victim_ok,
         prefetched: bool = False,
@@ -605,13 +492,21 @@ class CoherenceSystem:
     def _retire_l1_line(self, core: int, line: L1Line, now: int) -> None:
         """A line left ``core``'s L1 by eviction: fix directory + reservations."""
         obs = self.obs
-        dirty = line.state == MSI_M
+        dirty = line.state in self._dirty_states
         if dirty:
             self.stats.writebacks += 1
-        if obs is not None and obs.wants_coherence:
-            obs.emit(Eviction(now, core, line.line_addr, dirty))
-            if dirty:
-                obs.emit(Writeback(now, core, line.line_addr, "eviction"))
+        self.protocol.counts["PutM" if dirty else "PutS"] += 1
+        if obs is not None:
+            if obs.wants_coherence:
+                obs.emit(Eviction(now, core, line.line_addr, dirty))
+                if dirty:
+                    obs.emit(Writeback(now, core, line.line_addr, "eviction"))
+            if obs.wants_protocol:
+                obs.emit(
+                    PutM(now, core, line.line_addr)
+                    if dirty
+                    else PutS(now, core, line.line_addr)
+                )
         entry = self.l2.lookup(line.line_addr)
         if entry is None:
             raise SimulationError(
@@ -632,14 +527,18 @@ class CoherenceSystem:
                 f"its L1 does not hold it"
             )
         obs = self.obs
-        dirty = line.state == MSI_M
+        dirty = line.state in self._dirty_states
         if dirty:
             self.stats.writebacks += 1
         self.stats.invalidations_sent += 1
-        if obs is not None and obs.wants_coherence:
-            obs.emit(Invalidation(now, core, line_addr, "remote_write"))
-            if dirty:
-                obs.emit(Writeback(now, core, line_addr, "invalidation"))
+        self.protocol.counts["Inv"] += 1
+        if obs is not None:
+            if obs.wants_coherence:
+                obs.emit(Invalidation(now, core, line_addr, "remote_write"))
+                if dirty:
+                    obs.emit(Writeback(now, core, line_addr, "invalidation"))
+            if obs.wants_protocol:
+                obs.emit(Inv(now, core, line_addr, "remote_write"))
         victims = self.reservations.clear_core_line(core, line_addr)
         self._emit_scalar_losses(victims, line_addr, "thread_conflict", now)
         self._kill_glsc_departed(core, line, "thread_conflict", now)
@@ -648,6 +547,8 @@ class CoherenceSystem:
         """Inclusive-L2 eviction: remove every L1 copy of the victim."""
         obs = self.obs
         wants_coherence = obs is not None and obs.wants_coherence
+        wants_protocol = obs is not None and obs.wants_protocol
+        counts = self.protocol.counts
         for core in sorted(victim_entry.sharers):
             line = self.l1s[core].invalidate(victim_entry.line_addr)
             if line is None:
@@ -655,10 +556,11 @@ class CoherenceSystem:
                     f"L2 victim {victim_entry.line_addr:#x}: directory "
                     f"lists core {core} but its L1 lacks the line"
                 )
-            dirty = line.state == MSI_M
+            dirty = line.state in self._dirty_states
             if dirty:
                 self.stats.writebacks += 1
             self.stats.invalidations_sent += 1
+            counts["Inv"] += 1
             if wants_coherence:
                 obs.emit(
                     Invalidation(
@@ -671,6 +573,10 @@ class CoherenceSystem:
                             now, core, victim_entry.line_addr, "invalidation"
                         )
                     )
+            if wants_protocol:
+                obs.emit(
+                    Inv(now, core, victim_entry.line_addr, "l2_eviction")
+                )
             victims = self.reservations.clear_core_line(
                 core, victim_entry.line_addr
             )
@@ -755,45 +661,15 @@ class CoherenceSystem:
             self.stats.prefetches_issued += 1
             self._prefetch_fill(core, target, now)
 
-    def _prefetch_fill(self, core: int, line_addr: int, now: int) -> None:
-        """Install a prefetched line as S with no thread-visible latency."""
-        entry, l2_hit, l2_victim = self.l2.fetch(line_addr, now)
-        self.stats.l2_accesses += 1
-        if l2_victim is not None:
-            self._back_invalidate(l2_victim, now)
-        if not l2_hit:
-            self.stats.l2_misses += 1
-            self.dram.access()
-            self.stats.mem_accesses += 1
-        if entry.owner is not None and entry.owner != core:
-            owner = entry.owner
-            if self.l1s[owner].downgrade(line_addr) is None:
-                raise SimulationError(
-                    f"directory/L1 disagree on owner of {line_addr:#x}"
-                )
-            self.stats.writebacks += 1
-            obs = self.obs
-            if obs is not None and obs.wants_coherence:
-                obs.emit(Writeback(now, owner, line_addr, "downgrade"))
-            entry.clear_owner()
-        if self._install_l1(
-            core,
-            line_addr,
-            MSI_S,
-            now,
-            victim_ok=self._victim_filter(core),
-            prefetched=True,
-        ):
-            entry.add_sharer(core)
-
     # ------------------------------------------------------------------
     # invariant checking (used by property tests)
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
         """Assert the coherence invariants; raises SimulationError."""
+        protocol = self.protocol
         for entry in self.l2.entries():
-            entry.check()
+            protocol.check_entry(entry)
             for core in entry.sharers:
                 line = self.l1s[core].lookup(entry.line_addr)
                 if line is None:
@@ -801,11 +677,12 @@ class CoherenceSystem:
                         f"directory lists core {core} for "
                         f"{entry.line_addr:#x} but L1 lacks it"
                     )
-                expected = MSI_M if entry.owner == core else MSI_S
-                if line.state != expected:
+                allowed = protocol.expected_l1_states(entry, core)
+                if line.state not in allowed:
                     raise SimulationError(
                         f"core {core} holds {entry.line_addr:#x} in "
-                        f"{line.state}, directory implies {expected}"
+                        f"{line.state}, {protocol.name} directory "
+                        f"implies one of {sorted(allowed)}"
                     )
         for core, l1 in self.l1s.items():
             for line in l1.resident_lines():

@@ -26,9 +26,19 @@ class DirectoryEntry:
         self.owner: Optional[int] = None
         self.last_use = now
 
-    def add_sharer(self, core_id: int) -> None:
-        """Record that ``core_id`` holds the line in S state."""
-        if self.owner is not None and self.owner != core_id:
+    def add_sharer(self, core_id: int, shared_owner_ok: bool = False) -> None:
+        """Record that ``core_id`` holds the line in S state.
+
+        ``shared_owner_ok`` is the MOESI relaxation: an O-state owner
+        keeps the line (dirty) while readers join the sharer set, so
+        owner and foreign sharers may coexist.  MSI/MESI keep the
+        strict exclusive-owner rule.
+        """
+        if (
+            not shared_owner_ok
+            and self.owner is not None
+            and self.owner != core_id
+        ):
             raise SimulationError(
                 f"line {self.line_addr:#x}: adding sharer {core_id} while "
                 f"owned by {self.owner}"
@@ -50,9 +60,22 @@ class DirectoryEntry:
         if self.owner == core_id:
             self.owner = None
 
-    def check(self) -> None:
-        """Assert internal consistency (used by invariant tests)."""
-        if self.owner is not None and self.sharers != {self.owner}:
+    def check(self, shared_owner_ok: bool = False) -> None:
+        """Assert internal consistency (used by invariant tests).
+
+        Under the strict (MSI/MESI) shape an owner is the sole sharer;
+        under MOESI (``shared_owner_ok``) the owner must merely be a
+        member of the sharer set.
+        """
+        if self.owner is None:
+            return
+        if shared_owner_ok:
+            if self.owner not in self.sharers:
+                raise SimulationError(
+                    f"line {self.line_addr:#x}: owner {self.owner} not in "
+                    f"sharers {sorted(self.sharers)}"
+                )
+        elif self.sharers != {self.owner}:
             raise SimulationError(
                 f"line {self.line_addr:#x}: owner {self.owner} but "
                 f"sharers {sorted(self.sharers)}"

@@ -9,6 +9,12 @@ Inclusivity matters for GLSC: when an L2 victim is chosen, every L1
 copy must be back-invalidated, which silently destroys any gather-link
 reservations on that line — one of the legal reservation-loss causes
 the best-effort model permits (Section 3).
+
+The directory entry attached to each resident line (owner + sharer
+bitmap, :mod:`repro.mem.directory`) is protocol-agnostic storage; how
+it is read and updated per transaction is decided by the coherence
+seam's policy object (:mod:`repro.mem.protocol`), so the same banked
+structure serves MSI, MESI, and MOESI unchanged.
 """
 
 from __future__ import annotations

@@ -63,6 +63,7 @@ class EventBus:
         self.wants_coherence = False
         self.wants_reservation = False
         self.wants_glsc = False
+        self.wants_protocol = False
 
     # -- subscription ----------------------------------------------------
 
@@ -90,6 +91,7 @@ class EventBus:
         self.wants_coherence = bool(self._routes["coherence"])
         self.wants_reservation = bool(self._routes["reservation"])
         self.wants_glsc = bool(self._routes["glsc"])
+        self.wants_protocol = bool(self._routes["protocol"])
 
     def wants(self, category: str) -> bool:
         """Whether any sink subscribes to ``category``."""

@@ -16,6 +16,11 @@ of subscription on the :class:`~repro.obs.bus.EventBus`:
                cause of death)
 ``glsc``       gather-link / scatter-conditional element outcomes and
                GSU line-combining merges
+``protocol``   transaction-level coherence messages (GetS/GetM/
+               Upgrade/PutM/PutS/Inv/Fwd/Ack plus MESI's
+               silent-upgrade marker) — the seam vocabulary of
+               :mod:`repro.mem.messages`, emitted by the configured
+               :class:`~repro.mem.protocol.CoherenceProtocol`
 =============  ========================================================
 
 Design constraints:
@@ -39,6 +44,7 @@ from typing import Any, Dict, Optional, Tuple
 __all__ = [
     "CATEGORIES",
     "EVENT_TYPES",
+    "PROTOCOL_MESSAGES",
     "CacheHit",
     "CacheMiss",
     "Eviction",
@@ -52,7 +58,9 @@ __all__ = [
 ]
 
 #: Subscription categories, in display order.
-CATEGORIES = ("instr", "cache", "coherence", "reservation", "glsc")
+CATEGORIES = (
+    "instr", "cache", "coherence", "reservation", "glsc", "protocol"
+)
 
 
 @dataclass(frozen=True)
@@ -198,21 +206,15 @@ def _trace_event_type():
 
 def all_event_types() -> Tuple[type, ...]:
     """Every event class the bus can carry (including TraceEvent)."""
-    return (
-        _trace_event_type(),
-        CacheHit,
-        CacheMiss,
-        Eviction,
-        Writeback,
-        Invalidation,
-        ReservationSet,
-        ReservationLost,
-        ElementOutcome,
-        LineCombine,
-    )
+    return (_trace_event_type(),) + EVENT_TYPES
 
 
-#: Static tuple of the event classes defined here (TraceEvent joins
+#: The protocol-transaction events are the coherence seam's message
+#: dataclasses themselves (``category = "protocol"``), so the stream a
+#: sink sees *is* the directory traffic the selected protocol spoke.
+from repro.mem.messages import PROTOCOL_MESSAGES  # noqa: E402
+
+#: Static tuple of the event classes the bus carries (TraceEvent joins
 #: lazily via :func:`all_event_types` to avoid an import cycle).
 EVENT_TYPES = (
     CacheHit,
@@ -224,7 +226,7 @@ EVENT_TYPES = (
     ReservationLost,
     ElementOutcome,
     LineCombine,
-)
+) + PROTOCOL_MESSAGES
 
 
 def event_to_dict(event: Any) -> Dict[str, Any]:

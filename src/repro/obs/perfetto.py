@@ -166,6 +166,18 @@ class PerfettoSink(Sink):
                 {"op": event.op, "lanes_saved": event.lanes_saved,
                  "line": hex(event.line_addr), "sync": event.sync},
             )
+        elif getattr(event, "category", None) == "protocol":
+            # Coherence-seam messages (GetS/GetM/Upgrade/.../Ack):
+            # instants on the memory track, named by message kind.
+            args: Dict[str, Any] = {"line": hex(event.line_addr)}
+            for extra in ("occupancy", "latency", "level", "cause",
+                          "writeback", "state"):
+                value = getattr(event, extra, None)
+                if value is not None:
+                    args[extra] = value
+            self._instant(
+                event.cycle, event.core, f"coh:{event.kind}", args
+            )
 
     def _end_span(
         self, key: Tuple[int, int, str], ts: int, cause: str

@@ -22,6 +22,7 @@ from repro.obs.events import (
     Eviction,
     Invalidation,
     LineCombine,
+    PROTOCOL_MESSAGES,
     ReservationLost,
     ReservationSet,
     Writeback,
@@ -58,6 +59,10 @@ class MetricsSink(Sink):
         self.evictions = 0
         self.invalidations: Dict[str, int] = Counter()  # cause -> count
         self.writebacks: Dict[str, int] = Counter()     # reason -> count
+        # coherence-seam traffic: message kind -> count (MSG_KINDS
+        # vocabulary; mirrors CoherenceProtocol.counts when the sink
+        # subscribes to the "protocol" category)
+        self.protocol_traffic: Dict[str, int] = Counter()
         # GLSC / reservation attribution
         self.element_failures: Dict[str, int] = Counter()   # cause -> lanes
         self.element_successes: Dict[str, int] = Counter()  # op -> lanes
@@ -133,6 +138,9 @@ class MetricsSink(Sink):
         if event.sync:
             self.lanes_saved_by_combining += event.lanes_saved
 
+    def _on_protocol(self, event: Any) -> None:
+        self.protocol_traffic[event.kind] += 1
+
     _HANDLERS = {
         "TraceEvent": _on_instr,
         "CacheHit": _on_hit,
@@ -145,6 +153,9 @@ class MetricsSink(Sink):
         "ElementOutcome": _on_element,
         "LineCombine": _on_combine,
     }
+    for _msg in PROTOCOL_MESSAGES:
+        _HANDLERS[_msg.__name__] = _on_protocol
+    del _msg
 
     # -- queries ----------------------------------------------------------
 
@@ -166,6 +177,7 @@ class MetricsSink(Sink):
             "evictions": self.evictions,
             "invalidations": dict(self.invalidations),
             "writebacks": dict(self.writebacks),
+            "protocol_traffic": dict(self.protocol_traffic),
             "element_failures": dict(self.element_failures),
             "element_successes": dict(self.element_successes),
             "lanes_saved_by_combining": self.lanes_saved_by_combining,
@@ -197,6 +209,12 @@ class MetricsSink(Sink):
                 f"{reason}={n}" for reason, n in sorted(self.writebacks.items())
             )
             lines.append(f"invalidations: {inv or '-'};  writebacks: {wb or '-'}")
+        if self.protocol_traffic:
+            traffic = ", ".join(
+                f"{kind}={n}"
+                for kind, n in sorted(self.protocol_traffic.items())
+            )
+            lines.append(f"protocol traffic: {traffic}")
         if self.element_failures or self.element_successes:
             ok = sum(self.element_successes.values())
             fails = ", ".join(

@@ -27,6 +27,7 @@ from typing import Any, Dict
 
 from repro.errors import ConfigError
 from repro.mem.layout import LineGeometry
+from repro.mem.protocol import DEFAULT_PROTOCOL, protocol_names
 
 __all__ = ["MachineConfig", "CONFIG_NAMES", "named_config"]
 
@@ -44,6 +45,13 @@ class MachineConfig:
     threads_per_core: int = 1
     simd_width: int = 4
     issue_width: int = 2
+
+    # -- coherence protocol ------------------------------------------------
+    # Which CoherenceProtocol policy the memory hierarchy runs (see
+    # repro.mem.protocol): "msi" (the paper's baseline), "mesi", or
+    # "moesi".  Digest-aware: the default is omitted from to_dict(),
+    # so pre-seam RunSpec/store digests are unchanged.
+    protocol: str = DEFAULT_PROTOCOL
 
     # -- L1 (private, per core) -------------------------------------------
     l1_size_bytes: int = 32 * 1024
@@ -141,6 +149,11 @@ class MachineConfig:
                 "chaos_reservation_loss must be in [0, 1) — losing every "
                 "reservation would make forward progress impossible"
             )
+        if self.protocol not in protocol_names():
+            raise ConfigError(
+                f"unknown coherence protocol {self.protocol!r}; "
+                f"expected one of {protocol_names()}"
+            )
 
     # -- derived -----------------------------------------------------------
 
@@ -188,8 +201,18 @@ class MachineConfig:
         Unlike :meth:`describe` (a human-oriented summary) this is
         lossless: it is the canonical form the run store digests, so a
         new or changed field automatically invalidates cached results.
+
+        One deliberate exception: ``protocol`` is omitted while it
+        holds the default (``"msi"``) so that every digest minted
+        before the coherence seam existed — result-store entries,
+        golden files, trajectory baselines — remains byte-identical.
+        A non-default protocol *is* serialized and therefore digests
+        differently, as it must.
         """
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        if out["protocol"] == DEFAULT_PROTOCOL:
+            del out["protocol"]
+        return out
 
     def digest(self) -> str:
         """Stable content hash of the full configuration.

@@ -163,6 +163,18 @@ class RunSpec:
         """Whether this spec names a microbenchmark scenario."""
         return self.kernel.startswith(MICRO_PREFIX)
 
+    @property
+    def protocol(self) -> str:
+        """The coherence protocol this spec resolves to.
+
+        ``protocol`` is an ordinary :class:`MachineConfig` override
+        (``spec.with_overrides(protocol="mesi")``); this accessor just
+        surfaces the effective value without building the config.
+        """
+        from repro.mem.protocol import DEFAULT_PROTOCOL
+
+        return dict(self.overrides).get("protocol", DEFAULT_PROTOCOL)
+
     def config(self) -> MachineConfig:
         """The fully resolved machine configuration for this spec."""
         return named_config(

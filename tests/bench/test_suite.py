@@ -50,9 +50,58 @@ class TestSmokeSuite:
         assert all(s.dataset == "tiny" for s in suite.specs())
 
     def test_registry(self):
-        assert set(SUITE_NAMES) == {"full", "smoke"}
+        assert set(SUITE_NAMES) == {"full", "smoke", "ablations"}
         with pytest.raises(ConfigError):
             get_suite("nope")
+
+
+class TestAblationsSuite:
+    def test_every_ablation_flip_is_present(self):
+        suite = get_suite("ablations")
+        flips = {
+            name
+            for spec in suite.specs()
+            for name, _ in spec.overrides
+        }
+        assert flips == {
+            "gsu_combine_lines",
+            "glsc_alias_in_gather",
+            "glsc_fail_on_miss",
+            "glsc_fail_on_link_eviction",
+            "glsc_buffer_entries",
+            "prefetch_enabled",
+        }
+
+    def test_baseline_pairs_for_fidelity(self):
+        """Plain base/glsc twins exist so speedup ratios can pair up."""
+        ids = set(get_suite("ablations").ids())
+        for kernel in ("tms", "gbc", "hip"):
+            assert f"{kernel}/A:4x4:w4:base" in ids
+            assert f"{kernel}/A:4x4:w4:glsc" in ids
+
+    def test_every_point_round_trips(self):
+        for spec in get_suite("ablations").specs():
+            assert spec_from_id(point_id(spec)) == spec
+
+
+class TestProtocolGrids:
+    def test_with_protocol_renames_and_overrides(self):
+        suite = get_suite("smoke", protocol="mesi")
+        assert suite.name == "smoke@mesi"
+        assert len(suite) == 16
+        for spec in suite.specs():
+            assert spec.protocol == "mesi"
+        for pid in suite.ids():
+            assert pid.endswith(":protocol=mesi")
+
+    def test_default_protocol_leaves_suite_untouched(self):
+        plain = get_suite("smoke")
+        assert plain.with_protocol("msi") is plain
+        assert get_suite("smoke", protocol="msi").name == "smoke"
+
+    def test_protocol_ids_round_trip(self):
+        for spec in get_suite("smoke", protocol="moesi").specs():
+            assert spec_from_id(point_id(spec)) == spec
 
 
 class TestPointIds:
@@ -62,6 +111,31 @@ class TestPointIds:
 
     def test_micro_round_trip(self):
         spec = RunSpec.micro("B", "4x4", 4, "glsc")
+        assert spec_from_id(point_id(spec)) == spec
+
+    def test_override_round_trip_preserves_types(self):
+        spec = RunSpec(
+            "tms", "A", "4x4", 4, "glsc",
+            overrides={
+                "gsu_combine_lines": False,
+                "glsc_buffer_entries": 64,
+                "chaos_reservation_loss": 0.25,
+                "protocol": "moesi",
+            },
+        )
+        pid = point_id(spec)
+        # canonical sorted order, comma-separated, shell-safe
+        assert pid == (
+            "tms/A:4x4:w4:glsc:chaos_reservation_loss=0.25,"
+            "glsc_buffer_entries=64,gsu_combine_lines=false,"
+            "protocol=moesi"
+        )
+        assert spec_from_id(pid) == spec
+        assert spec_from_id(pid).digest() == spec.digest()
+
+    def test_micro_override_round_trip(self):
+        spec = RunSpec.micro("B", "4x4", 4, "glsc",
+                             overrides={"protocol": "mesi"})
         assert spec_from_id(point_id(spec)) == spec
 
     def test_malformed_rejected(self):

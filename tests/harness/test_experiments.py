@@ -10,14 +10,15 @@ import pytest
 from repro.harness import experiments, report
 from repro.harness.session import Session
 from repro.sim.config import CONFIG_NAMES
+from repro.sim.executor import Executor
 
 KERNELS = ("hip", "tms")
 DATASETS = ("tiny",)
 
 
 @pytest.fixture(scope="module")
-def session():
-    return Session()
+def executor():
+    return Executor()
 
 
 class TestTables:
@@ -33,8 +34,8 @@ class TestTables:
         assert len(rows) == 7 * 2
         assert all(r["paper"] != "-" for r in rows)
 
-    def test_table4_rows(self, session):
-        rows = experiments.table4(KERNELS, DATASETS, session=session)
+    def test_table4_rows(self, executor):
+        rows = experiments.table4(KERNELS, DATASETS, executor=executor)
         assert len(rows) == len(KERNELS) * len(DATASETS)
         for row in rows:
             assert 0 <= row.failure_rate_1x1 <= 100
@@ -44,20 +45,20 @@ class TestTables:
 
 
 class TestFigures:
-    def test_fig5a_rows(self, session):
-        rows = experiments.fig5a(KERNELS, DATASETS, session)
+    def test_fig5a_rows(self, executor):
+        rows = experiments.fig5a(KERNELS, DATASETS, executor=executor)
         assert len(rows) == len(KERNELS)
         for row in rows:
             assert 0 < row.sync_percent < 100
 
-    def test_fig5b_rows(self, session):
-        rows = experiments.fig5b(KERNELS, DATASETS, session)
+    def test_fig5b_rows(self, executor):
+        rows = experiments.fig5b(KERNELS, DATASETS, executor=executor)
         for row in rows:
             assert row.speedup_4wide > 0.5
             assert row.speedup_16wide > 0.5
 
-    def test_fig6_normalization(self, session):
-        rows = experiments.fig6(KERNELS, DATASETS, session=session)
+    def test_fig6_normalization(self, executor):
+        rows = experiments.fig6(KERNELS, DATASETS, executor=executor)
         for row in rows:
             assert set(row.base) == set(CONFIG_NAMES)
             # By construction the 1x1 GLSC bar is exactly 1.0.
@@ -66,51 +67,52 @@ class TestFigures:
             assert row.glsc["4x4"] > row.glsc["1x1"] * 0.9
             assert row.ratio("1x1") > 0
 
-    def test_fig7_rows(self, session):
-        rows = experiments.fig7(scenarios=("B", "D"), session=session)
+    def test_fig7_rows(self, executor):
+        rows = experiments.fig7(scenarios=("B", "D"), executor=executor)
         assert [r.scenario for r in rows] == ["B", "D"]
         by_name = {r.scenario: r for r in rows}
         # Scenario D has no SIMD parallelism: GLSC cannot be much
         # faster, and degrades with width relative to B.
         assert by_name["D"].ratio_4wide < by_name["B"].ratio_4wide + 0.5
 
-    def test_fig8_rows(self, session):
+    def test_fig8_rows(self, executor):
         rows = experiments.fig8(KERNELS, DATASETS, widths=(1, 4),
-                                session=session)
+                                executor=executor)
         for row in rows:
             assert set(row.ratios) == {1, 4}
 
-    def test_session_caches_across_experiments(self):
-        session = Session()
-        experiments.fig5b(("hip",), DATASETS, session)
+    def test_session_facade_still_caches_across_experiments(self):
+        with pytest.deprecated_call():
+            session = Session()
+        experiments.fig5b(("hip",), DATASETS, session=session)
         count = session.cached_runs()
-        experiments.fig5b(("hip",), DATASETS, session)
+        experiments.fig5b(("hip",), DATASETS, session=session)
         assert session.cached_runs() == count
 
 
 class TestReport:
-    def test_all_renderers_produce_tables(self, session):
+    def test_all_renderers_produce_tables(self, executor):
         outputs = [
             report.render_table1(experiments.table1()),
             report.render_table3(experiments.table3()),
             report.render_fig5a(
-                experiments.fig5a(KERNELS, DATASETS, session)
+                experiments.fig5a(KERNELS, DATASETS, executor=executor)
             ),
             report.render_fig5b(
-                experiments.fig5b(KERNELS, DATASETS, session)
+                experiments.fig5b(KERNELS, DATASETS, executor=executor)
             ),
             report.render_fig6(
-                experiments.fig6(KERNELS, DATASETS, session=session)
+                experiments.fig6(KERNELS, DATASETS, executor=executor)
             ),
             report.render_fig7(
-                experiments.fig7(scenarios=("B",), session=session)
+                experiments.fig7(scenarios=("B",), executor=executor)
             ),
             report.render_fig8(
                 experiments.fig8(KERNELS, DATASETS, widths=(1, 4),
-                                 session=session)
+                                 executor=executor)
             ),
             report.render_table4(
-                experiments.table4(KERNELS, DATASETS, session=session)
+                experiments.table4(KERNELS, DATASETS, executor=executor)
             ),
         ]
         for text in outputs:

@@ -162,15 +162,21 @@ class TestExecutor:
 
 
 class TestSessionFacade:
+    def test_constructor_warns(self):
+        with pytest.deprecated_call():
+            Session()
+
     def test_run_warns_and_matches_executor(self):
-        session = Session()
+        with pytest.deprecated_call():
+            session = Session()
         with pytest.deprecated_call():
             stats = session.run("tms", "tiny", "1x1", 4, "glsc")
         assert stats == Executor().run(SPEC)
         assert session.cached_runs() == 1
 
     def test_run_micro_warns(self):
-        session = Session()
+        with pytest.deprecated_call():
+            session = Session()
         with pytest.deprecated_call():
             stats = session.run_micro("C", "1x1", 4, "glsc")
         assert stats.cycles > 0
@@ -188,8 +194,10 @@ class TestSessionFacade:
         executor = Executor()
         via_executor = experiments.fig8(("tms",), ("tiny",), widths=(1,),
                                         executor=executor)
+        with pytest.deprecated_call():
+            session = Session(executor=executor)
         via_session = experiments.fig8(("tms",), ("tiny",), widths=(1,),
-                                       session=Session(executor=executor))
+                                       session=session)
         assert via_executor[0].ratios == via_session[0].ratios
         # The session path reused the executor's memo: no new sims.
         assert executor.simulations == 2

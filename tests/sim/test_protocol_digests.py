@@ -1,0 +1,89 @@
+"""Digest/cache compatibility of the coherence-protocol config field.
+
+The coherence seam added ``MachineConfig.protocol``.  Every digest
+minted before the seam existed — result-store entries, golden files,
+trajectory baselines — must remain valid, so ``to_dict()`` omits the
+field at its default and these tests pin the exact pre-seam hashes.
+A non-default protocol must digest *differently* (a MESI result must
+never be served from an MSI cache entry).
+"""
+
+import argparse
+
+from repro.harness.cli import _add_spec_arguments, _spec_from_args
+from repro.mem.protocol import DEFAULT_PROTOCOL
+from repro.sim.config import MachineConfig
+from repro.sim.executor import RunSpec
+
+#: sha256 digests captured on the commit immediately before the seam.
+PRE_SEAM_CONFIG_DIGEST = (
+    "e90e2ede44ad19bebe252d93ca38831bef35fbfbce2eda67fafb0c2dadcb125b"
+)
+PRE_SEAM_SPEC_DIGESTS = {
+    RunSpec("tms", "A", "4x4", 4, "glsc"):
+        "31aac97669af7c341d27630855f6d3ebf66cf5582a02bfe3a5d369ee0e0fcd75",
+    RunSpec("tms", "tiny", "1x1", 1, "base"):
+        "005e323982087cf5c55a24e054f3078857dcaea27aa7166cd97b4b5042bf9f1f",
+}
+
+
+class TestDigestStability:
+    def test_default_config_digest_unchanged(self):
+        assert MachineConfig().digest() == PRE_SEAM_CONFIG_DIGEST
+
+    def test_default_to_dict_omits_protocol(self):
+        assert "protocol" not in MachineConfig().to_dict()
+        assert "protocol" in MachineConfig(protocol="mesi").to_dict()
+
+    def test_explicit_msi_is_byte_identical(self):
+        assert (
+            MachineConfig(protocol="msi").digest() == PRE_SEAM_CONFIG_DIGEST
+        )
+
+    def test_spec_digests_unchanged(self):
+        for spec, digest in PRE_SEAM_SPEC_DIGESTS.items():
+            assert spec.digest() == digest, spec.label()
+
+    def test_msi_override_spec_digest_identical(self):
+        for spec, digest in PRE_SEAM_SPEC_DIGESTS.items():
+            assert spec.with_overrides(protocol="msi").digest() == digest
+
+    def test_non_default_protocol_digests_differently(self):
+        base = MachineConfig().digest()
+        assert MachineConfig(protocol="mesi").digest() != base
+        assert MachineConfig(protocol="moesi").digest() != base
+        spec = RunSpec("tms", "A", "4x4", 4, "glsc")
+        assert spec.with_overrides(protocol="mesi").digest() != spec.digest()
+
+    def test_spec_protocol_property(self):
+        spec = RunSpec("tms", "A", "4x4", 4, "glsc")
+        assert spec.protocol == DEFAULT_PROTOCOL
+        assert spec.with_overrides(protocol="moesi").protocol == "moesi"
+
+
+class TestCliProtocolFlag:
+    def _parse(self, argv):
+        parser = argparse.ArgumentParser()
+        _add_spec_arguments(parser)
+        return _spec_from_args(parser.parse_args(argv))
+
+    def test_default_spells_no_override(self):
+        spec = self._parse(["tms"])
+        assert spec.overrides == ()
+
+    def test_explicit_msi_spells_no_override(self):
+        # --protocol msi must cache/digest exactly like no flag at all.
+        assert self._parse(["tms", "--protocol", "msi"]) == self._parse(
+            ["tms"]
+        )
+
+    def test_non_default_becomes_override(self):
+        spec = self._parse(["tms", "--protocol", "mesi"])
+        assert spec.overrides == (("protocol", "mesi"),)
+        assert spec.protocol == "mesi"
+        assert spec.config().protocol == "mesi"
+
+    def test_micro_kernels_accept_protocol(self):
+        spec = self._parse(["micro:B", "--protocol", "moesi"])
+        assert spec.is_micro and spec.warm
+        assert spec.protocol == "moesi"
