@@ -27,10 +27,21 @@ Quickstart::
         machine.add_program(program)
     stats = machine.run()
 
-Higher-level entry points live in :mod:`repro.sim.executor` (declare
-runs as :class:`~repro.sim.executor.RunSpec` values and execute them —
-deduplicated, in parallel, persisted to a result store),
-:mod:`repro.sim.runner` (run a named kernel on a named dataset), and
+The **stable public surface** for running experiments is re-exported
+here: declare runs as :class:`RunSpec` values, collect them in a
+:class:`Sweep`, execute locally with an :class:`Executor` (dedup,
+process-pool parallelism, a persistent :class:`ResultStore`), or
+against a remote sweep service with a :class:`SweepClient` — library
+users and service clients share one API::
+
+    from repro import Executor, ResultStore, RunSpec, Sweep
+
+    sweep = Sweep.product(kernels=("tms", "gbc"), datasets=("A",))
+    stats = Executor(jobs=4, store=ResultStore()).run_sweep(sweep)
+
+Lower-level entry points remain importable from their homes:
+:mod:`repro.sim.runner` (run a named kernel on a named dataset),
+:mod:`repro.service` (work queue, worker loop, HTTP server), and
 :mod:`repro.harness` (regenerate the paper's tables and figures).
 """
 
@@ -48,16 +59,20 @@ from repro.isa.masks import Mask
 from repro.isa.program import Program, ThreadCtx
 from repro.mem.image import ArrayView, MemoryImage
 from repro.sim.config import CONFIG_NAMES, MachineConfig, named_config
+from repro.sim.executor import Executor, RunSpec, Sweep, execute_spec
 from repro.sim.machine import Machine
 from repro.sim.stats import MachineStats, ThreadStats
+from repro.sim.store import ResultStore
+from repro.service.client import SweepClient
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ArrayView",
     "CONFIG_NAMES",
     "ConfigError",
     "DeadlockError",
+    "Executor",
     "Instr",
     "IsaError",
     "Kind",
@@ -69,10 +84,15 @@ __all__ = [
     "Program",
     "ProgramError",
     "ReproError",
+    "ResultStore",
+    "RunSpec",
     "SimulationError",
+    "Sweep",
+    "SweepClient",
     "ThreadCtx",
     "ThreadStats",
     "VerificationError",
+    "execute_spec",
     "named_config",
     "__version__",
 ]

@@ -7,12 +7,14 @@ Usage::
     python -m repro.harness all --jobs 4 --telemetry
     python -m repro.harness fig8 --no-cache
 
-plus four non-experiment subcommands::
+plus six non-experiment subcommands::
 
     python -m repro.harness trace hip --dataset A --out hip.trace.json
     python -m repro.harness profile tms --variant glsc
     python -m repro.harness bench run --suite smoke --repeats 1
     python -m repro.harness cache stats
+    python -m repro.harness serve --queue queue://.glsc-queue
+    python -m repro.harness worker queue://.glsc-queue --exit-when-empty
 
 ``trace`` runs one kernel with the full event bus attached and writes
 a Chrome trace-event JSON file — open it at https://ui.perfetto.dev to
@@ -26,7 +28,16 @@ committed fidelity-reference bands (exit 1 on a regression), ``bench
 report`` renders the markdown verdict/trajectory report, and ``bench
 reference`` distills fresh reference bands from an archived run.
 ``cache`` inspects and maintains the on-disk result store
-(``ls`` / ``stats`` / ``prune``).
+(``ls`` / ``stats`` / ``prune``).  ``serve`` and ``worker`` are the
+sweep service (:mod:`repro.service`): ``serve`` answers spec-digest
+queries over HTTP from the store and enqueues misses; ``worker``
+drains a ``queue://`` work queue into the shared store.
+
+Shared flags are defined once as argparse *parent* parsers
+(:func:`_cache_parent`, :func:`_jobs_parent`, :func:`_protocol_parent`,
+:func:`_telemetry_parent`), so ``--jobs``/``--cache-dir``/
+``--protocol``/``--telemetry`` are spelled, typed, and defaulted
+identically across every verb that accepts them.
 
 (Installed as the ``glsc-harness`` console script.)
 
@@ -61,6 +72,58 @@ EXPERIMENTS = ("table1", "table3", "fig5a", "fig5b", "fig6", "fig7",
 EXTENSIONS = ("width-sweep", "latency-sweep", "resilience")
 DATASETS = ("A", "B", "random", "tiny")
 VARIANTS = ("base", "glsc")
+
+
+# ---------------------------------------------------------------------------
+# Shared parent parsers: one definition per cross-cutting flag, so
+# every verb spells, types, and defaults it identically.
+# ---------------------------------------------------------------------------
+
+def _cache_parent() -> argparse.ArgumentParser:
+    """``--cache-dir`` exactly as every store-touching verb takes it."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="PATH",
+        help=(
+            "result-store directory (default: $REPRO_CACHE_DIR or "
+            f"{default_cache_dir()})"
+        ),
+    )
+    return parent
+
+
+def _jobs_parent() -> argparse.ArgumentParser:
+    """``--jobs`` exactly as every executor-running verb takes it."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent simulations (default: 1)",
+    )
+    return parent
+
+
+def _protocol_parent() -> argparse.ArgumentParser:
+    """``--protocol`` exactly as every simulating verb takes it."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--protocol", default=None, choices=list(protocol_names()),
+        help=(
+            "coherence protocol the memory hierarchy runs "
+            f"(default: {DEFAULT_PROTOCOL})"
+        ),
+    )
+    return parent
+
+
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """``--telemetry`` exactly as every sweep-running verb takes it."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--telemetry", action="store_true",
+        help="print per-spec wall time / cycles-per-second / source "
+             "after the run",
+    )
+    return parent
 
 
 def _render_extension(name: str, kernels, executor: Executor) -> str:
@@ -151,13 +214,6 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--width", type=int, default=4, metavar="W",
                         help="SIMD width (default: 4)")
     parser.add_argument("--variant", default="glsc", choices=list(VARIANTS))
-    parser.add_argument(
-        "--protocol", default=None, choices=list(protocol_names()),
-        help=(
-            "coherence protocol the memory hierarchy runs "
-            f"(default: {DEFAULT_PROTOCOL})"
-        ),
-    )
     parser.add_argument("--warm", action="store_true",
                         help="warm the caches before measuring")
 
@@ -201,6 +257,7 @@ def _main_trace(argv: List[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="glsc-harness trace",
+        parents=[_protocol_parent()],
         description=(
             "Run one kernel with the observability bus attached and "
             "write a Perfetto/Chrome trace-event timeline."
@@ -269,6 +326,7 @@ def _main_profile(argv: List[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="glsc-harness profile",
+        parents=[_protocol_parent()],
         description=(
             "Run one kernel with instruction tracing + metrics "
             "aggregation and print the latency/attribution report."
@@ -350,18 +408,17 @@ def _main_bench(argv: List[str]) -> int:
                  "trajectory, and the reference (default: .)",
         )
 
-    p_run = sub.add_parser("run", help="execute a suite and archive it")
-    _add_dir(p_run)
-    p_run.add_argument("--suite", default="full", choices=list(SUITE_NAMES))
-    p_run.add_argument(
-        "--protocol", default=None, choices=list(protocol_names()),
-        help=(
-            "run the suite under this coherence protocol; non-default "
-            "choices rename the suite to <suite>@<protocol> so "
-            "baselines never mix protocols "
-            f"(default: {DEFAULT_PROTOCOL})"
+    p_run = sub.add_parser(
+        "run", help="execute a suite and archive it",
+        parents=[_protocol_parent()],
+        description=(
+            "Execute a bench suite and archive it.  A non-default "
+            "--protocol renames the suite to <suite>@<protocol> so "
+            "baselines never mix protocols."
         ),
     )
+    _add_dir(p_run)
+    p_run.add_argument("--suite", default="full", choices=list(SUITE_NAMES))
     p_run.add_argument(
         "--repeats", type=int, default=3, metavar="N",
         help="fresh simulations per point (default: 3)",
@@ -559,14 +616,8 @@ def _main_cache(argv: List[str]) -> int:
         ("stats", "aggregate store statistics"),
         ("prune", "delete stale/corrupt entries"),
     ):
-        p = sub.add_parser(verb, help=help_text)
-        p.add_argument(
-            "--cache-dir", type=Path, default=None, metavar="PATH",
-            help=(
-                "result-store directory (default: $REPRO_CACHE_DIR or "
-                f"{default_cache_dir()})"
-            ),
-        )
+        p = sub.add_parser(verb, help=help_text,
+                           parents=[_cache_parent()])
         if verb == "ls":
             p.add_argument(
                 "--kernel", default=None, metavar="NAME",
@@ -635,6 +686,136 @@ def _main_cache(argv: List[str]) -> int:
     return 0
 
 
+def _main_serve(argv: List[str]) -> int:
+    """``serve``: the asyncio HTTP frontend over the result store."""
+    import asyncio
+
+    from repro.service.queue import DEFAULT_LEASE_S, WorkQueue
+    from repro.service.server import SweepServer, _default_log
+
+    parser = argparse.ArgumentParser(
+        prog="glsc-harness serve",
+        parents=[_cache_parent()],
+        description=(
+            "Serve spec-digest queries from the result store over "
+            "HTTP, enqueue misses onto a queue:// work queue for "
+            "`worker` processes to drain, and stream batched results."
+        ),
+    )
+    parser.add_argument(
+        "--queue", default=None, metavar="URL",
+        help="work queue for misses (queue://<dir>); without it the "
+             "server answers from the store only",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787)
+    parser.add_argument(
+        "--lease", type=float, default=DEFAULT_LEASE_S, metavar="S",
+        help=f"queue lease seconds before a claimed task is requeued "
+             f"(default: {DEFAULT_LEASE_S:.0f})",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=256, metavar="N",
+        help="records per flushed chunk when streaming results "
+             "(default: 256)",
+    )
+    parser.add_argument(
+        "--log", type=Path, default=None, metavar="FILE",
+        help="append timestamped server log lines here (default: stderr)",
+    )
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.cache_dir)
+    queue = (
+        WorkQueue.from_url(args.queue, lease_s=args.lease)
+        if args.queue else None
+    )
+    stream = open(args.log, "a", encoding="utf-8") if args.log else None
+    server = SweepServer(
+        store, queue, host=args.host, port=args.port, batch=args.batch,
+        log=_default_log(stream),
+    )
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if stream is not None:
+            stream.close()
+    return 0
+
+
+def _main_worker(argv: List[str]) -> int:
+    """``worker``: drain a queue:// work queue into the shared store."""
+    from repro.service.queue import DEFAULT_LEASE_S, WorkQueue
+    from repro.service.server import _default_log
+    from repro.service.worker import worker_loop
+
+    parser = argparse.ArgumentParser(
+        prog="glsc-harness worker",
+        parents=[_cache_parent()],
+        description=(
+            "Claim tasks from a queue:// work queue, simulate them, "
+            "and persist the results to the shared result store.  Run "
+            "N of these (any host sharing the filesystem) to drain "
+            "one sweep; expired leases are requeued automatically."
+        ),
+    )
+    parser.add_argument(
+        "queue", metavar="URL", help="the work queue (queue://<dir>)"
+    )
+    parser.add_argument(
+        "--worker-id", default=None, metavar="NAME",
+        help="identity recorded in lease stamps and result provenance "
+             "(default: <host>-<pid>)",
+    )
+    parser.add_argument(
+        "--lease", type=float, default=DEFAULT_LEASE_S, metavar="S",
+        help=f"lease seconds on claimed tasks (default: "
+             f"{DEFAULT_LEASE_S:.0f})",
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.2, metavar="S",
+        help="sleep between claim attempts when idle (default: 0.2)",
+    )
+    parser.add_argument(
+        "--exit-when-empty", action="store_true",
+        help="return once the queue has no pending or leased tasks",
+    )
+    parser.add_argument(
+        "--idle-exit", type=float, default=None, metavar="S",
+        help="return after this many seconds without claiming a task",
+    )
+    parser.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="return after executing N tasks",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-task log lines",
+    )
+    args = parser.parse_args(argv)
+
+    queue = WorkQueue.from_url(args.queue, lease_s=args.lease)
+    store = ResultStore(args.cache_dir)
+    summary = worker_loop(
+        queue,
+        store,
+        worker_id=args.worker_id,
+        poll_s=args.poll,
+        exit_when_empty=args.exit_when_empty,
+        idle_exit_s=args.idle_exit,
+        max_tasks=args.max_tasks,
+        log=None if args.quiet else _default_log(),
+    )
+    print(
+        f"worker {summary.worker_id}: {summary.executed} executed, "
+        f"{summary.skipped} skipped, {summary.failed} failed, "
+        f"{summary.requeued} requeued in {summary.wall_time_s:.2f}s"
+    )
+    return 1 if summary.failed else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``python -m repro.harness`` / ``glsc-harness``."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -648,13 +829,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _main_bench(argv[1:])
     if argv and argv[0] == "cache":
         return _main_cache(argv[1:])
+    if argv and argv[0] == "serve":
+        return _main_serve(argv[1:])
+    if argv and argv[0] == "worker":
+        return _main_worker(argv[1:])
     parser = argparse.ArgumentParser(
         prog="glsc-harness",
+        parents=[_cache_parent(), _jobs_parent(), _protocol_parent(),
+                 _telemetry_parent()],
         description=(
             "Regenerate the evaluation of 'Atomic Vector Operations on "
             "Chip Multiprocessors' (ISCA 2008) on the repro simulator. "
-            "See also the 'trace' and 'profile' subcommands "
-            "(--help on each)."
+            "See also the 'trace', 'profile', 'bench', 'cache', "
+            "'serve', and 'worker' subcommands (--help on each)."
         ),
     )
     parser.add_argument(
@@ -677,32 +864,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="datasets to sweep (default: A B)",
     )
     parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes for independent simulations (default: 1)",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        metavar="PATH",
-        help=(
-            "result-store directory (default: $REPRO_CACHE_DIR or "
-            f"{default_cache_dir()})"
-        ),
-    )
-    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="do not read or write the on-disk result store",
     )
     parser.add_argument(
-        "--telemetry",
-        action="store_true",
-        help="print per-spec wall time / cycles-per-second / source "
-             "after the experiments",
+        "--backend",
+        default=None,
+        metavar="URL",
+        help="run simulations via a work-queue backend (queue://<dir>) "
+             "drained by `worker` processes instead of locally",
     )
     args = parser.parse_args(argv)
 
@@ -715,7 +886,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error(
                 f"--cache-dir {store.root} exists and is not a directory"
             )
-    executor = Executor(jobs=args.jobs, store=store)
+    if args.backend and store is None:
+        parser.error("--backend requires the store (drop --no-cache)")
+    executor = Executor(
+        jobs=args.jobs,
+        store=store,
+        backend=args.backend,
+        **(_protocol_overrides(args.protocol) or {}),
+    )
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     started = time.time()
     for name in names:
@@ -731,9 +909,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         print(render_telemetry(executor.telemetry))
         print()
+    queued = (
+        f", {executor.counters.queued} via workers"
+        if executor.counters.queued else ""
+    )
     print(
         f"[{executor.simulations} simulations, "
-        f"{executor.store_hits} from store, {elapsed:.1f}s]",
+        f"{executor.store_hits} from store{queued}, {elapsed:.1f}s]",
         file=sys.stderr,
     )
     return 0

@@ -39,7 +39,7 @@ Paper mapping:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.kernels.micro import SCENARIOS
 from repro.kernels.registry import KERNEL_ORDER, KERNELS
@@ -77,21 +77,9 @@ DATASETS = ("A", "B")
 WIDTHS = (1, 4, 16)
 
 
-def _executor(
-    session: Optional[Any] = None,
-    executor: Optional[Executor] = None,
-) -> Executor:
-    """Resolve the executor to run on (new API, façade, or fresh).
-
-    ``session`` is only duck-typed (anything with an ``.executor``
-    attribute works) so this module no longer imports the deprecated
-    :class:`~repro.harness.session.Session` façade.
-    """
-    if executor is not None:
-        return executor
-    if session is not None:
-        return session.executor
-    return Executor()
+def _executor(executor: Optional[Executor] = None) -> Executor:
+    """The executor to run on: the caller's, or a fresh single-job one."""
+    return executor if executor is not None else Executor()
 
 
 # ---------------------------------------------------------------------------
@@ -150,11 +138,10 @@ def sweep_fig5a(
 def fig5a(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
-    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Fig5Row]:
     """Figure 5(a): % of time in synchronization, 1x1, 1-wide GLSC."""
-    stats = _executor(session, executor).run_sweep(
+    stats = _executor(executor).run_sweep(
         sweep_fig5a(kernels, datasets)
     )
     return [
@@ -181,11 +168,10 @@ def sweep_fig5b(
 def fig5b(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
-    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Fig5Row]:
     """Figure 5(b): SIMD efficiency of the GLSC binaries at 1x1."""
-    stats = _executor(session, executor).run_sweep(
+    stats = _executor(executor).run_sweep(
         sweep_fig5b(kernels, datasets)
     )
 
@@ -250,11 +236,10 @@ def fig6(
     datasets: Sequence[str] = DATASETS,
     topologies: Sequence[str] = CONFIG_NAMES,
     simd_width: int = 4,
-    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Fig6Row]:
     """Figure 6: Base vs GLSC speedups over 1x1 GLSC, 4-wide SIMD."""
-    stats = _executor(session, executor).run_sweep(
+    stats = _executor(executor).run_sweep(
         sweep_fig6(kernels, datasets, topologies, simd_width)
     )
     rows = []
@@ -310,11 +295,10 @@ def table4(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
     simd_width: int = 4,
-    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Table4Row]:
     """Table 4: where GLSC's benefit comes from, plus failure rates."""
-    stats = _executor(session, executor).run_sweep(
+    stats = _executor(executor).run_sweep(
         sweep_table4(kernels, datasets, simd_width)
     )
     rows = []
@@ -375,11 +359,10 @@ def sweep_fig7(
 def fig7(
     scenarios: Sequence[str] = SCENARIOS,
     widths: Tuple[int, int] = (4, 16),
-    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Fig7Row]:
     """Figure 7: microbenchmark Base/GLSC ratios for scenarios A-D."""
-    stats = _executor(session, executor).run_sweep(
+    stats = _executor(executor).run_sweep(
         sweep_fig7(scenarios, widths)
     )
 
@@ -422,11 +405,10 @@ def fig8(
     kernels: Sequence[str] = KERNEL_ORDER,
     datasets: Sequence[str] = DATASETS,
     widths: Sequence[int] = WIDTHS,
-    session: Optional[Any] = None,
     executor: Optional[Executor] = None,
 ) -> List[Fig8Row]:
     """Figure 8: Base/GLSC ratio vs SIMD width at 4x4."""
-    stats = _executor(session, executor).run_sweep(
+    stats = _executor(executor).run_sweep(
         sweep_fig8(kernels, datasets, widths)
     )
     rows = []

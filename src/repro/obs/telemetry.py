@@ -22,8 +22,10 @@ from typing import Any, Dict, Iterable, List
 
 __all__ = ["RunTelemetry", "run_provenance", "render_telemetry"]
 
-#: How a result was obtained.
-SOURCES = ("simulated", "memo", "store")
+#: How a result was obtained.  ``queue`` means a detached service
+#: worker simulated it and the executor collected it from the shared
+#: store (the ``queue://`` backend).
+SOURCES = ("simulated", "memo", "store", "queue")
 
 
 @dataclass
@@ -32,11 +34,12 @@ class RunTelemetry:
 
     label: str
     digest: str
-    source: str            # "simulated" | "memo" | "store"
+    source: str            # "simulated" | "memo" | "store" | "queue"
     cycles: int = 0
     instructions: int = 0
     wall_time_s: float = 0.0
     worker_pid: int = 0
+    worker_host: str = ""  # host that simulated it ("" = this one)
     created: float = 0.0   # unix timestamp
 
     @property
@@ -79,6 +82,11 @@ class RunTelemetry:
 def run_provenance(wall_time_s: float) -> Dict[str, Any]:
     """Audit fields stored with every fresh result (satellite of the
     store schema: version is recorded separately by the store itself).
+
+    With the store now shared between hosts by the sweep service,
+    every record carries *who* produced it: ``host`` (the machine) and
+    ``worker_id`` (the service worker's name, from ``REPRO_WORKER_ID``
+    when running under ``repro worker``; ``""`` for plain executors).
     """
     from repro import __version__
 
@@ -86,6 +94,8 @@ def run_provenance(wall_time_s: float) -> Dict[str, Any]:
         "repro_version": __version__,
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "host": platform.node(),
+        "worker_id": os.environ.get("REPRO_WORKER_ID", ""),
         "wall_time_s": wall_time_s,
         "worker_pid": os.getpid(),
         "created": time.time(),

@@ -1,0 +1,258 @@
+"""Typed client for the sweep service (``repro serve``).
+
+:class:`SweepClient` speaks the small JSON protocol of
+:class:`~repro.service.server.SweepServer` with nothing beyond
+``http.client``: submit a :class:`~repro.sim.executor.Sweep`, poll
+its digests, stream batched results, and reconstruct
+``{RunSpec: MachineStats}`` exactly as a local
+:meth:`~repro.sim.executor.Executor.run_sweep` would — the stats
+objects compare equal field-for-field, which the service tests
+assert.
+
+Example::
+
+    from repro import Sweep, SweepClient
+
+    client = SweepClient("http://127.0.0.1:8787")
+    sweep = Sweep.product(kernels=("tms", "hip"), datasets=("A",))
+    stats = client.run_sweep(sweep)        # blocks until drained
+    print(stats[next(iter(sweep))].cycles)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError, SimulationError
+from repro.sim.stats import MachineStats
+
+__all__ = ["SweepClient", "SweepHandle", "ServiceError"]
+
+
+class ServiceError(SimulationError):
+    """The service answered with an error, or not at all."""
+
+
+@dataclass
+class SweepHandle:
+    """A submitted sweep: input specs and their resolved digests."""
+
+    specs: List[Any] = field(default_factory=list)   # RunSpec, input order
+    digests: List[str] = field(default_factory=list)  # aligned with specs
+    hits: int = 0
+    enqueued: int = 0
+    pending: int = 0
+
+    @property
+    def digest_of(self) -> Dict[Any, str]:
+        return dict(zip(self.specs, self.digests))
+
+    @property
+    def distinct_digests(self) -> List[str]:
+        return list(dict.fromkeys(self.digests))
+
+
+class SweepClient:
+    """HTTP client over one sweep service endpoint."""
+
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8787",
+        timeout_s: float = 30.0,
+        batch: int = 500,
+    ) -> None:
+        if base_url.startswith("http://"):
+            netloc = base_url[len("http://"):]
+        elif "://" in base_url:
+            raise ConfigError(
+                f"unsupported service URL {base_url!r} (http:// only)"
+            )
+        else:
+            netloc = base_url
+        netloc = netloc.rstrip("/")
+        host, _, port = netloc.partition(":")
+        if not host:
+            raise ConfigError(f"service URL {base_url!r} names no host")
+        self.host = host
+        self.port = int(port) if port else 80
+        self.timeout_s = timeout_s
+        self.batch = max(1, batch)
+
+    # -- transport -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, http.client.HTTPResponse, http.client.HTTPConnection]:
+        """One request; the caller must close the returned connection."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        body = None
+        headers = {"Connection": "close"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+        except OSError as exc:
+            conn.close()
+            raise ServiceError(
+                f"sweep service at {self.host}:{self.port} "
+                f"unreachable: {exc}"
+            ) from exc
+        return response.status, response, conn
+
+    def _request_json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        allow: Tuple[int, ...] = (200,),
+    ) -> Tuple[int, Any]:
+        status, response, conn = self._request(method, path, payload)
+        try:
+            raw = response.read()
+        finally:
+            conn.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else None
+        except ValueError as exc:
+            raise ServiceError(
+                f"non-JSON response from {path} (status {status})"
+            ) from exc
+        if status not in allow:
+            raise ServiceError(
+                f"{method} {path} -> {status}: {decoded}"
+            )
+        return status, decoded
+
+    # -- protocol --------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """The server's ``/healthz`` document (raises if unreachable)."""
+        return self._request_json("GET", "/healthz")[1]
+
+    def record(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The full store record for a digest, or None on a miss."""
+        status, decoded = self._request_json(
+            "GET", f"/v1/result/{digest}", allow=(200, 404)
+        )
+        return decoded if status == 200 else None
+
+    def result(self, digest: str) -> Optional[MachineStats]:
+        """Stats for a digest the store already holds, else None."""
+        record = self.record(digest)
+        if record is None:
+            return None
+        return MachineStats.from_dict(record["stats"])
+
+    def submit(self, sweep: Union["Sweep", Any]) -> SweepHandle:
+        """Submit every spec of a sweep; misses are enqueued server-side.
+
+        Accepts a :class:`~repro.sim.executor.Sweep` or any iterable
+        of specs.  Large sweeps are submitted in client-side batches.
+        """
+        specs = list(sweep)
+        handle = SweepHandle(specs=specs)
+        for start in range(0, len(specs), self.batch):
+            group = specs[start:start + self.batch]
+            _, decoded = self._request_json(
+                "POST", "/v1/sweep",
+                {"specs": [spec.to_dict() for spec in group]},
+            )
+            handle.digests.extend(decoded["digests"])
+            handle.hits += decoded["hits"]
+            handle.enqueued += decoded["enqueued"]
+            handle.pending += decoded["pending"]
+        return handle
+
+    def status(self, handle: SweepHandle) -> Dict[str, Any]:
+        """Aggregate done/pending split for a submitted sweep."""
+        total = done = 0
+        pending: List[str] = []
+        digests = handle.distinct_digests
+        for start in range(0, len(digests), self.batch):
+            _, decoded = self._request_json(
+                "POST", "/v1/status",
+                {"digests": digests[start:start + self.batch]},
+            )
+            total += decoded["total"]
+            done += decoded["done"]
+            pending.extend(decoded["pending"])
+        return {"total": total, "done": done, "pending": pending}
+
+    def stream_records(
+        self, digests: List[str]
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield available store records for ``digests`` as they stream.
+
+        Digests the store does not hold yet are silently absent —
+        callers poll and re-request (as :meth:`run_sweep` does).
+        """
+        for start in range(0, len(digests), self.batch):
+            group = digests[start:start + self.batch]
+            status, response, conn = self._request(
+                "POST", "/v1/results", {"digests": group}
+            )
+            try:
+                if status != 200:
+                    raise ServiceError(
+                        f"POST /v1/results -> {status}: "
+                        f"{response.read()[:200]!r}"
+                    )
+                for line in response:  # http.client de-chunks for us
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode("utf-8"))
+            finally:
+                conn.close()
+
+    # -- the high-level verb --------------------------------------------
+
+    def run_sweep(
+        self,
+        sweep: Union["Sweep", Any],
+        poll_s: float = 0.5,
+        timeout_s: Optional[float] = 600.0,
+    ) -> Dict[Any, MachineStats]:
+        """Submit, wait for workers to drain, return ``{spec: stats}``.
+
+        The mapping is keyed by the *input* specs (like
+        :meth:`Executor.run_sweep`), duplicates and digest-sharing
+        spellings included.  Raises :class:`ServiceError` when the
+        deadline passes with results still missing — e.g. no worker is
+        draining the queue.
+        """
+        handle = self.submit(sweep)
+        deadline = (
+            None if timeout_s is None
+            else time.monotonic() + timeout_s
+        )
+        stats_of: Dict[str, MachineStats] = {}
+        remaining = set(handle.distinct_digests)
+        while remaining:
+            for record in self.stream_records(sorted(remaining)):
+                digest = record["digest"]
+                stats_of[digest] = MachineStats.from_dict(record["stats"])
+                remaining.discard(digest)
+            if not remaining:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"sweep not drained before timeout: {len(remaining)}"
+                    f"/{len(handle.distinct_digests)} results missing "
+                    "(are any workers running?)"
+                )
+            time.sleep(poll_s)
+        return {
+            spec: stats_of[digest]
+            for spec, digest in zip(handle.specs, handle.digests)
+        }

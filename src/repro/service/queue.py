@@ -1,0 +1,327 @@
+"""File-based work queue with lease/requeue-on-timeout semantics.
+
+One queue directory is the rendezvous for a whole sweep: any number
+of submitters enqueue :class:`~repro.sim.executor.RunSpec` payloads,
+any number of ``repro worker`` processes (on any host sharing the
+filesystem) drain them.  No daemon owns the queue — every mutation is
+a single atomic filesystem operation, so crashed participants never
+wedge it.
+
+Layout::
+
+    <root>/
+      pending/<digest>.json          submitted, unclaimed tasks
+      leased/<digest>.<nonce>.json   claimed tasks, with lease metadata
+
+A task's payload is its spec (plus the digest and submission time).
+The state machine:
+
+* **submit** — atomic publish into ``pending/`` (temp file +
+  ``os.replace``).  Submitting a digest that is already pending or
+  leased is a no-op, so many clients can submit overlapping sweeps.
+* **claim** — ``os.rename(pending/<d>.json, leased/<d>.<nonce>.json)``.
+  Rename is atomic and fails for every process but one, so a task can
+  never be claimed twice; the winner then rewrites the leased file
+  with its identity and a lease deadline.
+* **ack** — the worker persisted the result to the shared store;
+  unlink the leased file.  The store write happens *before* the ack,
+  so a crash between the two leaves a lease that expires and requeues
+  — the re-run produces a value-equal record (simulations are
+  deterministic), which the next worker skips via the store check.
+* **requeue** — anyone (workers between claims, the server on a
+  timer, the executor while polling) may call
+  :meth:`WorkQueue.requeue_expired`: leased files whose deadline
+  passed are renamed back into ``pending/``.  The nonce in the leased
+  filename keeps a straggler's late ``ack`` from deleting a lease now
+  held by the replacement worker.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Collection, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigError
+from repro.sim.executor import RunSpec
+
+__all__ = ["Task", "WorkQueue", "parse_queue_url", "DEFAULT_LEASE_S"]
+
+#: How long a claim holds a task before anyone may requeue it.
+DEFAULT_LEASE_S = 120.0
+
+#: URL scheme selecting this backend (``queue:///abs`` or ``queue://rel``).
+QUEUE_SCHEME = "queue://"
+
+
+def parse_queue_url(url: str) -> Path:
+    """The directory a ``queue://<dir>`` backend URL names."""
+    if not url.startswith(QUEUE_SCHEME):
+        raise ConfigError(
+            f"unsupported backend URL {url!r} (expected {QUEUE_SCHEME}<dir>)"
+        )
+    root = url[len(QUEUE_SCHEME):]
+    if not root:
+        raise ConfigError(f"backend URL {url!r} names no directory")
+    return Path(root)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One claimed unit of work (hold it only between claim and ack)."""
+
+    digest: str
+    spec: RunSpec
+    lease_path: Path
+
+
+class WorkQueue:
+    """Shared-directory task queue of :class:`RunSpec` payloads."""
+
+    def __init__(
+        self, root: Path, lease_s: float = DEFAULT_LEASE_S
+    ) -> None:
+        if lease_s <= 0:
+            raise ConfigError(f"lease_s must be > 0, got {lease_s}")
+        self.root = Path(root)
+        self.lease_s = lease_s
+        self.pending_dir = self.root / "pending"
+        self.leased_dir = self.root / "leased"
+        self._nonce = 0
+
+    @classmethod
+    def from_url(
+        cls, url: str, lease_s: float = DEFAULT_LEASE_S
+    ) -> "WorkQueue":
+        """Construct from a ``queue://<dir>`` backend URL."""
+        return cls(parse_queue_url(url), lease_s=lease_s)
+
+    # -- submit ----------------------------------------------------------
+
+    def submit(self, spec: RunSpec, digest: Optional[str] = None) -> bool:
+        """Enqueue one spec; False if its digest is already in flight.
+
+        ``digest`` may be passed to spare re-hashing when the caller
+        (the executor, the server) already resolved it.
+        """
+        digest = digest or spec.digest()
+        if self._in_flight(digest):
+            return False
+        self.pending_dir.mkdir(parents=True, exist_ok=True)
+        self.leased_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "digest": digest,
+            "spec": spec.to_dict(),
+            "enqueued": time.time(),
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.pending_dir), prefix=f".{digest[:12]}.",
+            suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp_name, self.pending_dir / f"{digest}.json")
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def submit_sweep(self, specs: Iterable[RunSpec]) -> int:
+        """Enqueue every spec; returns how many were newly queued."""
+        return sum(1 for spec in specs if self.submit(spec))
+
+    def _in_flight(self, digest: str) -> bool:
+        if (self.pending_dir / f"{digest}.json").exists():
+            return True
+        return any(self.leased_dir.glob(f"{digest}.*.json"))
+
+    # -- claim / ack -----------------------------------------------------
+
+    def claim(
+        self,
+        worker_id: str = "",
+        exclude: Collection[str] = (),
+    ) -> Optional[Task]:
+        """Atomically take one pending task, or None if none remain.
+
+        The rename is the claim; losing a race for one task just moves
+        on to the next.  The winner stamps the leased file with its
+        identity and deadline (sweepers fall back to the file's mtime
+        if that rewrite never lands).  ``exclude`` digests are skipped
+        without claiming — workers pass the specs they already failed,
+        so a poison task stays pending for *other* workers instead of
+        livelocking this one (pending tasks sort stably, so a nacked
+        task would otherwise be the very next claim again).
+        """
+        try:
+            candidates = sorted(os.listdir(self.pending_dir))
+        except OSError:
+            return None
+        for name in candidates:
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            digest = name[: -len(".json")]
+            if digest in exclude:
+                continue
+            self._nonce += 1
+            nonce = f"{os.getpid()}-{self._nonce}-{time.time_ns() % 10**9}"
+            lease_path = self.leased_dir / f"{digest}.{nonce}.json"
+            try:
+                os.rename(self.pending_dir / name, lease_path)
+            except OSError:
+                continue  # someone else won this task
+            task = self._load_task(digest, lease_path)
+            if task is None:
+                # Unreadable payload: drop the lease rather than loop
+                # on a poison task forever.
+                try:
+                    os.unlink(lease_path)
+                except OSError:
+                    pass
+                continue
+            self._stamp_lease(task, worker_id)
+            return task
+        return None
+
+    def _load_task(self, digest: str, path: Path) -> Optional[Task]:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+            spec = RunSpec.from_dict(payload["spec"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return Task(digest=digest, spec=spec, lease_path=path)
+
+    def _stamp_lease(self, task: Task, worker_id: str) -> None:
+        """Rewrite the leased file with holder identity + deadline."""
+        import platform
+
+        payload = {
+            "digest": task.digest,
+            "spec": task.spec.to_dict(),
+            "lease": {
+                "worker_id": worker_id,
+                "host": platform.node(),
+                "pid": os.getpid(),
+                "claimed": time.time(),
+                "deadline": time.time() + self.lease_s,
+            },
+        }
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.leased_dir), prefix=".lease.", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp_name, task.lease_path)
+        except OSError:
+            pass
+
+    def ack(self, task: Task) -> None:
+        """Mark a claimed task done (call only after the store save).
+
+        A missing lease file means the lease expired and the task was
+        requeued; that is not an error — the result is already in the
+        store, and the requeued copy will be skipped by the next
+        worker's store check.
+        """
+        try:
+            os.unlink(task.lease_path)
+        except OSError:
+            pass
+
+    def nack(self, task: Task) -> None:
+        """Return a claimed task to pending immediately (failed run)."""
+        try:
+            os.rename(
+                task.lease_path, self.pending_dir / f"{task.digest}.json"
+            )
+        except OSError:
+            pass
+
+    # -- lease expiry ----------------------------------------------------
+
+    def requeue_expired(self, now: Optional[float] = None) -> List[str]:
+        """Move every expired lease back to pending; returns digests.
+
+        The deadline comes from the lease stamp; an unstamped or
+        unreadable lease falls back to the file's mtime plus the
+        queue's lease window.  The pending-side rename target is the
+        plain digest name, so a requeue racing a fresh submit of the
+        same digest collapses to one (value-identical) pending task.
+        """
+        now = time.time() if now is None else now
+        requeued: List[str] = []
+        try:
+            names = sorted(os.listdir(self.leased_dir))
+        except OSError:
+            return requeued
+        for name in names:
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            path = self.leased_dir / name
+            digest = name.split(".", 1)[0]
+            deadline = None
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    payload = json.load(fh)
+                deadline = (payload.get("lease") or {}).get("deadline")
+            except (OSError, ValueError):
+                pass
+            if deadline is None:
+                try:
+                    deadline = path.stat().st_mtime + self.lease_s
+                except OSError:
+                    continue  # vanished: acked under us
+            if now <= float(deadline):
+                continue
+            try:
+                os.rename(path, self.pending_dir / f"{digest}.json")
+                requeued.append(digest)
+            except OSError:
+                pass  # acked or requeued by someone else
+        return requeued
+
+    # -- introspection ---------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """``{"pending": n, "leased": n}`` right now."""
+        out = {}
+        for key, directory in (
+            ("pending", self.pending_dir), ("leased", self.leased_dir)
+        ):
+            try:
+                out[key] = sum(
+                    1 for name in os.listdir(directory)
+                    if name.endswith(".json") and not name.startswith(".")
+                )
+            except OSError:
+                out[key] = 0
+        return out
+
+    def is_empty(self) -> bool:
+        counts = self.counts()
+        return counts["pending"] == 0 and counts["leased"] == 0
+
+    def pending_digests(self) -> List[str]:
+        """Digests currently pending (claim order), leased excluded."""
+        try:
+            names = sorted(os.listdir(self.pending_dir))
+        except OSError:
+            return []
+        return [
+            name[: -len(".json")] for name in names
+            if name.endswith(".json") and not name.startswith(".")
+        ]
+
+    def describe(self) -> Dict[str, Any]:
+        return {"root": str(self.root), "lease_s": self.lease_s,
+                **self.counts()}

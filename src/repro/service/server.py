@@ -1,0 +1,381 @@
+"""``repro serve``: stdlib-only asyncio HTTP frontend over the store.
+
+The server owns no simulation state — it answers spec-digest queries
+from the shared :class:`~repro.sim.store.ResultStore`, enqueues
+misses onto the :class:`~repro.service.queue.WorkQueue` for detached
+workers to drain, and streams batched results back for large grids.
+It also sweeps expired leases on a timer, so stragglers are requeued
+even when no worker is between claims.
+
+Endpoints (all JSON; one request per connection)::
+
+    GET  /healthz              liveness + store/queue counts
+    GET  /v1/result/<digest>   one full store record, 404 on a miss
+                               (the 404 body says whether it is queued)
+    POST /v1/sweep             {"specs": [RunSpec.to_dict(), ...]}
+                               -> digests (input order), hits,
+                                  enqueued, pending
+    POST /v1/status            {"digests": [...]} -> done/pending split
+    POST /v1/results           {"digests": [...]} -> chunked NDJSON
+                               stream, one store record per line, only
+                               digests the store has (clients re-poll
+                               for the rest)
+
+The HTTP layer is deliberately minimal (HTTP/1.1, ``Connection:
+close``, ``Content-Length`` or chunked bodies) — enough for
+:class:`~repro.service.client.SweepClient` and ``curl``, with no
+dependency beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.service.queue import WorkQueue
+from repro.sim.executor import RunSpec
+from repro.sim.store import ResultStore
+
+__all__ = ["SweepServer"]
+
+#: Hard cap on request bodies (a million-point sweep submits in
+#: batches well under this).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Records per flushed chunk when streaming results.
+DEFAULT_BATCH = 256
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class SweepServer:
+    """Asyncio HTTP frontend for one store (+ optional work queue)."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        queue: Optional[WorkQueue] = None,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+        batch: int = DEFAULT_BATCH,
+        log: Optional[Callable[[str], None]] = None,
+        sweep_interval_s: Optional[float] = None,
+    ) -> None:
+        self.store = store
+        self.queue = queue
+        self.host = host
+        self.port = port
+        self.batch = max(1, batch)
+        self._log = log or (lambda message: None)
+        if sweep_interval_s is None and queue is not None:
+            sweep_interval_s = max(1.0, queue.lease_s / 2.0)
+        self.sweep_interval_s = sweep_interval_s
+        self.started = threading.Event()  # set once the port is bound
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.requests = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def serve_forever(self) -> None:
+        """Bind, serve until :meth:`stop`, sweeping leases on a timer."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._handle, self.host,
+                                            self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._log(
+            f"serving http://{self.host}:{self.port} "
+            f"(store {self.store.root}"
+            + (f", queue {self.queue.root}" if self.queue else "")
+            + ")"
+        )
+        self.started.set()
+        sweeper = (
+            asyncio.ensure_future(self._sweep_leases())
+            if self.queue is not None and self.sweep_interval_s
+            else None
+        )
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            if sweeper is not None:
+                sweeper.cancel()
+            self._log("server stopped")
+
+    def stop(self) -> None:
+        """Thread-safe shutdown request."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+
+    async def _sweep_leases(self) -> None:
+        while True:
+            await asyncio.sleep(self.sweep_interval_s)
+            requeued = self.queue.requeue_expired()
+            if requeued:
+                self._log(f"requeued {len(requeued)} expired leases")
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            self.requests += 1
+            await self._route(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as exc:  # noqa: BLE001 — keep serving
+            self._log(f"error handling request: {exc!r}")
+            try:
+                await self._respond(
+                    writer, 500, {"error": "internal", "detail": repr(exc)}
+                )
+            except Exception:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, bytes]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        try:
+            method, path, _ = request_line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            return None
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        if content_length > MAX_BODY_BYTES:
+            return None
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        return method.upper(), path, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+    ) -> None:
+        body = _json_bytes(payload)
+        reason = {200: "OK", 404: "Not Found", 400: "Bad Request",
+                  405: "Method Not Allowed", 500: "Internal Server Error"}
+        writer.write(
+            f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1")
+        )
+        writer.write(body)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        path = path.split("?", 1)[0]
+        if method == "GET" and path == "/healthz":
+            await self._respond(writer, 200, self._health())
+            return
+        if method == "GET" and path.startswith("/v1/result/"):
+            await self._get_result(path[len("/v1/result/"):], writer)
+            return
+        if method == "POST" and path == "/v1/sweep":
+            await self._post_sweep(body, writer)
+            return
+        if method == "POST" and path == "/v1/status":
+            await self._post_status(body, writer)
+            return
+        if method == "POST" and path == "/v1/results":
+            await self._post_results(body, writer)
+            return
+        await self._respond(
+            writer, 404, {"error": "no such endpoint", "path": path}
+        )
+
+    def _health(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "store": {
+                "root": str(self.store.root),
+                "indexed": len(self.store.index()),
+            },
+            "queue": self.queue.describe() if self.queue else None,
+            "requests": self.requests,
+            "time": time.time(),
+        }
+
+    async def _get_result(
+        self, digest: str, writer: asyncio.StreamWriter
+    ) -> None:
+        record = self.store.load_record(digest)
+        if record is not None:
+            await self._respond(writer, 200, record)
+            return
+        queued = bool(self.queue and self.queue._in_flight(digest))
+        await self._respond(
+            writer, 404,
+            {"error": "miss", "digest": digest, "queued": queued},
+        )
+
+    @staticmethod
+    def _parse_body(body: bytes, key: str) -> Optional[List[Any]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        items = payload.get(key) if isinstance(payload, dict) else None
+        return items if isinstance(items, list) else None
+
+    async def _post_sweep(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        """Resolve digests for submitted specs; enqueue the misses."""
+        spec_dicts = self._parse_body(body, "specs")
+        if spec_dicts is None:
+            await self._respond(
+                writer, 400, {"error": "body must be {'specs': [...]}"}
+            )
+            return
+        digests: List[str] = []
+        hits = enqueued = pending = 0
+        for spec_dict in spec_dicts:
+            try:
+                spec = RunSpec.from_dict(spec_dict)
+                digest = spec.digest()
+            except Exception:
+                await self._respond(
+                    writer, 400,
+                    {"error": "unparsable spec", "spec": spec_dict},
+                )
+                return
+            digests.append(digest)
+            if self.store.load_record(digest) is not None:
+                hits += 1
+            elif self.queue is None:
+                pending += 1
+            elif self.queue.submit(spec, digest=digest):
+                enqueued += 1
+            else:
+                pending += 1  # already in flight
+        self._log(
+            f"sweep: {len(digests)} specs, {hits} hits, "
+            f"{enqueued} enqueued, {pending} already pending"
+        )
+        await self._respond(
+            writer, 200,
+            {
+                "digests": digests,
+                "hits": hits,
+                "enqueued": enqueued,
+                "pending": pending,
+                "queue": self.queue is not None,
+            },
+        )
+
+    async def _post_status(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        digests = self._parse_body(body, "digests")
+        if digests is None:
+            await self._respond(
+                writer, 400, {"error": "body must be {'digests': [...]}"}
+            )
+            return
+        done = [d for d in digests
+                if self.store.load_record(d) is not None]
+        done_set = set(done)
+        await self._respond(
+            writer, 200,
+            {
+                "total": len(digests),
+                "done": len(done),
+                "pending": [d for d in digests if d not in done_set],
+            },
+        )
+
+    async def _post_results(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        """Stream available records as chunked NDJSON, batch-flushed."""
+        digests = self._parse_body(body, "digests")
+        if digests is None:
+            await self._respond(
+                writer, 400, {"error": "body must be {'digests': [...]}"}
+            )
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        chunk: List[bytes] = []
+        sent = 0
+        for digest in dict.fromkeys(digests):  # dedup, keep order
+            record = self.store.load_record(digest)
+            if record is None:
+                continue
+            chunk.append(_json_bytes(record) + b"\n")
+            sent += 1
+            if len(chunk) >= self.batch:
+                self._write_chunk(writer, b"".join(chunk))
+                chunk.clear()
+                await writer.drain()
+        if chunk:
+            self._write_chunk(writer, b"".join(chunk))
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        self._log(f"streamed {sent}/{len(digests)} records")
+
+    @staticmethod
+    def _write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
+        writer.write(f"{len(data):x}\r\n".encode("latin-1"))
+        writer.write(data)
+        writer.write(b"\r\n")
+
+
+def _default_log(stream=None) -> Callable[[str], None]:
+    """A timestamped line logger (used by the CLI verb)."""
+    stream = stream or sys.stderr
+
+    def log(message: str) -> None:
+        stamp = time.strftime("%H:%M:%S")
+        print(f"[{stamp}] {message}", file=stream, flush=True)
+
+    return log

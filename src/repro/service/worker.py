@@ -1,0 +1,166 @@
+"""The ``repro worker`` drain loop: claim, simulate, persist, ack.
+
+A worker owns nothing: it binds a :class:`~repro.service.queue.WorkQueue`
+and a shared :class:`~repro.sim.store.ResultStore`, and repeats
+
+    requeue expired leases -> claim -> (skip if the store already has
+    the digest) -> :func:`~repro.sim.executor.execute_spec` -> store
+    save with worker/host provenance -> ack
+
+until told to stop.  N workers on N hosts drain one sweep with no
+coordination beyond the queue directory and the store; determinism
+guarantees their records are byte-identical (sans provenance) to a
+serial run's, which the service tests and CI assert.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.obs.telemetry import run_provenance
+from repro.service.queue import Task, WorkQueue
+from repro.sim.executor import execute_spec
+from repro.sim.store import ResultStore
+
+__all__ = ["WorkerSummary", "worker_loop", "default_worker_id"]
+
+
+def default_worker_id() -> str:
+    """A reasonably unique worker name: ``<host>-<pid>``."""
+    import platform
+
+    return f"{platform.node()}-{os.getpid()}"
+
+
+@dataclass
+class WorkerSummary:
+    """What one :func:`worker_loop` invocation did."""
+
+    worker_id: str = ""
+    executed: int = 0        # tasks simulated fresh
+    skipped: int = 0         # tasks whose digest the store already had
+    failed: int = 0          # tasks whose simulation raised (nacked)
+    requeued: int = 0        # expired leases this worker recycled
+    wall_time_s: float = 0.0
+    digests: List[str] = field(default_factory=list)
+
+
+def worker_loop(
+    queue: WorkQueue,
+    store: ResultStore,
+    worker_id: Optional[str] = None,
+    poll_s: float = 0.2,
+    exit_when_empty: bool = False,
+    idle_exit_s: Optional[float] = None,
+    max_tasks: Optional[int] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> WorkerSummary:
+    """Drain the queue until a stop condition holds.
+
+    ``exit_when_empty`` returns as soon as the queue has neither
+    pending nor leased tasks (the batch-drain mode CI uses);
+    ``idle_exit_s`` returns after that many seconds without claiming
+    anything (lets a worker outlive brief gaps between submissions);
+    ``max_tasks`` bounds fresh executions.  With none of them set the
+    loop runs forever — the always-on service worker.
+
+    A failed simulation is nacked back to pending and counted; the
+    worker moves on rather than dying, so one poison spec cannot take
+    a fleet down.  A worker never re-claims a digest it already failed
+    (the task stays pending for *other* workers, visible in ``failed``
+    tallies and the server's queue counts), and ``exit_when_empty``
+    treats a queue holding only this worker's failures as drained.
+    """
+    worker_id = worker_id or default_worker_id()
+    # Provenance picks the id up from the environment so the single
+    # execute/save path needs no plumbing through execute_spec.
+    os.environ["REPRO_WORKER_ID"] = worker_id
+    summary = WorkerSummary(worker_id=worker_id)
+    say = log or (lambda message: None)
+    started = time.perf_counter()
+    last_work = time.monotonic()
+    say(f"worker {worker_id} draining {queue.root} -> {store.root}")
+    poisoned: set = set()    # digests this worker failed; never re-claim
+    try:
+        while True:
+            summary.requeued += len(queue.requeue_expired())
+            task = queue.claim(worker_id, exclude=poisoned)
+            if task is None:
+                if exit_when_empty and _drained(queue, poisoned):
+                    break
+                if (
+                    idle_exit_s is not None
+                    and time.monotonic() - last_work > idle_exit_s
+                ):
+                    break
+                time.sleep(poll_s)
+                continue
+            last_work = time.monotonic()
+            if store.load_record(task.digest) is not None:
+                # Another worker (or a requeued straggler's original
+                # run) already produced this record; determinism makes
+                # re-simulating pure waste.
+                queue.ack(task)
+                summary.skipped += 1
+                say(f"skip {task.digest[:12]} (already in store)")
+                continue
+            if not _execute_one(task, queue, store, summary, say):
+                poisoned.add(task.digest)
+                continue
+            if max_tasks is not None and summary.executed >= max_tasks:
+                break
+    finally:
+        summary.wall_time_s = time.perf_counter() - started
+        say(
+            f"worker {worker_id} done: {summary.executed} executed, "
+            f"{summary.skipped} skipped, {summary.failed} failed, "
+            f"{summary.requeued} requeued, {summary.wall_time_s:.2f}s"
+        )
+    return summary
+
+
+def _drained(queue: WorkQueue, poisoned: set) -> bool:
+    """Nothing left this worker could make progress on."""
+    counts = queue.counts()
+    if counts["leased"]:
+        return False                   # someone may still nack/expire
+    if counts["pending"] == 0:
+        return True
+    return set(queue.pending_digests()) <= poisoned
+
+
+def _execute_one(
+    task: Task,
+    queue: WorkQueue,
+    store: ResultStore,
+    summary: WorkerSummary,
+    say: Callable[[str], None],
+) -> bool:
+    """Simulate one claimed task; save-then-ack on success."""
+    begun = time.perf_counter()
+    try:
+        stats = execute_spec(task.spec)
+    except Exception as exc:  # noqa: BLE001 — a worker must survive
+        queue.nack(task)
+        summary.failed += 1
+        say(f"fail {task.digest[:12]} ({task.spec.label()}): {exc!r}")
+        return False
+    wall_s = time.perf_counter() - begun
+    store.save(
+        task.digest,
+        stats,
+        spec=task.spec.to_dict(),
+        config=task.spec.config().to_dict(),
+        provenance=run_provenance(wall_s),
+    )
+    queue.ack(task)
+    summary.executed += 1
+    summary.digests.append(task.digest)
+    say(
+        f"done {task.digest[:12]} ({task.spec.label()}): "
+        f"{stats.cycles} cycles in {wall_s:.2f}s"
+    )
+    return True

@@ -56,7 +56,7 @@ from typing import (
     Union,
 )
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.obs.telemetry import RunTelemetry, run_provenance
 from repro.sim.config import MachineConfig, named_config
 from repro.sim.stats import MachineStats
@@ -347,6 +347,7 @@ class ExecutorCounters:
     simulated: int = 0     # fresh simulations this process
     memo_hits: int = 0     # served from the in-memory memo
     store_hits: int = 0    # served from the on-disk store
+    queued: int = 0        # simulated by detached queue workers
 
 
 class Executor:
@@ -362,6 +363,19 @@ class Executor:
     applied to every spec (a spec's own overrides win on conflict) —
     the mechanism the ablation benches use to flip GLSC policies for a
     whole sweep at once.
+
+    ``backend`` selects *where* fresh simulations run.  The default
+    (``None``) simulates locally (serial or process pool, per
+    ``jobs``).  ``backend="queue://<dir>"`` instead enqueues missing
+    specs onto a shared :class:`~repro.service.queue.WorkQueue` and
+    waits for detached ``repro worker`` processes — on this host or
+    any other sharing the filesystem — to drain them into the store
+    (which is therefore required).  The executor requeues expired
+    leases while it waits, so worker crashes stall nothing, and every
+    collected result is telemetry-tagged ``source="queue"`` with the
+    producing worker's host from the record's provenance.  Results
+    are identical either way: a queue-drained sweep's store records
+    are byte-identical (sans provenance) to a serial run's.
 
     Observers (``tracer``/``obs`` on :meth:`run`/:meth:`run_sweep`)
     force two departures from the caching pipeline, both deliberate:
@@ -387,12 +401,28 @@ class Executor:
         self,
         jobs: int = 1,
         store: Optional[ResultStore] = None,
+        backend: Optional[str] = None,
+        queue_poll_s: float = 0.1,
+        queue_timeout_s: Optional[float] = 600.0,
         **overrides: Any,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.store = store
+        self.queue_poll_s = queue_poll_s
+        self.queue_timeout_s = queue_timeout_s
+        self._queue = None
+        if backend is not None:
+            if store is None:
+                raise ConfigError(
+                    "backend requires a store: queue workers deliver "
+                    "results through the shared ResultStore"
+                )
+            # Deferred import: repro.service sits above the sim layer.
+            from repro.service.queue import WorkQueue
+
+            self._queue = WorkQueue.from_url(backend)
         self.overrides = _freeze_overrides(overrides)
         self.counters = ExecutorCounters()
         self.telemetry: List[RunTelemetry] = []
@@ -473,6 +503,11 @@ class Executor:
         """Run every pending spec and record the results everywhere."""
         specs = list(pending.values())
         observed = tracer is not None or obs is not None
+        if self._queue is not None and not observed:
+            # Observed runs stay in-process even with a queue backend:
+            # a detached worker cannot feed this process's observers.
+            self._drain_via_queue(pending)
+            return
         if not observed and self.jobs > 1 and len(specs) > 1:
             workers = min(self.jobs, len(specs))
             with concurrent.futures.ProcessPoolExecutor(workers) as pool:
@@ -514,6 +549,60 @@ class Executor:
                     config=spec.config().to_dict(),
                     provenance=provenance,
                 )
+
+    def _drain_via_queue(self, pending: Dict[str, RunSpec]) -> None:
+        """Enqueue pending specs and collect worker-produced results.
+
+        The rendezvous is the shared store: workers save records keyed
+        by digest, this loop polls for them (cheap existence checks,
+        no tally churn), requeueing expired leases as it goes so a
+        crashed worker's tasks are retried within one lease window.
+        """
+        for digest, spec in pending.items():
+            self._queue.submit(spec, digest=digest)
+        deadline = (
+            None if self.queue_timeout_s is None
+            else time.monotonic() + self.queue_timeout_s
+        )
+        waiting = dict(pending)
+        started = time.perf_counter()
+        while waiting:
+            self._queue.requeue_expired()
+            for digest in list(waiting):
+                if not self.store.path_for(digest).exists():
+                    continue
+                record = self.store.load_record(digest)
+                if record is None:
+                    continue  # torn/invalid: treat as still pending
+                spec = waiting.pop(digest)
+                stats = MachineStats.from_dict(record["stats"])
+                self._memo[digest] = stats
+                self.counters.queued += 1
+                provenance = record.get("provenance") or {}
+                self.telemetry.append(
+                    RunTelemetry(
+                        label=spec.label(),
+                        digest=digest,
+                        source="queue",
+                        cycles=stats.cycles,
+                        instructions=stats.total_instructions,
+                        wall_time_s=time.perf_counter() - started,
+                        worker_pid=int(provenance.get("worker_pid", 0)),
+                        worker_host=str(provenance.get("host", "")),
+                        created=time.time(),
+                    )
+                )
+            if not waiting:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise SimulationError(
+                    f"queue backend timed out with {len(waiting)}/"
+                    f"{len(pending)} specs unserved after "
+                    f"{self.queue_timeout_s:.0f}s — are any "
+                    "`repro worker` processes draining "
+                    f"{self._queue.root}?"
+                )
+            time.sleep(self.queue_poll_s)
 
     def _note_served(
         self, spec: RunSpec, digest: str, source: str

@@ -12,10 +12,28 @@ Layout (one JSON file per run, atomically written)::
     <cache_dir>/
       <digest>.json     {"version", "digest", "spec", "config",
                          "stats", "provenance", "created"}
+      index.jsonl       append-only put journal (digest, kernel,
+                        cycles, created) — cheap listing, rebuildable
+      store.meta        best-effort hit/miss tally sidecar
 
 Records are forward-compatible: loaders ignore keys they do not
 recognize, so adding fields (as ``provenance`` was) never invalidates
 old caches.
+
+**Concurrent-writer semantics** (the sweep service runs many worker
+processes against one store): each :meth:`ResultStore.save` writes a
+private temp file and publishes it with ``os.replace``, so a digest's
+record file is always exactly one complete JSON document — never torn,
+whatever the interleaving.  When several writers race on the *same*
+digest the last ``os.replace`` wins; because a digest fixes the spec,
+the resolved config, and the deterministic simulation output, the
+racing records differ only in their ``provenance``/``created`` blocks,
+so which writer wins is unobservable to readers.  The index sidecar is
+an O_APPEND journal of one small JSON line per put: appends from
+concurrent processes land whole on local filesystems, a torn final
+line (a crash mid-append) is skipped by the reader, and
+:meth:`ResultStore.rebuild_index` regenerates the journal from the
+record files — the files stay the ground truth.
 
 The store also keeps a best-effort hit/miss tally in a ``store.meta``
 sidecar (not a ``*.json`` result file, so it can never be mistaken
@@ -62,6 +80,9 @@ class ResultStore:
 
     #: Sidecar file holding the persistent hit/miss tally.
     TALLY_NAME = "store.meta"
+
+    #: Append-only journal of puts (one JSON line each).
+    INDEX_NAME = "index.jsonl"
 
     def __init__(self, root: Optional[Path] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
@@ -124,8 +145,12 @@ class ResultStore:
         """Persist one result; atomic against concurrent writers.
 
         The write goes to a temp file in the same directory followed by
-        ``os.replace``, so parallel executors racing on the same digest
-        end with one complete file, never a torn one.
+        ``os.replace``, so parallel executors (or service workers on
+        other hosts sharing the directory) racing on the same digest
+        end with one complete file, never a torn one; the last writer
+        wins, and racing records are value-equal apart from provenance
+        (see the module docstring for the full contract).  Every put
+        also appends a line to the index journal, best-effort.
 
         ``provenance`` records how the number was produced (repro
         version, python/platform, wall time, worker pid — see
@@ -157,6 +182,14 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        self._append_index(
+            {
+                "digest": digest,
+                "kernel": (spec or {}).get("kernel", "?"),
+                "cycles": stats.cycles,
+                "created": record["created"],
+            }
+        )
         return path
 
     def clear(self) -> int:
@@ -168,7 +201,86 @@ class ResultStore:
                 removed += 1
             except OSError:
                 pass
+        try:
+            (self.root / self.INDEX_NAME).unlink()
+        except OSError:
+            pass
         return removed
+
+    # -- index sidecar ---------------------------------------------------
+
+    def _append_index(self, entry: Dict[str, Any]) -> None:
+        """Append one put to the journal (crash-safe, never raises).
+
+        A single ``os.write`` on an ``O_APPEND`` descriptor, so
+        concurrent writers interleave whole lines on local
+        filesystems.  A crash can at worst leave a torn *final* line,
+        which :meth:`index` skips.
+        """
+        try:
+            line = json.dumps(entry, sort_keys=True) + "\n"
+            fd = os.open(
+                self.root / self.INDEX_NAME,
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
+
+    def index(self) -> Dict[str, Dict[str, Any]]:
+        """The put journal as ``{digest: newest entry}``.
+
+        Unparsable lines (torn tail from a crashed writer) are
+        skipped; the journal may mention digests whose record was
+        since pruned, and misses puts from before the journal existed
+        — :meth:`rebuild_index` reconciles it with the record files,
+        which remain the ground truth.
+        """
+        entries: Dict[str, Dict[str, Any]] = {}
+        try:
+            with open(self.root / self.INDEX_NAME, encoding="utf-8") as fh:
+                for line in fh:
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(entry, dict) and "digest" in entry:
+                        entries[entry["digest"]] = entry
+        except OSError:
+            pass
+        return entries
+
+    def rebuild_index(self) -> int:
+        """Regenerate the journal from the record files; returns count."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        lines = []
+        for digest, record in self.records():
+            lines.append(
+                json.dumps(
+                    {
+                        "digest": digest,
+                        "kernel": (record.get("spec") or {}).get(
+                            "kernel", "?"
+                        ),
+                        "cycles": (record.get("stats") or {}).get(
+                            "cycles", 0
+                        ),
+                        "created": record.get("created", 0),
+                    },
+                    sort_keys=True,
+                )
+            )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=".index.", suffix=".tmp"
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write("".join(line + "\n" for line in lines))
+        os.replace(tmp_name, self.root / self.INDEX_NAME)
+        return len(lines)
 
     # -- inspection / maintenance (``repro cache``) ----------------------
 

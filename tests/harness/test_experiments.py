@@ -8,7 +8,6 @@ numbers (EXPERIMENTS.md records those).
 import pytest
 
 from repro.harness import experiments, report
-from repro.harness.session import Session
 from repro.sim.config import CONFIG_NAMES
 from repro.sim.executor import Executor
 
@@ -81,13 +80,14 @@ class TestFigures:
         for row in rows:
             assert set(row.ratios) == {1, 4}
 
-    def test_session_facade_still_caches_across_experiments(self):
-        with pytest.deprecated_call():
-            session = Session()
-        experiments.fig5b(("hip",), DATASETS, session=session)
-        count = session.cached_runs()
-        experiments.fig5b(("hip",), DATASETS, session=session)
-        assert session.cached_runs() == count
+    def test_executor_caches_across_experiments(self):
+        executor = Executor()
+        experiments.fig5b(("hip",), DATASETS, executor=executor)
+        count = executor.distinct_runs()
+        simulations = executor.simulations
+        experiments.fig5b(("hip",), DATASETS, executor=executor)
+        assert executor.distinct_runs() == count
+        assert executor.simulations == simulations
 
 
 class TestReport:

@@ -1,0 +1,154 @@
+"""Server + client round trip: HTTP answers must match local runs.
+
+One ``SweepServer`` runs on a background thread (port 0 -> ephemeral)
+over a real store and queue; a ``SweepClient`` talks to it exactly as
+a remote user would.  The contract under test: a warm digest query is
+answered from the store without simulating anything, misses are
+enqueued for workers, and ``run_sweep`` reconstructs ``MachineStats``
+equal to a local ``Executor.run_sweep``.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.client import ServiceError, SweepClient
+from repro.service.queue import WorkQueue
+from repro.service.server import SweepServer
+from repro.service.worker import worker_loop
+from repro.sim.executor import Executor, RunSpec, Sweep
+from repro.sim.store import ResultStore
+
+SPEC = RunSpec("tms", "tiny", "1x1", 4, "glsc")
+SWEEP = Sweep.product(("tms", "hip"), ("tiny",), ("1x1",), (4,),
+                      ("base", "glsc"))
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A live server thread; yields (server, client, store, queue)."""
+    store = ResultStore(tmp_path / "store")
+    queue = WorkQueue(tmp_path / "queue", lease_s=30.0)
+    server = SweepServer(store, queue, port=0)
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.serve_forever()), daemon=True
+    )
+    thread.start()
+    assert server.started.wait(timeout=10), "server never bound"
+    client = SweepClient(f"http://127.0.0.1:{server.port}", timeout_s=10)
+    yield server, client, store, queue
+    server.stop()
+    thread.join(timeout=10)
+
+
+class TestQueries:
+    def test_health(self, service):
+        _, client, _, _ = service
+        health = client.health()
+        assert health["ok"] is True
+        assert health["queue"]["pending"] == 0
+
+    def test_warm_digest_answered_from_store_without_simulating(
+        self, service
+    ):
+        server, client, store, queue = service
+        Executor(store=store).run(SPEC)
+
+        record = client.record(SPEC.digest())
+        assert record is not None
+        assert record["stats"] == store.load(SPEC.digest()).to_dict()
+        assert client.result(SPEC.digest()) == store.load(SPEC.digest())
+        # Nothing was enqueued: the store answered.
+        assert queue.is_empty()
+
+    def test_cold_digest_404s_and_reports_queue_state(self, service):
+        _, client, _, queue = service
+        missing = "0" * 64
+        assert client.record(missing) is None
+        queue.submit(SPEC)
+        status, decoded = client._request_json(
+            "GET", f"/v1/result/{SPEC.digest()}", allow=(404,)
+        )
+        assert decoded["queued"] is True
+
+    def test_unknown_endpoint_is_a_json_404(self, service):
+        _, client, _, _ = service
+        with pytest.raises(ServiceError):
+            client._request_json("GET", "/nope")
+
+
+class TestSubmit:
+    def test_submit_splits_hits_from_misses(self, service):
+        _, client, store, queue = service
+        Executor(store=store).run(SPEC)
+
+        handle = client.submit(SWEEP)
+        assert len(handle.digests) == len(SWEEP)
+        assert handle.digest_of[SPEC] == SPEC.digest()
+        assert handle.hits == 1
+        assert handle.enqueued == len(SWEEP) - 1
+        assert queue.counts()["pending"] == len(SWEEP) - 1
+
+    def test_resubmit_enqueues_nothing_new(self, service):
+        _, client, _, queue = service
+        client.submit(SWEEP)
+        pending = queue.counts()["pending"]
+        again = client.submit(SWEEP)
+        assert again.enqueued == 0
+        assert again.pending == len(SWEEP)
+        assert queue.counts()["pending"] == pending
+
+    def test_status_tracks_the_store(self, service):
+        _, client, store, _ = service
+        handle = client.submit(SWEEP)
+        assert client.status(handle)["done"] == 0
+        Executor(store=store).run(SPEC)
+        status = client.status(handle)
+        assert status["done"] == 1
+        assert SPEC.digest() not in status["pending"]
+
+
+class TestRoundTrip:
+    def test_run_sweep_matches_local_executor(self, service, tmp_path):
+        _, client, store, queue = service
+        local = Executor(store=ResultStore(tmp_path / "local"))
+        expected = local.run_sweep(SWEEP)
+
+        handle = client.submit(SWEEP)
+        assert handle.enqueued == len(SWEEP)
+        worker_loop(queue, store, worker_id="w", exit_when_empty=True)
+
+        remote = client.run_sweep(SWEEP, poll_s=0.05, timeout_s=30)
+        assert set(remote) == set(expected)
+        for spec in expected:
+            assert remote[spec] == expected[spec], spec.label()
+
+    def test_streamed_records_arrive_in_batches(self, service):
+        server, client, store, queue = service
+        server.batch = 2          # force several flushes
+        digests = []
+        for width in (1, 4):
+            spec = RunSpec("tms", "tiny", "1x1", width, "glsc")
+            Executor(store=store).run(spec)
+            digests.append(spec.digest())
+        records = list(client.stream_records(digests + ["f" * 64]))
+        assert [r["digest"] for r in records] == digests
+
+    def test_run_sweep_times_out_without_workers(self, service):
+        _, client, _, _ = service
+        with pytest.raises(ServiceError, match="workers"):
+            client.run_sweep(
+                Sweep([SPEC]), poll_s=0.05, timeout_s=0.3
+            )
+
+
+class TestClientUrls:
+    def test_rejects_https(self):
+        with pytest.raises(ConfigError):
+            SweepClient("https://example.com")
+
+    def test_bare_host_port(self):
+        client = SweepClient("127.0.0.1:9999")
+        assert (client.host, client.port) == ("127.0.0.1", 9999)

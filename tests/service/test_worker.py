@@ -1,0 +1,138 @@
+"""Workers draining a queue must be invisible in the results.
+
+The acceptance test of the sweep service: two detached worker
+*processes* (the real CLI verb, not an in-process shortcut) drain one
+smoke sweep from a ``queue://`` directory, and the store they fill is
+byte-identical to a serial in-process run — only provenance (worker
+identity, timestamps) may differ.  Alongside it, in-process
+``worker_loop`` tests cover the store-skip and poison-spec paths.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.bench.suite import BenchSuite
+from repro.service.queue import WorkQueue
+from repro.service.worker import worker_loop
+from repro.sim.executor import Executor, RunSpec
+from repro.sim.store import ResultStore
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+SPEC = RunSpec("tms", "tiny", "1x1", 4, "glsc")
+
+
+def canonical_records(store: ResultStore):
+    """digest -> canonical JSON bytes of the record, sans provenance."""
+    out = {}
+    for digest in store.digests():
+        record = store.load_record(digest)
+        assert record is not None, f"unreadable record {digest}"
+        record.pop("provenance", None)
+        record.pop("created", None)
+        out[digest] = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        ).encode()
+    return out
+
+
+def test_two_worker_processes_drain_smoke_sweep_byte_identical(tmp_path):
+    specs = list(BenchSuite.smoke().specs())
+
+    serial_store = ResultStore(tmp_path / "serial")
+    Executor(jobs=1, store=serial_store).run_sweep(specs)
+
+    queue_dir = tmp_path / "queue"
+    shared_store = ResultStore(tmp_path / "shared")
+    WorkQueue(queue_dir).submit_sweep(specs)
+
+    workers = [
+        subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.harness", "worker",
+                f"queue://{queue_dir}",
+                "--cache-dir", str(shared_store.root),
+                "--worker-id", f"test-worker-{n}",
+                "--exit-when-empty", "--quiet",
+            ],
+            env={"PYTHONPATH": REPO_SRC, "PATH": "/usr/bin:/bin"},
+        )
+        for n in range(2)
+    ]
+    for proc in workers:
+        assert proc.wait(timeout=300) == 0
+
+    assert WorkQueue(queue_dir).is_empty()
+    serial_records = canonical_records(serial_store)
+    shared_records = canonical_records(shared_store)
+    assert set(shared_records) == set(serial_records)
+    for digest, payload in serial_records.items():
+        assert shared_records[digest] == payload, (
+            f"record {digest} differs between serial and worker runs"
+        )
+
+    # Both workers pulled weight, and each record names its producer.
+    producers = {
+        shared_store.load_record(d)["provenance"].get("worker_id")
+        for d in shared_store.digests()
+    }
+    assert producers <= {"test-worker-0", "test-worker-1"}
+    assert len(producers) == 2, "one worker drained everything"
+
+
+def test_executor_queue_backend_delegates_to_workers(tmp_path):
+    """``Executor(backend="queue://...")`` runs nothing itself."""
+    import threading
+
+    store = ResultStore(tmp_path / "store")
+    queue_dir = tmp_path / "queue"
+    executor = Executor(
+        store=store,
+        backend=f"queue://{queue_dir}",
+        queue_poll_s=0.05,
+        queue_timeout_s=120,
+    )
+    worker = threading.Thread(
+        target=worker_loop,
+        args=(WorkQueue(queue_dir), store),
+        kwargs={"worker_id": "bg", "idle_exit_s": 10, "poll_s": 0.05},
+        daemon=True,
+    )
+    worker.start()
+
+    local = Executor(store=ResultStore(tmp_path / "local")).run(SPEC)
+    stats = executor.run(SPEC)
+    assert stats == local
+    assert executor.counters.queued == 1
+    assert executor.counters.simulated == 0
+    assert [t.source for t in executor.telemetry] == ["queue"]
+    worker.join(timeout=60)
+
+
+class TestWorkerLoop:
+    def test_skips_digests_the_store_already_holds(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        Executor(store=store).run(SPEC)
+        queue = WorkQueue(tmp_path / "q")
+        queue.submit(SPEC)
+        summary = worker_loop(
+            queue, store, worker_id="w", exit_when_empty=True
+        )
+        assert summary.skipped == 1
+        assert summary.executed == 0
+        assert queue.is_empty()
+
+    def test_survives_a_poison_spec(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        queue = WorkQueue(tmp_path / "q")
+        queue.submit(RunSpec("no-such-kernel", "tiny", "1x1", 4, "glsc"))
+        queue.submit(SPEC)
+        summary = worker_loop(
+            queue, store, worker_id="w", exit_when_empty=True
+        )
+        assert summary.executed == 1
+        assert summary.failed == 1
+        assert SPEC.digest() in store
+        # The failed task was nacked, not lost: it is pending again.
+        assert queue.counts()["pending"] == 1

@@ -10,7 +10,6 @@ import pytest
 
 from repro.errors import ConfigError
 from repro.harness import experiments
-from repro.harness.session import Session
 from repro.sim.config import MachineConfig
 from repro.sim.executor import Executor, RunSpec, Sweep, execute_spec
 from repro.sim.store import ResultStore
@@ -161,45 +160,24 @@ class TestExecutor:
         assert execute_spec(SPEC) == Executor().run(SPEC)
 
 
-class TestSessionFacade:
-    def test_constructor_warns(self):
-        with pytest.deprecated_call():
-            Session()
+class TestSessionFacadeRemoved:
+    def test_facade_module_is_gone(self):
+        with pytest.raises(ImportError):
+            import repro.harness.session  # noqa: F401
 
-    def test_run_warns_and_matches_executor(self):
-        with pytest.deprecated_call():
-            session = Session()
-        with pytest.deprecated_call():
-            stats = session.run("tms", "tiny", "1x1", 4, "glsc")
-        assert stats == Executor().run(SPEC)
-        assert session.cached_runs() == 1
-
-    def test_run_micro_warns(self):
-        with pytest.deprecated_call():
-            session = Session()
-        with pytest.deprecated_call():
-            stats = session.run_micro("C", "1x1", 4, "glsc")
-        assert stats.cycles > 0
-
-    def test_session_overrides_still_apply(self):
-        with pytest.deprecated_call():
-            slow = Session(mem_latency=560).run("tms", "tiny", "1x1", 4,
-                                                "glsc")
-        with pytest.deprecated_call():
-            fast = Session(mem_latency=30).run("tms", "tiny", "1x1", 4,
-                                               "glsc")
+    def test_executor_overrides_replace_session_overrides(self):
+        slow = Executor(mem_latency=560).run(SPEC)
+        fast = Executor(mem_latency=30).run(SPEC)
         assert fast.cycles < slow.cycles
 
-    def test_experiments_accept_session_or_executor(self):
+    def test_experiments_reuse_a_shared_executor_memo(self):
         executor = Executor()
-        via_executor = experiments.fig8(("tms",), ("tiny",), widths=(1,),
-                                        executor=executor)
-        with pytest.deprecated_call():
-            session = Session(executor=executor)
-        via_session = experiments.fig8(("tms",), ("tiny",), widths=(1,),
-                                       session=session)
-        assert via_executor[0].ratios == via_session[0].ratios
-        # The session path reused the executor's memo: no new sims.
+        first = experiments.fig8(("tms",), ("tiny",), widths=(1,),
+                                 executor=executor)
+        again = experiments.fig8(("tms",), ("tiny",), widths=(1,),
+                                 executor=executor)
+        assert first[0].ratios == again[0].ratios
+        # The second pass reused the executor's memo: no new sims.
         assert executor.simulations == 2
 
 

@@ -10,7 +10,11 @@ never be served from an MSI cache entry).
 
 import argparse
 
-from repro.harness.cli import _add_spec_arguments, _spec_from_args
+from repro.harness.cli import (
+    _add_spec_arguments,
+    _protocol_parent,
+    _spec_from_args,
+)
 from repro.mem.protocol import DEFAULT_PROTOCOL
 from repro.sim.config import MachineConfig
 from repro.sim.executor import RunSpec
@@ -63,7 +67,8 @@ class TestDigestStability:
 
 class TestCliProtocolFlag:
     def _parse(self, argv):
-        parser = argparse.ArgumentParser()
+        # --protocol lives in the shared parent parser all verbs use.
+        parser = argparse.ArgumentParser(parents=[_protocol_parent()])
         _add_spec_arguments(parser)
         return _spec_from_args(parser.parse_args(argv))
 
