@@ -1,0 +1,166 @@
+"""Static HTML dashboard over the bench trajectory.
+
+``repro bench report --html`` renders ``BENCH_TRAJECTORY.jsonl`` (see
+:mod:`repro.bench.baseline`) into one self-contained HTML file:
+headline series (total wall, simulated throughput, total cycles, mean
+Base/GLSC ratio) and per-point cycles/wall charts across archived
+commits.  Everything is inline SVG generated here — no JavaScript, no
+external assets, no dependencies — so the file can be committed,
+attached to CI artifacts, or opened from a tarball years later.
+"""
+
+from __future__ import annotations
+
+import html
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["render_dashboard"]
+
+_WIDTH = 640
+_HEIGHT = 160
+_PAD = 8
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+.chart { margin: 0.8rem 0 1.6rem; }
+.chart svg { background: #f7f7fb; border: 1px solid #ddd;
+             border-radius: 4px; }
+.meta { color: #666; font-size: 0.85rem; }
+.range { color: #666; font-size: 0.8rem; margin-left: 0.6rem; }
+table { border-collapse: collapse; font-size: 0.85rem; }
+td, th { border: 1px solid #ddd; padding: 0.25rem 0.6rem; }
+"""
+
+
+def _polyline(values: Sequence[float]) -> Tuple[str, float, float]:
+    """SVG points string for ``values``, plus the (lo, hi) range."""
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(values)
+    points = []
+    for i, value in enumerate(values):
+        x = _PAD + (
+            (_WIDTH - 2 * _PAD) * (i / (n - 1) if n > 1 else 0.5)
+        )
+        y = _HEIGHT - _PAD - (
+            (_HEIGHT - 2 * _PAD) * ((value - lo) / span)
+        )
+        points.append(f"{x:.1f},{y:.1f}")
+    return " ".join(points), lo, hi
+
+
+def _chart(
+    title: str,
+    values: Sequence[float],
+    labels: Sequence[str],
+    fmt: str = "{:.3g}",
+) -> str:
+    """One titled SVG line chart (circles carry per-run tooltips)."""
+    if not values:
+        return ""
+    points, lo, hi = _polyline(values)
+    circles = []
+    for pair, value, label in zip(points.split(" "), values, labels):
+        x, y = pair.split(",")
+        tip = html.escape(f"{label}: {fmt.format(value)}")
+        circles.append(
+            f'<circle cx="{x}" cy="{y}" r="3" fill="#4c6ef5">'
+            f"<title>{tip}</title></circle>"
+        )
+    return (
+        f'<div class="chart"><strong>{html.escape(title)}</strong>'
+        f'<span class="range">min {fmt.format(lo)} · '
+        f"max {fmt.format(hi)} · latest {fmt.format(values[-1])}"
+        f"</span><br>"
+        f'<svg width="{_WIDTH}" height="{_HEIGHT}" '
+        f'viewBox="0 0 {_WIDTH} {_HEIGHT}">'
+        f'<polyline fill="none" stroke="#4c6ef5" stroke-width="1.5" '
+        f'points="{points}"/>' + "".join(circles) + "</svg></div>"
+    )
+
+
+def _series(
+    entries: List[Dict[str, Any]], *path: str
+) -> List[float]:
+    out = []
+    for entry in entries:
+        node: Any = entry
+        for key in path:
+            node = node.get(key, {}) if isinstance(node, dict) else {}
+        out.append(float(node) if isinstance(node, (int, float)) else 0.0)
+    return out
+
+
+def render_dashboard(
+    trajectory: List[Dict[str, Any]],
+    suite: Optional[str] = None,
+    history: int = 64,
+) -> str:
+    """The trajectory as one self-contained HTML document."""
+    entries = [
+        e for e in trajectory
+        if suite is None or e.get("suite") == suite
+    ][-history:]
+    suites = sorted({e.get("suite", "?") for e in entries})
+    shas = [str(e.get("git_sha", "?"))[:12] for e in entries]
+
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>Bench trajectory</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>Bench trajectory</h1>",
+        f'<p class="meta">{len(entries)} archived runs'
+        + (f" (suite <code>{html.escape(suite)}</code>)" if suite
+           else f" across suites {', '.join(map(html.escape, suites))}")
+        + f" · rendered {time.strftime('%Y-%m-%d %H:%M:%S')}</p>",
+    ]
+    if not entries:
+        parts.append("<p>No trajectory entries yet — run "
+                     "<code>repro bench run</code> first.</p>")
+        parts.append("</body></html>")
+        return "".join(parts)
+
+    parts.append("<h2>Headline</h2>")
+    for key, title, fmt in (
+        ("total_wall_s", "Total wall time (s)", "{:.2f}"),
+        ("sim_khz", "Simulated kHz", "{:.1f}"),
+        ("total_cycles", "Total simulated cycles", "{:.0f}"),
+        ("mean_speedup", "Mean Base/GLSC ratio", "{:.3f}"),
+        ("instr_per_sec", "Instructions / second", "{:.0f}"),
+    ):
+        values = _series(entries, "headline", key)
+        if any(values):
+            parts.append(_chart(title, values, shas, fmt))
+
+    point_ids = sorted({
+        pid for e in entries for pid in (e.get("cycles") or {})
+    })
+    if point_ids:
+        parts.append("<h2>Per-point simulated cycles</h2>")
+        for pid in point_ids:
+            values = _series(entries, "cycles", pid)
+            if any(values):
+                parts.append(_chart(pid, values, shas, "{:.0f}"))
+        parts.append("<h2>Per-point wall time (median s)</h2>")
+        for pid in point_ids:
+            values = _series(entries, "wall", pid, "median")
+            if any(values):
+                parts.append(_chart(pid, values, shas, "{:.3f}"))
+
+    parts.append("<h2>Runs</h2><table><tr><th>#</th><th>sha</th>"
+                 "<th>suite</th><th>points</th><th>wall (s)</th></tr>")
+    for i, entry in enumerate(entries):
+        headline = entry.get("headline", {})
+        parts.append(
+            f"<tr><td>{i + 1}</td>"
+            f"<td><code>{html.escape(str(entry.get('git_sha', '?')))}"
+            f"</code></td>"
+            f"<td>{html.escape(str(entry.get('suite', '?')))}</td>"
+            f"<td>{headline.get('points', '?')}</td>"
+            f"<td>{headline.get('total_wall_s', 0.0):.2f}</td></tr>"
+        )
+    parts.append("</table></body></html>")
+    return "".join(parts)

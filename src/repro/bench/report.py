@@ -112,6 +112,32 @@ def render_markdown(
                 lines.append(f"| `{key}` | {speedups[key]:.3f} |")
             lines.append("")
 
+        phased = [
+            p for p in doc.get("points", ())
+            if isinstance(p, dict) and p.get("phases")
+        ]
+        if phased:
+            lines.append("## Phase attribution")
+            lines.append("")
+            lines.append(
+                "Thread-cycle capacity split per point "
+                "(gather = first-attempt vector-atomic occupancy, "
+                "retry = re-issue after a failed element)."
+            )
+            lines.append("")
+            lines.append(
+                "| point | gather | compute | retry | stall |"
+            )
+            lines.append("|---|---|---|---|---|")
+            for point in phased:
+                fractions = point["phases"].get("fractions", {})
+                cells = " | ".join(
+                    f"{fractions.get(name, 0.0) * 100:.1f}%"
+                    for name in ("gather", "compute", "retry", "stall")
+                )
+                lines.append(f"| `{point.get('id', '?')}` | {cells} |")
+            lines.append("")
+
     if trajectory:
         lines.append(f"## Trajectory (last {history} runs)")
         lines.append("")

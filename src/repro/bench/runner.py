@@ -17,6 +17,13 @@ re-implemented.
 Simulated cycle counts are deterministic, so the runner also asserts
 every repeat of a point returns identical cycles — a free
 bitwise-reproducibility check on every bench run.
+
+With ``phases=True`` (the default) the runner adds one *untimed*
+observed pass per point after the timed repeats, attributing each
+point's cycles to gather/compute/retry/stall via
+:class:`~repro.bench.phases.PhaseSink` — the timed samples stay
+sinkless, and the observed pass must retire identical cycles (another
+determinism check, this time sinkless-vs-observed).
 """
 
 from __future__ import annotations
@@ -28,11 +35,12 @@ from typing import Any, Dict, List, Optional
 from repro.errors import VerificationError
 from repro.obs.bus import EventBus
 from repro.obs.telemetry import run_provenance
-from repro.sim.executor import Executor
+from repro.sim.executor import Executor, execute_spec
 from repro.sim.stats import MachineStats
 
 from repro.bench.baseline import BENCH_SCHEMA_VERSION, current_git_sha
 from repro.bench.fidelity import fidelity_metrics
+from repro.bench.phases import PhaseSink
 from repro.bench.suite import BenchSuite
 
 __all__ = ["BenchRunner", "mad"]
@@ -55,6 +63,7 @@ class BenchRunner:
         repeats: int = 3,
         git_sha: Optional[str] = None,
         progress=None,
+        phases: bool = True,
     ) -> None:
         if repeats < 1:
             raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -62,6 +71,7 @@ class BenchRunner:
         self.repeats = repeats
         self.git_sha = git_sha or current_git_sha()
         self._progress = progress  # callable(str) or None
+        self.phases = phases
         #: Stats per point id from the last :meth:`run` (repeat 0).
         self.stats_by_id: Dict[str, MachineStats] = {}
 
@@ -107,6 +117,25 @@ class BenchRunner:
                 f"{time.perf_counter() - started:.1f}s total"
             )
 
+        phases_by_id: Dict[str, Dict[str, Any]] = {}
+        if self.phases:
+            for pid, spec in zip(ids, specs):
+                bus = EventBus()
+                sink = bus.attach(PhaseSink())
+                stats = execute_spec(spec, obs=bus)
+                bus.close()
+                if stats.cycles != cycles_seen[pid]:
+                    raise VerificationError(
+                        f"bench point {pid} diverges under observation: "
+                        f"{cycles_seen[pid]} cycles sinkless, "
+                        f"{stats.cycles} with the phase sink attached"
+                    )
+                phases_by_id[pid] = sink.breakdown(stats.cycles)
+            self._note(
+                f"phase attribution: {len(specs)} observed passes in "
+                f"{time.perf_counter() - started:.1f}s total"
+            )
+
         points = []
         for pid, spec in zip(ids, specs):
             samples = wall_samples[pid]
@@ -136,6 +165,10 @@ class BenchRunner:
                         if wall_median > 0 else 0.0
                     ),
                     "summary": stats.summary(),
+                    **(
+                        {"phases": phases_by_id[pid]}
+                        if pid in phases_by_id else {}
+                    ),
                 }
             )
 

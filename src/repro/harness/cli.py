@@ -433,6 +433,11 @@ def _main_bench(argv: List[str]) -> int:
              "the BENCH file and prints the top 20 functions by "
              "cumulative time",
     )
+    p_run.add_argument(
+        "--no-phases", action="store_true",
+        help="skip the per-point gather/compute/retry/stall "
+             "attribution pass (halves bench wall time)",
+    )
 
     for verb, help_text in (
         ("compare", "gate the newest run; exit 1 on a regression"),
@@ -464,6 +469,12 @@ def _main_bench(argv: List[str]) -> int:
             p.add_argument(
                 "--out", type=Path, default=None, metavar="FILE",
                 help="write markdown here instead of stdout",
+            )
+            p.add_argument(
+                "--html", action="store_true",
+                help="render the trajectory dashboard as static HTML "
+                     "instead of the markdown report (--out defaults "
+                     "to --dir/bench_dashboard.html)",
             )
 
     p_ref = sub.add_parser(
@@ -499,6 +510,7 @@ def _main_bench(argv: List[str]) -> int:
         runner = BenchRunner(
             suite, repeats=args.repeats, git_sha=sha,
             progress=lambda msg: print(f"  {msg}"),
+            phases=not args.no_phases,
         )
         if args.profile:
             import cProfile
@@ -570,6 +582,21 @@ def _main_bench(argv: List[str]) -> int:
         return 0
 
     trajectory = load_trajectory(trajectory_path)
+
+    if args.verb == "report" and args.html:
+        from repro.bench.dashboard import render_dashboard
+
+        out = args.out or (args.dir / "bench_dashboard.html")
+        html_text = render_dashboard(
+            trajectory, suite=doc.get("suite")
+        )
+        out.write_text(html_text, encoding="utf-8")
+        print(
+            f"dashboard -> {out} "
+            f"({len(trajectory)} trajectory entries)"
+        )
+        return 0
+
     baseline = previous_entry(
         trajectory, doc.get("suite", "?"), exclude_sha=doc.get("git_sha")
     )
@@ -690,8 +717,9 @@ def _main_serve(argv: List[str]) -> int:
     """``serve``: the asyncio HTTP frontend over the result store."""
     import asyncio
 
+    from repro.obs.log import StructLogger
     from repro.service.queue import DEFAULT_LEASE_S, WorkQueue
-    from repro.service.server import SweepServer, _default_log
+    from repro.service.server import SweepServer
 
     parser = argparse.ArgumentParser(
         prog="glsc-harness serve",
@@ -723,17 +751,26 @@ def _main_serve(argv: List[str]) -> int:
         "--log", type=Path, default=None, metavar="FILE",
         help="append timestamped server log lines here (default: stderr)",
     )
+    parser.add_argument(
+        "--log-format", default="text", choices=("text", "json"),
+        help="log line format: human text or structured JSON "
+             "(default: text)",
+    )
     args = parser.parse_args(argv)
 
     store = ResultStore(args.cache_dir)
+    stream = open(args.log, "a", encoding="utf-8") if args.log else None
+    logger = StructLogger(
+        stream=stream or sys.stderr, component="server",
+        fmt=args.log_format,
+    )
     queue = (
-        WorkQueue.from_url(args.queue, lease_s=args.lease)
+        WorkQueue.from_url(args.queue, lease_s=args.lease, logger=logger)
         if args.queue else None
     )
-    stream = open(args.log, "a", encoding="utf-8") if args.log else None
     server = SweepServer(
         store, queue, host=args.host, port=args.port, batch=args.batch,
-        log=_default_log(stream),
+        log=logger,
     )
     try:
         asyncio.run(server.serve_forever())
@@ -747,8 +784,8 @@ def _main_serve(argv: List[str]) -> int:
 
 def _main_worker(argv: List[str]) -> int:
     """``worker``: drain a queue:// work queue into the shared store."""
+    from repro.obs.log import StructLogger
     from repro.service.queue import DEFAULT_LEASE_S, WorkQueue
-    from repro.service.server import _default_log
     from repro.service.worker import worker_loop
 
     parser = argparse.ArgumentParser(
@@ -794,9 +831,22 @@ def _main_worker(argv: List[str]) -> int:
         "--quiet", action="store_true",
         help="suppress per-task log lines",
     )
+    parser.add_argument(
+        "--log-format", default="text", choices=("text", "json"),
+        help="log line format: human text or structured JSON "
+             "(default: text)",
+    )
     args = parser.parse_args(argv)
 
-    queue = WorkQueue.from_url(args.queue, lease_s=args.lease)
+    logger = (
+        None if args.quiet
+        else StructLogger(
+            stream=sys.stderr, component="worker", fmt=args.log_format
+        )
+    )
+    queue = WorkQueue.from_url(
+        args.queue, lease_s=args.lease, logger=logger
+    )
     store = ResultStore(args.cache_dir)
     summary = worker_loop(
         queue,
@@ -806,7 +856,7 @@ def _main_worker(argv: List[str]) -> int:
         exit_when_empty=args.exit_when_empty,
         idle_exit_s=args.idle_exit,
         max_tasks=args.max_tasks,
-        log=None if args.quiet else _default_log(),
+        log=logger,
     )
     print(
         f"worker {summary.worker_id}: {summary.executed} executed, "
@@ -814,6 +864,148 @@ def _main_worker(argv: List[str]) -> int:
         f"{summary.requeued} requeued in {summary.wall_time_s:.2f}s"
     )
     return 1 if summary.failed else 0
+
+
+def _main_status(argv: List[str]) -> int:
+    """``status``: one scrape of a running service's telemetry."""
+    from repro.service.client import ServiceError, SweepClient
+
+    parser = argparse.ArgumentParser(
+        prog="glsc-harness status",
+        description=(
+            "Scrape a running `serve` instance's /v1/metrics and "
+            "render a live service summary: queue depths, task "
+            "counters, per-worker heartbeats, HTTP traffic."
+        ),
+    )
+    parser.add_argument(
+        "url", nargs="?", default="http://127.0.0.1:8787",
+        help="service base URL (default: http://127.0.0.1:8787)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw JSON metrics document instead of the table",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="ask the server to cross-check queue depths against a "
+             "directory scan",
+    )
+    args = parser.parse_args(argv)
+
+    client = SweepClient(args.url)
+    path = "/v1/metrics?format=json" + ("&verify=1" if args.verify else "")
+    try:
+        doc = client._request_json("GET", path)[1]
+    except ServiceError as exc:
+        print(f"status: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0
+
+    metrics = doc.get("metrics", {})
+
+    def counter_total(name: str) -> float:
+        samples = (metrics.get(name) or {}).get("samples", [])
+        return sum(s.get("value", 0.0) for s in samples)
+
+    queue = doc.get("queue")
+    if queue:
+        print(
+            f"queue {queue.get('root', '?')}: "
+            f"{queue.get('pending', 0)} pending, "
+            f"{queue.get('leased', 0)} leased "
+            f"(lease {queue.get('lease_s', 0.0):.0f}s)"
+        )
+    tasks = metrics.get("queue_tasks_total") or {}
+    ops = {
+        (s.get("labels") or {}).get("op", "?"): s.get("value", 0)
+        for s in tasks.get("samples", [])
+    }
+    if ops:
+        print(
+            "tasks: " + ", ".join(
+                f"{int(ops[op])} {op}" for op in sorted(ops)
+            )
+        )
+    print(
+        f"store: {int(counter_total('store_puts_total'))} puts; "
+        f"http: {doc.get('requests', 0)} requests, "
+        f"{int(counter_total('records_streamed_total'))} records streamed"
+    )
+    workers = doc.get("workers", [])
+    if workers:
+        print(f"workers ({len(workers)} heartbeat(s)):")
+        for beat in workers:
+            print(
+                f"  {beat.get('worker_id', '?')}: "
+                f"{beat.get('claims', 0)} claims, "
+                f"{beat.get('executed', 0)} executed, "
+                f"{beat.get('skipped', 0)} skipped, "
+                f"{beat.get('failed', 0)} failed, "
+                f"{beat.get('sim_wall_s', 0.0):.2f}s simulating "
+                f"(heartbeat {beat.get('age_s', 0.0):.1f}s ago)"
+            )
+    verify = doc.get("queue_verify")
+    if verify is not None:
+        verdict = "match" if verify.get("match") else "MISMATCH"
+        print(
+            f"depth cross-check: {verdict} "
+            f"(scan {verify.get('scan')}, tracked {verify.get('tracked')})"
+        )
+    return 0
+
+
+def _main_sweep_trace(argv: List[str]) -> int:
+    """``sweep-trace``: export a drain's spans as one Perfetto trace."""
+    from repro.obs.perfetto import SweepTraceExporter
+    from repro.obs.sweeptrace import collect_spans
+    from repro.service.queue import parse_queue_url
+
+    parser = argparse.ArgumentParser(
+        prog="glsc-harness sweep-trace",
+        description=(
+            "Merge the span sidecars a traced sweep left under a "
+            "queue:// directory (server submit/stream, worker "
+            "claim/simulate/save) into one Chrome trace-event file — "
+            "open it in https://ui.perfetto.dev to see the whole "
+            "multi-worker drain, workers as process tracks."
+        ),
+    )
+    parser.add_argument(
+        "queue", metavar="URL", help="the drained queue (queue://<dir>)"
+    )
+    parser.add_argument(
+        "--trace-id", default=None, metavar="ID",
+        help="restrict to one sweep's trace id (default: every span)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("sweep.trace.json"),
+        metavar="FILE",
+        help="output trace path (default: sweep.trace.json)",
+    )
+    args = parser.parse_args(argv)
+
+    root = parse_queue_url(args.queue)
+    spans = collect_spans(root, trace_id=args.trace_id)
+    if not spans:
+        print(
+            f"no spans under {root}/spans"
+            + (f" for trace {args.trace_id}" if args.trace_id else "")
+            + " — was the sweep submitted through the service?",
+            file=sys.stderr,
+        )
+        return 2
+    exporter = SweepTraceExporter.from_spans(spans)
+    exporter.write(args.out)
+    actors = sorted({s.get("actor", "?") for s in spans})
+    digests = {s.get("digest") for s in spans if s.get("digest")}
+    print(
+        f"{len(spans)} spans, {len(digests)} spec(s), "
+        f"{len(actors)} actor(s) ({', '.join(actors)}) -> {args.out}"
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -833,6 +1025,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _main_serve(argv[1:])
     if argv and argv[0] == "worker":
         return _main_worker(argv[1:])
+    if argv and argv[0] == "status":
+        return _main_status(argv[1:])
+    if argv and argv[0] == "sweep-trace":
+        return _main_sweep_trace(argv[1:])
     parser = argparse.ArgumentParser(
         prog="glsc-harness",
         parents=[_cache_parent(), _jobs_parent(), _protocol_parent(),
@@ -841,7 +1037,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "Regenerate the evaluation of 'Atomic Vector Operations on "
             "Chip Multiprocessors' (ISCA 2008) on the repro simulator. "
             "See also the 'trace', 'profile', 'bench', 'cache', "
-            "'serve', and 'worker' subcommands (--help on each)."
+            "'serve', 'worker', 'status', and 'sweep-trace' "
+            "subcommands (--help on each)."
         ),
     )
     parser.add_argument(

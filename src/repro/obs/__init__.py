@@ -52,31 +52,62 @@ from repro.obs.events import (
     LineCombine,
     ReservationLost,
     ReservationSet,
+    TaskPhase,
     Writeback,
     event_to_dict,
 )
-from repro.obs.perfetto import PerfettoSink
+from repro.obs.log import NULL_LOGGER, StructLogger, to_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.perfetto import PerfettoSink, SweepTraceExporter
 from repro.obs.sinks import JsonlSink, MetricsSink
+from repro.obs.sweeptrace import (
+    SpanLog,
+    collect_spans,
+    new_trace_id,
+    read_heartbeats,
+    write_heartbeat,
+)
 from repro.obs.telemetry import RunTelemetry, run_provenance
 
 __all__ = [
     "CATEGORIES",
     "CacheHit",
     "CacheMiss",
+    "Counter",
     "ElementOutcome",
     "EVENT_TYPES",
     "EventBus",
     "Eviction",
+    "Gauge",
+    "Histogram",
     "Invalidation",
     "JsonlSink",
     "LineCombine",
+    "MetricsRegistry",
     "MetricsSink",
+    "NULL_LOGGER",
     "PerfettoSink",
     "ReservationLost",
     "ReservationSet",
     "RunTelemetry",
     "Sink",
+    "SpanLog",
+    "StructLogger",
+    "SweepTraceExporter",
+    "TaskPhase",
     "Writeback",
+    "collect_spans",
     "event_to_dict",
+    "get_registry",
+    "new_trace_id",
+    "read_heartbeats",
     "run_provenance",
+    "to_logger",
+    "write_heartbeat",
 ]

@@ -64,6 +64,7 @@ class EventBus:
         self.wants_reservation = False
         self.wants_glsc = False
         self.wants_protocol = False
+        self.wants_service = False
 
     # -- subscription ----------------------------------------------------
 
@@ -92,6 +93,7 @@ class EventBus:
         self.wants_reservation = bool(self._routes["reservation"])
         self.wants_glsc = bool(self._routes["glsc"])
         self.wants_protocol = bool(self._routes["protocol"])
+        self.wants_service = bool(self._routes["service"])
 
     def wants(self, category: str) -> bool:
         """Whether any sink subscribes to ``category``."""

@@ -21,6 +21,11 @@ of subscription on the :class:`~repro.obs.bus.EventBus`:
                silent-upgrade marker) — the seam vocabulary of
                :mod:`repro.mem.messages`, emitted by the configured
                :class:`~repro.mem.protocol.CoherenceProtocol`
+``service``    sweep-service lifecycle transitions
+               (:class:`TaskPhase`: submitted/enqueued/claimed/
+               simulated/saved/streamed, plus the unhappy-path
+               requeued/nacked/poisoned) — wall-clock events from the
+               queue/worker/server stack, not simulation-cycle events
 =============  ========================================================
 
 Design constraints:
@@ -54,12 +59,14 @@ __all__ = [
     "ReservationLost",
     "ElementOutcome",
     "LineCombine",
+    "TaskPhase",
     "event_to_dict",
 ]
 
 #: Subscription categories, in display order.
 CATEGORIES = (
-    "instr", "cache", "coherence", "reservation", "glsc", "protocol"
+    "instr", "cache", "coherence", "reservation", "glsc", "protocol",
+    "service",
 )
 
 
@@ -198,6 +205,26 @@ class LineCombine:
     sync: bool        # whether the access counts as an atomic op
 
 
+@dataclass(frozen=True)
+class TaskPhase:
+    """One sweep-service lifecycle transition for one spec digest.
+
+    Unlike the simulation events above, ``ts`` is a wall-clock unix
+    timestamp — service events happen in real time across processes,
+    not on a simulated cycle counter.  Emission sites follow the same
+    ``obs is not None and obs.wants_service`` guard, so an unobserved
+    queue/worker/server allocates no event objects (guard-tested).
+    """
+
+    category = "service"
+
+    ts: float
+    digest: str
+    phase: str     # a sweeptrace.PHASES member or requeued/nacked/poisoned
+    actor: str     # worker id / "server" / "queue"
+    trace_id: str  # "" when the task was submitted untraced
+
+
 def _trace_event_type():
     from repro.sim.trace import TraceEvent
 
@@ -226,6 +253,7 @@ EVENT_TYPES = (
     ReservationLost,
     ElementOutcome,
     LineCombine,
+    TaskPhase,
 ) + PROTOCOL_MESSAGES
 
 

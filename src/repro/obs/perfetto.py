@@ -23,11 +23,12 @@ Timestamps are simulation cycles interpreted as microseconds (1 cycle
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, IO, List, Optional, Set, Tuple, Union
 
 from repro.obs.bus import Sink
 
-__all__ = ["PerfettoSink", "MEM_TRACK_BASE"]
+__all__ = ["PerfettoSink", "SweepTraceExporter", "MEM_TRACK_BASE"]
 
 #: tid offset for the per-core memory-hierarchy tracks (far above any
 #: plausible hardware-thread id).
@@ -93,7 +94,13 @@ class PerfettoSink(Sink):
     # -- event handling ----------------------------------------------------
 
     def on_event(self, event: Any) -> None:
-        self._last_ts = max(self._last_ts, event.cycle)
+        cycle = getattr(event, "cycle", None)
+        if cycle is None:
+            # Service-plane events (category "service") carry wall-clock
+            # timestamps, not simulation cycles; they belong to
+            # SweepTraceExporter, so a catch-all subscription skips them.
+            return
+        self._last_ts = max(self._last_ts, cycle)
         name = type(event).__name__
         if name == "TraceEvent":
             self._events.append({
@@ -215,10 +222,10 @@ class PerfettoSink(Sink):
             },
         }
 
-    def write(self, destination: Union[str, IO[str]]) -> None:
+    def write(self, destination: Union[str, "os.PathLike", IO[str]]) -> None:
         """Serialize to ``destination`` (path or open text file)."""
         self.close()
-        if isinstance(destination, str):
+        if isinstance(destination, (str, os.PathLike)):
             with open(destination, "w", encoding="utf-8") as fh:
                 json.dump(self.to_dict(), fh)
         else:
@@ -226,3 +233,184 @@ class PerfettoSink(Sink):
 
     def __len__(self) -> int:
         return len(self._events)
+
+
+class SweepTraceExporter(Sink):
+    """Multi-process Chrome trace of one distributed sweep drain.
+
+    Where :class:`PerfettoSink` lays out one simulation (cores as
+    processes, cycles as time), this exporter lays out one *sweep*
+    crossing the service (wall-clock time, microsecond resolution):
+
+    * pid 0 — the **sweep lifecycle** process: one async span ("b"/"e")
+      per spec digest, stretching from its first recorded phase
+      (normally ``submitted``) to its last (normally ``streamed``),
+      with an instant per phase transition;
+    * one **process per actor** (each worker, the server, the queue):
+      a worker's ``claimed → simulated`` interval renders as a
+      ``simulate`` slice and ``simulated → saved`` as a ``save``
+      slice, so a two-worker drain shows both workers' interleaved
+      work as parallel process tracks.
+
+    Feed it either live :class:`~repro.obs.events.TaskPhase` events
+    (it is a ``service``-category :class:`~repro.obs.bus.Sink`) or
+    span records collected from the queue's sidecar files with
+    :func:`~repro.obs.sweeptrace.collect_spans` (the cross-process
+    path used by ``repro sweep-trace``).
+    """
+
+    categories = ("service",)
+
+    #: The phase pairs drawn as duration slices on actor tracks.
+    SLICES = (("claimed", "simulated", "simulate"),
+              ("simulated", "saved", "save"))
+
+    def __init__(self) -> None:
+        self._records: List[Dict[str, Any]] = []
+
+    def on_event(self, event: Any) -> None:
+        if getattr(event, "category", None) != "service":
+            return
+        self.add({
+            "ts": event.ts, "phase": event.phase, "digest": event.digest,
+            "actor": event.actor, "trace_id": event.trace_id,
+        })
+
+    def add(self, record: Dict[str, Any]) -> None:
+        """Add one span record (``{ts, phase, digest, actor, ...}``)."""
+        if "ts" in record and "digest" in record and "phase" in record:
+            self._records.append(record)
+
+    @classmethod
+    def from_spans(
+        cls, spans: List[Dict[str, Any]]
+    ) -> "SweepTraceExporter":
+        exporter = cls()
+        for record in spans:
+            exporter.add(record)
+        return exporter
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- document --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The complete Chrome trace-event document."""
+        from repro import __version__
+
+        events: List[Dict[str, Any]] = []
+        records = sorted(self._records, key=lambda r: r["ts"])
+        if records:
+            t0 = records[0]["ts"]
+
+            def us(ts: float) -> int:
+                return int(round((ts - t0) * 1e6))
+
+            events.append({
+                "ph": "M", "name": "process_name", "pid": 0,
+                "args": {"name": "sweep lifecycle"},
+            })
+            events.append({
+                "ph": "M", "name": "process_sort_index", "pid": 0,
+                "args": {"sort_index": 0},
+            })
+            actor_pid: Dict[str, int] = {}
+            for record in records:
+                actor = str(record.get("actor", "") or "?")
+                if actor not in actor_pid:
+                    pid = len(actor_pid) + 1
+                    actor_pid[actor] = pid
+                    events.append({
+                        "ph": "M", "name": "process_name", "pid": pid,
+                        "args": {"name": actor},
+                    })
+                    events.append({
+                        "ph": "M", "name": "process_sort_index",
+                        "pid": pid, "args": {"sort_index": pid},
+                    })
+
+            by_digest: Dict[str, List[Dict[str, Any]]] = {}
+            for record in records:
+                by_digest.setdefault(record["digest"], []).append(record)
+
+            span_id = 1
+            for digest in sorted(by_digest):
+                group = by_digest[digest]
+                first, last = group[0], group[-1]
+                name = digest[:12]
+                trace_id = next(
+                    (r.get("trace_id") for r in group
+                     if r.get("trace_id")), "",
+                )
+                events.append({
+                    "ph": "b", "id": span_id, "ts": us(first["ts"]),
+                    "pid": 0, "tid": 0, "name": name, "cat": "lifecycle",
+                    "args": {"digest": digest, "trace_id": trace_id},
+                })
+                events.append({
+                    "ph": "e", "id": span_id,
+                    "ts": max(us(last["ts"]), us(first["ts"]) + 1),
+                    "pid": 0, "tid": 0, "name": name, "cat": "lifecycle",
+                    "args": {"last_phase": last["phase"]},
+                })
+                span_id += 1
+                for record in group:
+                    events.append({
+                        "ph": "i", "s": "t", "ts": us(record["ts"]),
+                        "pid": 0, "tid": 0, "name": record["phase"],
+                        "cat": "lifecycle",
+                        "args": {"digest": name,
+                                 "actor": record.get("actor", "")},
+                    })
+
+                # Actor-track slices: first occurrence of each phase
+                # per (actor, digest) pairs into simulate/save slices.
+                per_actor: Dict[str, Dict[str, float]] = {}
+                for record in group:
+                    actor = str(record.get("actor", "") or "?")
+                    per_actor.setdefault(actor, {}).setdefault(
+                        record["phase"], record["ts"]
+                    )
+                for actor, phases in per_actor.items():
+                    pid = actor_pid[actor]
+                    sliced: set = set()
+                    for begin, end, label in self.SLICES:
+                        if begin in phases and end in phases:
+                            start = us(phases[begin])
+                            events.append({
+                                "ph": "X", "ts": start,
+                                "dur": max(us(phases[end]) - start, 1),
+                                "pid": pid, "tid": 0,
+                                "name": f"{label} {name}", "cat": "work",
+                                "args": {"digest": digest},
+                            })
+                            sliced.update((begin, end))
+                    for phase, ts in phases.items():
+                        if phase in sliced:
+                            continue
+                        events.append({
+                            "ph": "i", "s": "t", "ts": us(ts),
+                            "pid": pid, "tid": 0,
+                            "name": f"{phase} {name}", "cat": "work",
+                            "args": {"digest": digest},
+                        })
+
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs.perfetto.SweepTraceExporter",
+                "version": __version__,
+                "clock": "wall time, us since first span",
+                "spans": len(self._records),
+            },
+        }
+
+    def write(self, destination: Union[str, "os.PathLike", IO[str]]) -> None:
+        """Serialize to ``destination`` (path or open text file)."""
+        if isinstance(destination, (str, os.PathLike)):
+            with open(destination, "w", encoding="utf-8") as fh:
+                json.dump(self.to_dict(), fh)
+        else:
+            json.dump(self.to_dict(), destination)

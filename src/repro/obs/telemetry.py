@@ -41,6 +41,7 @@ class RunTelemetry:
     worker_pid: int = 0
     worker_host: str = ""  # host that simulated it ("" = this one)
     created: float = 0.0   # unix timestamp
+    trace_id: str = ""     # sweep trace this run belonged to ("" = none)
 
     @property
     def cycles_per_second(self) -> float:
@@ -87,6 +88,9 @@ def run_provenance(wall_time_s: float) -> Dict[str, Any]:
     every record carries *who* produced it: ``host`` (the machine) and
     ``worker_id`` (the service worker's name, from ``REPRO_WORKER_ID``
     when running under ``repro worker``; ``""`` for plain executors).
+    The worker additionally stamps the sweep's ``trace_id`` into the
+    provenance it saves (see :mod:`repro.obs.sweeptrace`), so a stored
+    number names the distributed drain that produced it.
     """
     from repro import __version__
 

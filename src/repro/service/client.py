@@ -46,6 +46,12 @@ class SweepHandle:
     hits: int = 0
     enqueued: int = 0
     pending: int = 0
+    trace_ids: List[str] = field(default_factory=list)  # one per batch
+
+    @property
+    def trace_id(self) -> str:
+        """The sweep's trace id (first batch's, the common case)."""
+        return self.trace_ids[0] if self.trace_ids else ""
 
     @property
     def digest_of(self) -> Dict[Any, str]:
@@ -154,24 +160,48 @@ class SweepClient:
             return None
         return MachineStats.from_dict(record["stats"])
 
-    def submit(self, sweep: Union["Sweep", Any]) -> SweepHandle:
+    def metrics(self) -> Dict[str, Any]:
+        """The server's ``/v1/metrics`` JSON view (registry + workers)."""
+        return self._request_json("GET", "/v1/metrics?format=json")[1]
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text exposition from ``/v1/metrics``."""
+        status, response, conn = self._request("GET", "/v1/metrics")
+        try:
+            raw = response.read()
+        finally:
+            conn.close()
+        if status != 200:
+            raise ServiceError(f"GET /v1/metrics -> {status}")
+        return raw.decode("utf-8")
+
+    def submit(
+        self, sweep: Union["Sweep", Any], trace_id: str = ""
+    ) -> SweepHandle:
         """Submit every spec of a sweep; misses are enqueued server-side.
 
         Accepts a :class:`~repro.sim.executor.Sweep` or any iterable
         of specs.  Large sweeps are submitted in client-side batches.
+        ``trace_id`` pins the sweep's trace; left blank, the server
+        mints one per batch (``handle.trace_id`` reports the first).
         """
         specs = list(sweep)
         handle = SweepHandle(specs=specs)
         for start in range(0, len(specs), self.batch):
             group = specs[start:start + self.batch]
+            payload: Dict[str, Any] = {
+                "specs": [spec.to_dict() for spec in group],
+            }
+            if trace_id:
+                payload["trace_id"] = trace_id
             _, decoded = self._request_json(
-                "POST", "/v1/sweep",
-                {"specs": [spec.to_dict() for spec in group]},
+                "POST", "/v1/sweep", payload
             )
             handle.digests.extend(decoded["digests"])
             handle.hits += decoded["hits"]
             handle.enqueued += decoded["enqueued"]
             handle.pending += decoded["pending"]
+            handle.trace_ids.append(str(decoded.get("trace_id", "")))
         return handle
 
     def status(self, handle: SweepHandle) -> Dict[str, Any]:

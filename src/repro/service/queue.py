@@ -12,9 +12,12 @@ Layout::
     <root>/
       pending/<digest>.json          submitted, unclaimed tasks
       leased/<digest>.<nonce>.json   claimed tasks, with lease metadata
+      spans/<actor>.jsonl            sweep-trace sidecars (see
+                                     :mod:`repro.obs.sweeptrace`)
+      workers/<worker_id>.json       worker heartbeat snapshots
 
-A task's payload is its spec (plus the digest and submission time).
-The state machine:
+A task's payload is its spec (plus the digest, submission time, and —
+for traced sweeps — the sweep's trace id).  The state machine:
 
 * **submit** — atomic publish into ``pending/`` (temp file +
   ``os.replace``).  Submitting a digest that is already pending or
@@ -34,6 +37,19 @@ The state machine:
   passed are renamed back into ``pending/``.  The nonce in the leased
   filename keeps a straggler's late ``ack`` from deleting a lease now
   held by the replacement worker.
+
+Telemetry: every transition bumps a ``queue_tasks_total{op=...}``
+counter in the queue's :class:`~repro.obs.metrics.MetricsRegistry`
+(submitted/claimed/acked/nacked/requeued/poisoned), and
+:meth:`WorkQueue.counts` serves pending/leased depths from
+registry-backed tallies maintained incrementally by this instance's
+own operations — refreshed by a directory scan at most once per
+``counts_ttl_s`` (other processes mutate the same directories), or on
+demand with ``counts(verify=True)`` / :meth:`verify_counts`, the
+``--verify`` cross-check.  When an :class:`~repro.obs.bus.EventBus`
+is attached (``obs=``), transitions additionally emit
+:class:`~repro.obs.events.TaskPhase` events behind the standard
+``wants_service`` zero-allocation guard.
 """
 
 from __future__ import annotations
@@ -47,12 +63,18 @@ from pathlib import Path
 from typing import Any, Collection, Dict, Iterable, List, Optional
 
 from repro.errors import ConfigError
+from repro.obs.log import NULL_LOGGER, StructLogger
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.sweeptrace import SpanLog
 from repro.sim.executor import RunSpec
 
 __all__ = ["Task", "WorkQueue", "parse_queue_url", "DEFAULT_LEASE_S"]
 
 #: How long a claim holds a task before anyone may requeue it.
 DEFAULT_LEASE_S = 120.0
+
+#: How long cached queue depths are served before a rescan (seconds).
+DEFAULT_COUNTS_TTL_S = 1.0
 
 #: URL scheme selecting this backend (``queue:///abs`` or ``queue://rel``).
 QUEUE_SCHEME = "queue://"
@@ -77,13 +99,20 @@ class Task:
     digest: str
     spec: RunSpec
     lease_path: Path
+    trace_id: str = ""  # sweep trace the submitter threaded through
 
 
 class WorkQueue:
     """Shared-directory task queue of :class:`RunSpec` payloads."""
 
     def __init__(
-        self, root: Path, lease_s: float = DEFAULT_LEASE_S
+        self,
+        root: Path,
+        lease_s: float = DEFAULT_LEASE_S,
+        metrics: Optional[MetricsRegistry] = None,
+        logger: Optional[StructLogger] = None,
+        obs: Optional[Any] = None,
+        counts_ttl_s: float = DEFAULT_COUNTS_TTL_S,
     ) -> None:
         if lease_s <= 0:
             raise ConfigError(f"lease_s must be > 0, got {lease_s}")
@@ -92,21 +121,91 @@ class WorkQueue:
         self.pending_dir = self.root / "pending"
         self.leased_dir = self.root / "leased"
         self._nonce = 0
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.logger = (logger or NULL_LOGGER).bind(queue=str(self.root))
+        self.obs = obs
+        self.counts_ttl_s = counts_ttl_s
+        self._tasks_total = self.metrics.counter(
+            "queue_tasks_total",
+            "Queue state transitions by operation",
+            labelnames=("op",),
+        )
+        self._pending_gauge = self.metrics.gauge(
+            "queue_pending_depth", "Unclaimed tasks in the queue",
+            labelnames=("queue",),
+        )
+        self._leased_gauge = self.metrics.gauge(
+            "queue_leased_depth", "Claimed (leased) tasks in the queue",
+            labelnames=("queue",),
+        )
+        # Instance-local depth cache: None until the first scan; then
+        # maintained incrementally by this instance's own transitions
+        # and refreshed by TTL (other processes share the directory).
+        self._depth: Optional[Dict[str, int]] = None
+        self._scanned_at = 0.0
+        self._span_log: Optional[SpanLog] = None
 
     @classmethod
     def from_url(
-        cls, url: str, lease_s: float = DEFAULT_LEASE_S
+        cls, url: str, lease_s: float = DEFAULT_LEASE_S, **kwargs: Any
     ) -> "WorkQueue":
         """Construct from a ``queue://<dir>`` backend URL."""
-        return cls(parse_queue_url(url), lease_s=lease_s)
+        return cls(parse_queue_url(url), lease_s=lease_s, **kwargs)
+
+    # -- telemetry plumbing ----------------------------------------------
+
+    def _count(self, op: str, pending_delta: int, leased_delta: int) -> None:
+        """One transition: bump the op counter, track the depths."""
+        self._tasks_total.inc(op=op)
+        if self._depth is not None:
+            self._depth["pending"] = max(
+                0, self._depth["pending"] + pending_delta
+            )
+            self._depth["leased"] = max(
+                0, self._depth["leased"] + leased_delta
+            )
+            self._publish_depth()
+
+    def _publish_depth(self) -> None:
+        if self._depth is not None:
+            queue = str(self.root)
+            self._pending_gauge.set(self._depth["pending"], queue=queue)
+            self._leased_gauge.set(self._depth["leased"], queue=queue)
+
+    def _phase(
+        self, phase: str, digest: str, actor: str, trace_id: str
+    ) -> None:
+        obs = self.obs
+        if obs is not None and obs.wants_service:
+            from repro.obs.events import TaskPhase
+
+            obs.emit(TaskPhase(
+                ts=time.time(), digest=digest, phase=phase,
+                actor=actor, trace_id=trace_id,
+            ))
+
+    def span_log(self, actor: str = "queue") -> SpanLog:
+        """The sweep-trace sidecar writer for ``actor`` in this queue."""
+        if self._span_log is None or self._span_log.actor != actor:
+            self._span_log = SpanLog(self.root, actor)
+        return self._span_log
 
     # -- submit ----------------------------------------------------------
 
-    def submit(self, spec: RunSpec, digest: Optional[str] = None) -> bool:
+    def submit(
+        self,
+        spec: RunSpec,
+        digest: Optional[str] = None,
+        trace_id: str = "",
+    ) -> bool:
         """Enqueue one spec; False if its digest is already in flight.
 
         ``digest`` may be passed to spare re-hashing when the caller
-        (the executor, the server) already resolved it.
+        (the executor, the server) already resolved it.  ``trace_id``
+        threads a sweep-scoped trace through the payload: claimed
+        tasks carry it, the worker stamps it into the stored record's
+        provenance, and an ``enqueued`` span lands in the queue's
+        trace sidecar (see :mod:`repro.obs.sweeptrace`).
         """
         digest = digest or spec.digest()
         if self._in_flight(digest):
@@ -118,6 +217,8 @@ class WorkQueue:
             "spec": spec.to_dict(),
             "enqueued": time.time(),
         }
+        if trace_id:
+            payload["trace"] = {"id": trace_id}
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.pending_dir), prefix=f".{digest[:12]}.",
             suffix=".tmp",
@@ -132,11 +233,20 @@ class WorkQueue:
             except OSError:
                 pass
             raise
+        self._count("submitted", +1, 0)
+        self.logger.debug("submit", digest=digest[:12], trace_id=trace_id)
+        self._phase("enqueued", digest, "queue", trace_id)
+        if trace_id:
+            self.span_log().record("enqueued", digest, trace_id)
         return True
 
-    def submit_sweep(self, specs: Iterable[RunSpec]) -> int:
+    def submit_sweep(
+        self, specs: Iterable[RunSpec], trace_id: str = ""
+    ) -> int:
         """Enqueue every spec; returns how many were newly queued."""
-        return sum(1 for spec in specs if self.submit(spec))
+        return sum(
+            1 for spec in specs if self.submit(spec, trace_id=trace_id)
+        )
 
     def _in_flight(self, digest: str) -> bool:
         if (self.pending_dir / f"{digest}.json").exists():
@@ -186,8 +296,21 @@ class WorkQueue:
                     os.unlink(lease_path)
                 except OSError:
                     pass
+                self._count("poisoned", -1, 0)
+                self.logger.warning(
+                    "poison-drop", digest=digest[:12], worker_id=worker_id
+                )
+                self._phase("poisoned", digest, worker_id or "queue", "")
                 continue
             self._stamp_lease(task, worker_id)
+            self._count("claimed", -1, +1)
+            self.logger.debug(
+                "claim", digest=digest[:12], worker_id=worker_id,
+                trace_id=task.trace_id,
+            )
+            self._phase(
+                "claimed", digest, worker_id or "queue", task.trace_id
+            )
             return task
         return None
 
@@ -196,9 +319,12 @@ class WorkQueue:
             with open(path, encoding="utf-8") as fh:
                 payload = json.load(fh)
             spec = RunSpec.from_dict(payload["spec"])
-        except (OSError, ValueError, KeyError, TypeError):
+            trace_id = str((payload.get("trace") or {}).get("id", ""))
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None
-        return Task(digest=digest, spec=spec, lease_path=path)
+        return Task(
+            digest=digest, spec=spec, lease_path=path, trace_id=trace_id
+        )
 
     def _stamp_lease(self, task: Task, worker_id: str) -> None:
         """Rewrite the leased file with holder identity + deadline."""
@@ -215,6 +341,8 @@ class WorkQueue:
                 "deadline": time.time() + self.lease_s,
             },
         }
+        if task.trace_id:
+            payload["trace"] = {"id": task.trace_id}
         try:
             fd, tmp_name = tempfile.mkstemp(
                 dir=str(self.leased_dir), prefix=".lease.", suffix=".tmp"
@@ -231,12 +359,16 @@ class WorkQueue:
         A missing lease file means the lease expired and the task was
         requeued; that is not an error — the result is already in the
         store, and the requeued copy will be skipped by the next
-        worker's store check.
+        worker's store check.  (A late ack of a requeued task is not
+        counted: the nonce-named unlink fails, so the replacement's
+        lease — and the leased depth — stays intact.)
         """
         try:
             os.unlink(task.lease_path)
         except OSError:
-            pass
+            return
+        self._count("acked", 0, -1)
+        self.logger.debug("ack", digest=task.digest[:12])
 
     def nack(self, task: Task) -> None:
         """Return a claimed task to pending immediately (failed run)."""
@@ -245,7 +377,12 @@ class WorkQueue:
                 task.lease_path, self.pending_dir / f"{task.digest}.json"
             )
         except OSError:
-            pass
+            return
+        self._count("nacked", +1, -1)
+        self.logger.info(
+            "nack", digest=task.digest[:12], trace_id=task.trace_id
+        )
+        self._phase("nacked", task.digest, "queue", task.trace_id)
 
     # -- lease expiry ----------------------------------------------------
 
@@ -270,11 +407,13 @@ class WorkQueue:
             path = self.leased_dir / name
             digest = name.split(".", 1)[0]
             deadline = None
+            trace_id = ""
             try:
                 with open(path, encoding="utf-8") as fh:
                     payload = json.load(fh)
                 deadline = (payload.get("lease") or {}).get("deadline")
-            except (OSError, ValueError):
+                trace_id = str((payload.get("trace") or {}).get("id", ""))
+            except (OSError, ValueError, AttributeError):
                 pass
             if deadline is None:
                 try:
@@ -287,13 +426,20 @@ class WorkQueue:
                 os.rename(path, self.pending_dir / f"{digest}.json")
                 requeued.append(digest)
             except OSError:
-                pass  # acked or requeued by someone else
+                continue  # acked or requeued by someone else
+            self._count("requeued", +1, -1)
+            self.logger.info(
+                "requeue-expired", digest=digest[:12], trace_id=trace_id
+            )
+            self._phase("requeued", digest, "queue", trace_id)
+            if trace_id:
+                self.span_log().record("requeued", digest, trace_id)
         return requeued
 
     # -- introspection ---------------------------------------------------
 
-    def counts(self) -> Dict[str, int]:
-        """``{"pending": n, "leased": n}`` right now."""
+    def _scan_counts(self) -> Dict[str, int]:
+        """Ground truth by directory scan (the pre-telemetry counts)."""
         out = {}
         for key, directory in (
             ("pending", self.pending_dir), ("leased", self.leased_dir)
@@ -307,8 +453,48 @@ class WorkQueue:
                 out[key] = 0
         return out
 
+    def counts(self, verify: bool = False) -> Dict[str, int]:
+        """``{"pending": n, "leased": n}`` — tracked, scan-refreshed.
+
+        Served from the registry-backed depth tallies this instance
+        maintains on its own transitions; a directory scan refreshes
+        them when they have never been primed, when ``counts_ttl_s``
+        has elapsed since the last scan (other processes move files
+        too), or always with ``verify=True``.
+        """
+        now = time.monotonic()
+        if (
+            verify
+            or self._depth is None
+            or now - self._scanned_at > self.counts_ttl_s
+        ):
+            self._depth = self._scan_counts()
+            self._scanned_at = now
+            self._publish_depth()
+        return dict(self._depth)
+
+    def verify_counts(self) -> Dict[str, Any]:
+        """Cross-check the tracked depths against a directory scan.
+
+        Returns ``{"tracked", "scan", "match"}`` and resyncs the
+        tracked depths to the scan — the ``repro status --verify`` /
+        ``/v1/metrics?verify=1`` view.  A mismatch is not corruption:
+        tracked depths lag other processes' transitions by up to the
+        scan TTL by design.
+        """
+        tracked = dict(self._depth) if self._depth is not None else None
+        scan = self._scan_counts()
+        self._depth = dict(scan)
+        self._scanned_at = time.monotonic()
+        self._publish_depth()
+        return {
+            "tracked": tracked,
+            "scan": scan,
+            "match": tracked is None or tracked == scan,
+        }
+
     def is_empty(self) -> bool:
-        counts = self.counts()
+        counts = self.counts(verify=True)
         return counts["pending"] == 0 and counts["leased"] == 0
 
     def pending_digests(self) -> List[str]:

@@ -7,19 +7,35 @@ workers to drain, and streams batched results back for large grids.
 It also sweeps expired leases on a timer, so stragglers are requeued
 even when no worker is between claims.
 
-Endpoints (all JSON; one request per connection)::
+Endpoints (JSON unless noted; one request per connection)::
 
     GET  /healthz              liveness + store/queue counts
+    GET  /v1/metrics           Prometheus text exposition (0.0.4) of
+                               the process registry plus worker
+                               heartbeat series; ``?format=json`` for
+                               the JSON view, ``?verify=1`` to
+                               cross-check queue depths by scan
     GET  /v1/result/<digest>   one full store record, 404 on a miss
                                (the 404 body says whether it is queued)
-    POST /v1/sweep             {"specs": [RunSpec.to_dict(), ...]}
-                               -> digests (input order), hits,
-                                  enqueued, pending
+    POST /v1/sweep             {"specs": [RunSpec.to_dict(), ...],
+                                "trace_id": optional} -> digests
+                               (input order), hits, enqueued, pending,
+                               trace_id (minted when absent)
     POST /v1/status            {"digests": [...]} -> done/pending split
     POST /v1/results           {"digests": [...]} -> chunked NDJSON
                                stream, one store record per line, only
                                digests the store has (clients re-poll
                                for the rest)
+
+Every request lands in ``http_requests_total{route,method}`` and a
+per-route latency histogram; streamed records are counted; worker
+heartbeat files under the queue dir surface as
+``worker_heartbeat_*{worker_id=...}`` series, so a single
+``/v1/metrics`` scrape shows a whole multi-process drain.  Sweeps are
+traced: ``POST /v1/sweep`` mints (or accepts) a sweep trace id,
+threads it through every enqueued payload, and appends ``submitted``
+/ ``streamed`` spans to the server's sidecar — see
+:mod:`repro.obs.sweeptrace`.
 
 The HTTP layer is deliberately minimal (HTTP/1.1, ``Connection:
 close``, ``Content-Length`` or chunked bodies) — enough for
@@ -34,8 +50,11 @@ import json
 import sys
 import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
+from repro.obs.log import StructLogger, to_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sweeptrace import SpanLog, new_trace_id, read_heartbeats
 from repro.service.queue import WorkQueue
 from repro.sim.executor import RunSpec
 from repro.sim.store import ResultStore
@@ -49,9 +68,36 @@ MAX_BODY_BYTES = 64 * 1024 * 1024
 #: Records per flushed chunk when streaming results.
 DEFAULT_BATCH = 256
 
+#: Heartbeat counter fields surfaced as per-worker metric series.
+_HEARTBEAT_SERIES = (
+    ("claims", "worker_heartbeat_claims",
+     "Tasks claimed, per worker heartbeat"),
+    ("executed", "worker_heartbeat_executed",
+     "Tasks simulated fresh, per worker heartbeat"),
+    ("skipped", "worker_heartbeat_skipped",
+     "Tasks skipped via store hit, per worker heartbeat"),
+    ("failed", "worker_heartbeat_failed",
+     "Tasks nacked after a failed simulation, per worker heartbeat"),
+    ("requeued", "worker_heartbeat_requeued",
+     "Expired leases recycled, per worker heartbeat"),
+    ("sim_wall_s", "worker_heartbeat_sim_wall_seconds",
+     "Wall seconds spent simulating, per worker heartbeat"),
+)
+
 
 def _json_bytes(payload: Any) -> bytes:
     return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def _parse_query(raw_query: str) -> Dict[str, str]:
+    """``a=1&b=2`` -> dict (no %-decoding: our params are plain)."""
+    out: Dict[str, str] = {}
+    for pair in raw_query.split("&"):
+        if not pair:
+            continue
+        name, _, value = pair.partition("=")
+        out[name] = value
+    return out
 
 
 class SweepServer:
@@ -64,18 +110,42 @@ class SweepServer:
         host: str = "127.0.0.1",
         port: int = 8787,
         batch: int = DEFAULT_BATCH,
-        log: Optional[Callable[[str], None]] = None,
+        log: Union[StructLogger, Callable[[str], None], None] = None,
         sweep_interval_s: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.store = store
         self.queue = queue
         self.host = host
         self.port = port
         self.batch = max(1, batch)
-        self._log = log or (lambda message: None)
+        self.logger = to_logger(log, component="server")
         if sweep_interval_s is None and queue is not None:
             sweep_interval_s = max(1.0, queue.lease_s / 2.0)
         self.sweep_interval_s = sweep_interval_s
+        if metrics is not None:
+            self.metrics = metrics
+        elif queue is not None:
+            self.metrics = queue.metrics  # one registry per process
+        else:
+            from repro.obs.metrics import get_registry
+
+            self.metrics = get_registry()
+        self._http_requests = self.metrics.counter(
+            "http_requests_total", "Requests served, by route",
+            labelnames=("route", "method"),
+        )
+        self._http_seconds = self.metrics.histogram(
+            "http_request_seconds", "Request handling latency",
+            labelnames=("route",),
+        )
+        self._streamed = self.metrics.counter(
+            "records_streamed_total",
+            "Store records streamed over /v1/results",
+        )
+        self._spans = (
+            SpanLog(queue.root, "server") if queue is not None else None
+        )
         self.started = threading.Event()  # set once the port is bound
         self._stop: Optional[asyncio.Event] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -90,11 +160,10 @@ class SweepServer:
         server = await asyncio.start_server(self._handle, self.host,
                                             self.port)
         self.port = server.sockets[0].getsockname()[1]
-        self._log(
-            f"serving http://{self.host}:{self.port} "
-            f"(store {self.store.root}"
-            + (f", queue {self.queue.root}" if self.queue else "")
-            + ")"
+        self.logger.info(
+            "serving", url=f"http://{self.host}:{self.port}",
+            store=str(self.store.root),
+            queue=str(self.queue.root) if self.queue else "",
         )
         self.started.set()
         sweeper = (
@@ -108,7 +177,7 @@ class SweepServer:
         finally:
             if sweeper is not None:
                 sweeper.cancel()
-            self._log("server stopped")
+            self.logger.info("stopped")
 
     def stop(self) -> None:
         """Thread-safe shutdown request."""
@@ -120,24 +189,31 @@ class SweepServer:
             await asyncio.sleep(self.sweep_interval_s)
             requeued = self.queue.requeue_expired()
             if requeued:
-                self._log(f"requeued {len(requeued)} expired leases")
+                self.logger.info(
+                    "requeue-sweep", expired=len(requeued)
+                )
 
     # -- HTTP plumbing ---------------------------------------------------
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        route = ""
+        method = ""
+        begun = time.perf_counter()
         try:
             request = await self._read_request(reader)
             if request is None:
                 return
             method, path, body = request
             self.requests += 1
+            route = self._route_label(path)
             await self._route(method, path, body, writer)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except Exception as exc:  # noqa: BLE001 — keep serving
-            self._log(f"error handling request: {exc!r}")
+            self.logger.error("request-error", error=repr(exc),
+                              route=route)
             try:
                 await self._respond(
                     writer, 500, {"error": "internal", "detail": repr(exc)}
@@ -145,11 +221,26 @@ class SweepServer:
             except Exception:
                 pass
         finally:
+            if route:
+                self._http_requests.inc(route=route, method=method)
+                self._http_seconds.observe(
+                    time.perf_counter() - begun, route=route
+                )
             try:
                 writer.close()
                 await writer.wait_closed()
             except Exception:
                 pass
+
+    @staticmethod
+    def _route_label(path: str) -> str:
+        """Bounded-cardinality route name for metric labels."""
+        path = path.split("?", 1)[0]
+        if path.startswith("/v1/result/"):
+            return "/v1/result"
+        known = ("/healthz", "/v1/metrics", "/v1/sweep", "/v1/status",
+                 "/v1/results")
+        return path if path in known else "unknown"
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -187,12 +278,33 @@ class SweepServer:
         status: int,
         payload: Any,
     ) -> None:
-        body = _json_bytes(payload)
+        await self._respond_bytes(
+            writer, status, _json_bytes(payload), "application/json"
+        )
+
+    async def _respond_text(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; version=0.0.4; charset=utf-8",
+    ) -> None:
+        await self._respond_bytes(
+            writer, status, text.encode("utf-8"), content_type
+        )
+
+    async def _respond_bytes(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+    ) -> None:
         reason = {200: "OK", 404: "Not Found", 400: "Bad Request",
                   405: "Method Not Allowed", 500: "Internal Server Error"}
         writer.write(
             f"HTTP/1.1 {status} {reason.get(status, 'OK')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n".encode("latin-1")
         )
@@ -208,9 +320,13 @@ class SweepServer:
         body: bytes,
         writer: asyncio.StreamWriter,
     ) -> None:
-        path = path.split("?", 1)[0]
+        path, _, raw_query = path.partition("?")
+        query = _parse_query(raw_query)
         if method == "GET" and path == "/healthz":
             await self._respond(writer, 200, self._health())
+            return
+        if method == "GET" and path == "/v1/metrics":
+            await self._get_metrics(query, writer)
             return
         if method == "GET" and path.startswith("/v1/result/"):
             await self._get_result(path[len("/v1/result/"):], writer)
@@ -240,6 +356,79 @@ class SweepServer:
             "time": time.time(),
         }
 
+    # -- metrics ---------------------------------------------------------
+
+    def _heartbeat_lines(self) -> List[str]:
+        """Worker heartbeat files rendered as Prometheus series.
+
+        Workers are separate processes; their registries live in their
+        own memory.  Their heartbeat snapshots under the queue dir are
+        the cross-process bridge: one scrape of this server shows the
+        whole drain.  (Distinct ``worker_heartbeat_*`` names keep
+        these from colliding with the in-process ``worker_*`` series
+        a same-process drain — tests, mostly — registers directly.)
+        """
+        if self.queue is None:
+            return []
+        beats = read_heartbeats(self.queue.root)
+        if not beats:
+            return []
+        lines: List[str] = []
+        for key, name, help_text in _HEARTBEAT_SERIES:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} gauge")
+            for beat in beats:
+                worker = str(beat.get("worker_id", "")).replace('"', "'")
+                value = beat.get(key, 0)
+                lines.append(
+                    f'{name}{{worker_id="{worker}"}} {value}'
+                )
+        lines.append(
+            "# HELP worker_heartbeat_age_seconds "
+            "Seconds since each worker's last heartbeat"
+        )
+        lines.append("# TYPE worker_heartbeat_age_seconds gauge")
+        for beat in beats:
+            worker = str(beat.get("worker_id", "")).replace('"', "'")
+            lines.append(
+                f'worker_heartbeat_age_seconds'
+                f'{{worker_id="{worker}"}} {beat.get("age_s", 0.0):.3f}'
+            )
+        return lines
+
+    async def _get_metrics(
+        self, query: Dict[str, str], writer: asyncio.StreamWriter
+    ) -> None:
+        verify = query.get("verify", "") not in ("", "0", "false")
+        verification = None
+        if self.queue is not None:
+            if verify:
+                verification = self.queue.verify_counts()
+            else:
+                self.queue.counts()  # refresh depth gauges (TTL-capped)
+        if query.get("format") == "json":
+            payload: Dict[str, Any] = {
+                "metrics": self.metrics.to_dict(),
+                "workers": (
+                    read_heartbeats(self.queue.root)
+                    if self.queue is not None else []
+                ),
+                "queue": self.queue.describe() if self.queue else None,
+                "requests": self.requests,
+            }
+            if verification is not None:
+                payload["queue_verify"] = verification
+            await self._respond(writer, 200, payload)
+            return
+        extra = self._heartbeat_lines()
+        if verification is not None:
+            extra = extra + [
+                "# queue depth cross-check (scan vs tracked): "
+                + json.dumps(verification, sort_keys=True)
+            ]
+        text = self.metrics.render_prometheus(extra_lines=extra)
+        await self._respond_text(writer, 200, text)
+
     async def _get_result(
         self, digest: str, writer: asyncio.StreamWriter
     ) -> None:
@@ -254,24 +443,39 @@ class SweepServer:
         )
 
     @staticmethod
-    def _parse_body(body: bytes, key: str) -> Optional[List[Any]]:
+    def _parse_payload(body: bytes) -> Optional[Dict[str, Any]]:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError):
             return None
-        items = payload.get(key) if isinstance(payload, dict) else None
+        return payload if isinstance(payload, dict) else None
+
+    @classmethod
+    def _parse_body(cls, body: bytes, key: str) -> Optional[List[Any]]:
+        payload = cls._parse_payload(body)
+        items = payload.get(key) if payload is not None else None
         return items if isinstance(items, list) else None
 
     async def _post_sweep(
         self, body: bytes, writer: asyncio.StreamWriter
     ) -> None:
-        """Resolve digests for submitted specs; enqueue the misses."""
-        spec_dicts = self._parse_body(body, "specs")
-        if spec_dicts is None:
+        """Resolve digests for submitted specs; enqueue the misses.
+
+        Every sweep gets a trace id — the client's, when the payload
+        carries one, else freshly minted — returned in the response
+        and threaded through each enqueued task so workers and the
+        result stream can be stitched into one distributed trace.
+        """
+        payload = self._parse_payload(body)
+        spec_dicts = (
+            payload.get("specs") if payload is not None else None
+        )
+        if not isinstance(spec_dicts, list):
             await self._respond(
                 writer, 400, {"error": "body must be {'specs': [...]}"}
             )
             return
+        trace_id = str(payload.get("trace_id") or "") or new_trace_id()
         digests: List[str] = []
         hits = enqueued = pending = 0
         for spec_dict in spec_dicts:
@@ -289,13 +493,18 @@ class SweepServer:
                 hits += 1
             elif self.queue is None:
                 pending += 1
-            elif self.queue.submit(spec, digest=digest):
-                enqueued += 1
             else:
-                pending += 1  # already in flight
-        self._log(
-            f"sweep: {len(digests)} specs, {hits} hits, "
-            f"{enqueued} enqueued, {pending} already pending"
+                if self._spans is not None:
+                    self._spans.record("submitted", digest, trace_id)
+                if self.queue.submit(
+                    spec, digest=digest, trace_id=trace_id
+                ):
+                    enqueued += 1
+                else:
+                    pending += 1  # already in flight
+        self.logger.info(
+            "sweep", specs=len(digests), hits=hits, enqueued=enqueued,
+            pending=pending, trace_id=trace_id,
         )
         await self._respond(
             writer, 200,
@@ -305,6 +514,7 @@ class SweepServer:
                 "enqueued": enqueued,
                 "pending": pending,
                 "queue": self.queue is not None,
+                "trace_id": trace_id,
             },
         )
 
@@ -353,6 +563,12 @@ class SweepServer:
                 continue
             chunk.append(_json_bytes(record) + b"\n")
             sent += 1
+            if self._spans is not None:
+                trace_id = str(
+                    (record.get("provenance") or {}).get("trace_id", "")
+                )
+                if trace_id:
+                    self._spans.record("streamed", digest, trace_id)
             if len(chunk) >= self.batch:
                 self._write_chunk(writer, b"".join(chunk))
                 chunk.clear()
@@ -361,7 +577,10 @@ class SweepServer:
             self._write_chunk(writer, b"".join(chunk))
         writer.write(b"0\r\n\r\n")
         await writer.drain()
-        self._log(f"streamed {sent}/{len(digests)} records")
+        self._streamed.inc(sent)
+        self.logger.info(
+            "streamed", sent=sent, requested=len(digests)
+        )
 
     @staticmethod
     def _write_chunk(writer: asyncio.StreamWriter, data: bytes) -> None:
@@ -371,7 +590,7 @@ class SweepServer:
 
 
 def _default_log(stream=None) -> Callable[[str], None]:
-    """A timestamped line logger (used by the CLI verb)."""
+    """A timestamped line logger (the pre-StructLogger CLI default)."""
     stream = stream or sys.stderr
 
     def log(message: str) -> None:

@@ -11,6 +11,20 @@ until told to stop.  N workers on N hosts drain one sweep with no
 coordination beyond the queue directory and the store; determinism
 guarantees their records are byte-identical (sans provenance) to a
 serial run's, which the service tests and CI assert.
+
+Telemetry: the loop counts claims, store-skips, and task outcomes in
+the queue's metrics registry (``worker_claims_total`` etc., labelled
+by worker id), observes per-task simulation wall time into a
+``worker_sim_seconds`` histogram, and — because workers are separate
+*processes* whose registries the server cannot see — periodically
+snapshots its tallies into ``<queue>/workers/<worker_id>.json``
+heartbeat files (:func:`~repro.obs.sweeptrace.write_heartbeat`) that
+the server's ``/v1/metrics`` endpoint aggregates.  When a claimed
+task carries a sweep ``trace_id``, the worker appends
+``claimed``/``simulated``/``saved`` spans to its sidecar in the queue
+directory and stamps the trace id into the stored record's
+provenance, so ``repro sweep-trace`` can rebuild the whole
+distributed drain afterwards.
 """
 
 from __future__ import annotations
@@ -18,14 +32,20 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
+from repro.obs.log import StructLogger, to_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sweeptrace import write_heartbeat
 from repro.obs.telemetry import run_provenance
 from repro.service.queue import Task, WorkQueue
 from repro.sim.executor import execute_spec
 from repro.sim.store import ResultStore
 
 __all__ = ["WorkerSummary", "worker_loop", "default_worker_id"]
+
+#: How often a live worker refreshes its heartbeat file (seconds).
+DEFAULT_HEARTBEAT_S = 5.0
 
 
 def default_worker_id() -> str:
@@ -44,8 +64,50 @@ class WorkerSummary:
     skipped: int = 0         # tasks whose digest the store already had
     failed: int = 0          # tasks whose simulation raised (nacked)
     requeued: int = 0        # expired leases this worker recycled
+    claims: int = 0          # successful claims (executed+skipped+failed)
+    sim_wall_s: float = 0.0  # wall seconds spent inside execute_spec
     wall_time_s: float = 0.0
     digests: List[str] = field(default_factory=list)
+
+    def heartbeat_counters(self) -> dict:
+        """The tallies a worker publishes in its heartbeat file."""
+        return {
+            "claims": self.claims,
+            "executed": self.executed,
+            "skipped": self.skipped,
+            "failed": self.failed,
+            "requeued": self.requeued,
+            "sim_wall_s": round(self.sim_wall_s, 6),
+        }
+
+
+class _WorkerMetrics:
+    """The worker-side series, bound to one worker id."""
+
+    def __init__(self, registry: MetricsRegistry, worker_id: str) -> None:
+        self.worker_id = worker_id
+        self.claims = registry.counter(
+            "worker_claims_total", "Tasks this worker claimed",
+            labelnames=("worker_id",),
+        )
+        self.tasks = registry.counter(
+            "worker_tasks_total", "Claimed-task outcomes",
+            labelnames=("worker_id", "outcome"),
+        )
+        self.sim_seconds = registry.histogram(
+            "worker_sim_seconds",
+            "Wall seconds per fresh simulation",
+            labelnames=("worker_id",),
+        )
+
+    def claim(self) -> None:
+        self.claims.inc(worker_id=self.worker_id)
+
+    def outcome(self, outcome: str) -> None:
+        self.tasks.inc(worker_id=self.worker_id, outcome=outcome)
+
+    def simulated(self, wall_s: float) -> None:
+        self.sim_seconds.observe(wall_s, worker_id=self.worker_id)
 
 
 def worker_loop(
@@ -56,7 +118,8 @@ def worker_loop(
     exit_when_empty: bool = False,
     idle_exit_s: Optional[float] = None,
     max_tasks: Optional[int] = None,
-    log: Optional[Callable[[str], None]] = None,
+    log: Union[StructLogger, Callable[[str], None], None] = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
 ) -> WorkerSummary:
     """Drain the queue until a stop condition holds.
 
@@ -66,6 +129,10 @@ def worker_loop(
     anything (lets a worker outlive brief gaps between submissions);
     ``max_tasks`` bounds fresh executions.  With none of them set the
     loop runs forever — the always-on service worker.
+
+    ``log`` accepts a :class:`~repro.obs.log.StructLogger`, a plain
+    ``Callable[[str], None]`` (the pre-telemetry interface, wrapped),
+    or ``None`` for silence.
 
     A failed simulation is nacked back to pending and counted; the
     worker moves on rather than dying, so one poison spec cannot take
@@ -79,16 +146,34 @@ def worker_loop(
     # execute/save path needs no plumbing through execute_spec.
     os.environ["REPRO_WORKER_ID"] = worker_id
     summary = WorkerSummary(worker_id=worker_id)
-    say = log or (lambda message: None)
+    logger = to_logger(log, component="worker").bind(worker_id=worker_id)
+    metrics = _WorkerMetrics(queue.metrics, worker_id)
+    spans = queue.span_log(worker_id)
     started = time.perf_counter()
     last_work = time.monotonic()
-    say(f"worker {worker_id} draining {queue.root} -> {store.root}")
+    last_beat = 0.0
+    logger.info(
+        "start", event_detail="draining",
+        queue=str(queue.root), store=str(store.root),
+    )
     poisoned: set = set()    # digests this worker failed; never re-claim
+
+    def beat(force: bool = False) -> None:
+        nonlocal last_beat
+        now = time.monotonic()
+        if force or now - last_beat >= heartbeat_s:
+            write_heartbeat(
+                queue.root, worker_id, summary.heartbeat_counters()
+            )
+            last_beat = now
+
     try:
+        beat(force=True)
         while True:
             summary.requeued += len(queue.requeue_expired())
             task = queue.claim(worker_id, exclude=poisoned)
             if task is None:
+                beat()
                 if exit_when_empty and _drained(queue, poisoned):
                     break
                 if (
@@ -99,32 +184,48 @@ def worker_loop(
                 time.sleep(poll_s)
                 continue
             last_work = time.monotonic()
+            summary.claims += 1
+            metrics.claim()
+            if task.trace_id:
+                spans.record("claimed", task.digest, task.trace_id)
             if store.load_record(task.digest) is not None:
                 # Another worker (or a requeued straggler's original
                 # run) already produced this record; determinism makes
                 # re-simulating pure waste.
                 queue.ack(task)
                 summary.skipped += 1
-                say(f"skip {task.digest[:12]} (already in store)")
+                metrics.outcome("skipped")
+                logger.debug("skip", digest=task.digest[:12],
+                             reason="already in store")
                 continue
-            if not _execute_one(task, queue, store, summary, say):
+            if not _execute_one(task, queue, store, summary,
+                                metrics, logger, spans):
                 poisoned.add(task.digest)
-                continue
-            if max_tasks is not None and summary.executed >= max_tasks:
+            beat()
+            if (
+                max_tasks is not None
+                and summary.executed >= max_tasks
+            ):
                 break
     finally:
         summary.wall_time_s = time.perf_counter() - started
-        say(
-            f"worker {worker_id} done: {summary.executed} executed, "
-            f"{summary.skipped} skipped, {summary.failed} failed, "
-            f"{summary.requeued} requeued, {summary.wall_time_s:.2f}s"
+        beat(force=True)
+        logger.info(
+            "done", executed=summary.executed, skipped=summary.skipped,
+            failed=summary.failed, requeued=summary.requeued,
+            wall_s=round(summary.wall_time_s, 3),
         )
     return summary
 
 
 def _drained(queue: WorkQueue, poisoned: set) -> bool:
-    """Nothing left this worker could make progress on."""
-    counts = queue.counts()
+    """Nothing left this worker could make progress on.
+
+    Other worker processes mutate the queue directory, so this always
+    rescans (``verify=True``) instead of trusting this instance's
+    tracked depths — exiting early on a stale zero would strand tasks.
+    """
+    counts = queue.counts(verify=True)
     if counts["leased"]:
         return False                   # someone may still nack/expire
     if counts["pending"] == 0:
@@ -137,7 +238,9 @@ def _execute_one(
     queue: WorkQueue,
     store: ResultStore,
     summary: WorkerSummary,
-    say: Callable[[str], None],
+    metrics: _WorkerMetrics,
+    logger: StructLogger,
+    spans,
 ) -> bool:
     """Simulate one claimed task; save-then-ack on success."""
     begun = time.perf_counter()
@@ -146,21 +249,39 @@ def _execute_one(
     except Exception as exc:  # noqa: BLE001 — a worker must survive
         queue.nack(task)
         summary.failed += 1
-        say(f"fail {task.digest[:12]} ({task.spec.label()}): {exc!r}")
+        metrics.outcome("failed")
+        logger.warning(
+            "fail", digest=task.digest[:12], spec=task.spec.label(),
+            error=repr(exc), trace_id=task.trace_id,
+        )
         return False
     wall_s = time.perf_counter() - begun
+    summary.sim_wall_s += wall_s
+    metrics.simulated(wall_s)
+    if task.trace_id:
+        spans.record(
+            "simulated", task.digest, task.trace_id,
+            wall_s=round(wall_s, 6), cycles=stats.cycles,
+        )
+    provenance = run_provenance(wall_s)
+    if task.trace_id:
+        provenance["trace_id"] = task.trace_id
     store.save(
         task.digest,
         stats,
         spec=task.spec.to_dict(),
         config=task.spec.config().to_dict(),
-        provenance=run_provenance(wall_s),
+        provenance=provenance,
     )
+    if task.trace_id:
+        spans.record("saved", task.digest, task.trace_id)
     queue.ack(task)
     summary.executed += 1
+    metrics.outcome("executed")
     summary.digests.append(task.digest)
-    say(
-        f"done {task.digest[:12]} ({task.spec.label()}): "
-        f"{stats.cycles} cycles in {wall_s:.2f}s"
+    logger.info(
+        "done-task", digest=task.digest[:12], spec=task.spec.label(),
+        cycles=stats.cycles, wall_s=round(wall_s, 3),
+        trace_id=task.trace_id,
     )
     return True

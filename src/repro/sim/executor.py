@@ -557,9 +557,15 @@ class Executor:
         by digest, this loop polls for them (cheap existence checks,
         no tally churn), requeueing expired leases as it goes so a
         crashed worker's tasks are retried within one lease window.
+        Each drain mints a sweep trace id (threaded through every
+        payload; see :mod:`repro.obs.sweeptrace`), so even queue-only
+        sweeps with no server are reconstructable afterwards.
         """
+        from repro.obs.sweeptrace import new_trace_id
+
+        trace_id = new_trace_id()
         for digest, spec in pending.items():
-            self._queue.submit(spec, digest=digest)
+            self._queue.submit(spec, digest=digest, trace_id=trace_id)
         deadline = (
             None if self.queue_timeout_s is None
             else time.monotonic() + self.queue_timeout_s
@@ -590,6 +596,7 @@ class Executor:
                         worker_pid=int(provenance.get("worker_pid", 0)),
                         worker_host=str(provenance.get("host", "")),
                         created=time.time(),
+                        trace_id=str(provenance.get("trace_id", "")),
                     )
                 )
             if not waiting:

@@ -56,6 +56,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.sim.stats import MachineStats
 
 __all__ = ["ResultStore", "STORE_VERSION", "default_cache_dir"]
@@ -84,8 +85,24 @@ class ResultStore:
     #: Append-only journal of puts (one JSON line each).
     INDEX_NAME = "index.jsonl"
 
-    def __init__(self, root: Optional[Path] = None) -> None:
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.metrics = metrics if metrics is not None else get_registry()
+        self._puts = self.metrics.counter(
+            "store_puts_total", "Result records persisted"
+        )
+        self._journal_appends = self.metrics.counter(
+            "store_journal_appends_total",
+            "Lines appended to the index journal",
+        )
+        self._index_rebuilds = self.metrics.counter(
+            "store_index_rebuilds_total",
+            "Full index regenerations from record files",
+        )
 
     # -- paths ----------------------------------------------------------
 
@@ -182,6 +199,7 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        self._puts.inc()
         self._append_index(
             {
                 "digest": digest,
@@ -228,6 +246,7 @@ class ResultStore:
                 os.write(fd, line.encode("utf-8"))
             finally:
                 os.close(fd)
+            self._journal_appends.inc()
         except OSError:
             pass
 
@@ -280,6 +299,7 @@ class ResultStore:
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
             fh.write("".join(line + "\n" for line in lines))
         os.replace(tmp_name, self.root / self.INDEX_NAME)
+        self._index_rebuilds.inc()
         return len(lines)
 
     # -- inspection / maintenance (``repro cache``) ----------------------

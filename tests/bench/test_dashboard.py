@@ -1,0 +1,65 @@
+"""The HTML trajectory dashboard: self-contained, no dependencies."""
+
+from repro.bench.dashboard import render_dashboard
+
+
+def entry(sha, wall, cycles=1000, suite="smoke"):
+    return {
+        "git_sha": sha,
+        "suite": suite,
+        "headline": {
+            "points": 4,
+            "total_wall_s": wall,
+            "sim_khz": 120.0,
+            "total_cycles": cycles,
+            "mean_speedup": 1.8,
+            "instr_per_sec": 5e5,
+        },
+        "cycles": {"tms-tiny-1x1-w4-glsc": cycles},
+        "wall": {"tms-tiny-1x1-w4-glsc": {"median": wall / 4}},
+    }
+
+
+class TestRenderDashboard:
+    def test_charts_cover_headline_and_points(self):
+        html = render_dashboard(
+            [entry("aaa111", 2.0), entry("bbb222", 2.5, cycles=1100)]
+        )
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "polyline" in html
+        assert "Total wall time" in html
+        assert "tms-tiny-1x1-w4-glsc" in html
+        assert "aaa111" in html and "bbb222" in html
+        # Self-contained: no scripts, no external fetches.
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+
+    def test_suite_filter_drops_other_suites(self):
+        html = render_dashboard(
+            [entry("aaa111", 2.0), entry("ccc333", 9.0, suite="full")],
+            suite="smoke",
+        )
+        assert "aaa111" in html
+        assert "ccc333" not in html
+
+    def test_history_keeps_only_the_tail(self):
+        entries = [entry(f"sha{i:04d}", float(i + 1)) for i in range(10)]
+        html = render_dashboard(entries, history=3)
+        assert "sha0009" in html
+        assert "sha0000" not in html
+
+    def test_empty_trajectory_renders_a_hint(self):
+        html = render_dashboard([])
+        assert "No trajectory entries yet" in html
+        assert html.rstrip().endswith("</html>")
+
+    def test_single_run_still_renders(self):
+        html = render_dashboard([entry("solo123", 1.0)])
+        assert "<svg" in html
+        assert "solo123" in html
+
+    def test_tooltip_values_are_escaped(self):
+        bad = entry("<img>", 2.0)
+        html = render_dashboard([bad])
+        assert "<img>" not in html
+        assert "&lt;img&gt;" in html

@@ -175,6 +175,61 @@ class TestBenchSubcommand:
         assert "other/A:4x4:w4" not in fresh["speedup_bands"]
 
 
+class TestBenchHtmlReport:
+    def test_report_html_writes_the_dashboard(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BENCH_SHA", "feed125")
+        assert main(["bench", "run", "--suite", "smoke", "--repeats", "1",
+                     "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "report", "--dir", str(tmp_path),
+                     "--html"]) == 0
+        html = (tmp_path / "bench_dashboard.html").read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "feed125" in html
+        assert "<svg" in html
+
+
+class TestSweepTraceSubcommand:
+    def test_exports_a_chrome_trace_of_a_drain(self, tmp_path, capsys):
+        from repro.service.queue import WorkQueue
+        from repro.service.worker import worker_loop
+        from repro.sim.executor import RunSpec
+        from repro.sim.store import ResultStore
+
+        queue_dir = tmp_path / "q"
+        queue = WorkQueue(queue_dir)
+        queue.submit(
+            RunSpec("tms", "tiny", "1x1", 4, "glsc"), trace_id="t1"
+        )
+        worker_loop(
+            queue, ResultStore(tmp_path / "s"), worker_id="w0",
+            exit_when_empty=True,
+        )
+
+        out = tmp_path / "drain.trace.json"
+        assert main(["sweep-trace", f"queue://{queue_dir}",
+                     "--out", str(out)]) == 0
+        assert "spans" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        names = {
+            e["args"]["name"] for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "process_name"
+        }
+        assert "w0" in names
+
+    def test_traceless_queue_is_an_error(self, tmp_path, capsys):
+        assert main(["sweep-trace", f"queue://{tmp_path / 'q'}"]) == 2
+        assert "no spans" in capsys.readouterr().err
+
+
+class TestStatusSubcommand:
+    def test_unreachable_server_returns_2(self, capsys):
+        assert main(["status", "http://127.0.0.1:1"]) == 2
+        assert capsys.readouterr().err
+
+
 class TestTelemetryFlag:
     def test_sweep_summary_table(self, tmp_path, capsys):
         code = main([

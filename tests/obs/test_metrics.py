@@ -1,0 +1,129 @@
+"""MetricsRegistry semantics: counting, labels, and both renderings."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_counts_and_totals_per_label(self):
+        counter = Counter("tasks_total", labelnames=("op",))
+        counter.inc(op="acked")
+        counter.inc(2, op="acked")
+        counter.inc(op="nacked")
+        assert counter.value(op="acked") == 3
+        assert counter.value(op="nacked") == 1
+        assert counter.total() == 4
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("n")
+        with pytest.raises(ConfigError):
+            counter.inc(-1)
+
+    def test_rejects_wrong_labels(self):
+        counter = Counter("n", labelnames=("op",))
+        with pytest.raises(ConfigError):
+            counter.inc(worker="w0")
+
+    def test_unlabelled_counter_renders_a_zero_sample(self):
+        lines = Counter("puts_total", help="h").render()
+        assert "# TYPE puts_total counter" in lines
+        assert "puts_total 0" in lines
+
+    def test_thread_safety_under_contention(self):
+        counter = Counter("n")
+
+        def spin():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.total() == 4000
+
+
+class TestGauge:
+    def test_moves_both_ways_and_sets(self):
+        gauge = Gauge("depth")
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value() == 3
+        gauge.set(10)
+        assert gauge.value() == 10
+
+
+class TestHistogram:
+    def test_cumulative_buckets_sum_and_count(self):
+        hist = Histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count() == 4
+        assert hist.sum() == pytest.approx(6.05)
+        lines = hist.render()
+        assert 'lat_bucket{le="0.1"} 1' in lines
+        assert 'lat_bucket{le="1"} 3' in lines
+        assert 'lat_bucket{le="+Inf"} 4' in lines
+        assert "lat_count 4" in lines
+
+    def test_labelled_samples_are_independent(self):
+        hist = Histogram("lat", labelnames=("route",))
+        hist.observe(0.2, route="/a")
+        hist.observe(0.3, route="/b")
+        assert hist.count(route="/a") == 1
+        assert hist.count(route="/b") == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("puts_total")
+        second = registry.counter("puts_total")
+        assert first is second
+
+    def test_type_conflict_is_a_config_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigError):
+            registry.gauge("x")
+
+    def test_prometheus_rendering_covers_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks_total", labelnames=("op",)).inc(op="acked")
+        registry.gauge("depth").set(7)
+        registry.histogram("lat").observe(0.02)
+        text = registry.render_prometheus(extra_lines=["extra_series 1"])
+        assert 'tasks_total{op="acked"} 1' in text
+        assert "depth 7" in text
+        assert "lat_count 1" in text
+        assert text.rstrip().endswith("extra_series 1")
+
+    def test_json_view_mirrors_the_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks_total", labelnames=("op",)).inc(op="acked")
+        doc = registry.to_dict()
+        assert doc["tasks_total"]["type"] == "counter"
+        assert doc["tasks_total"]["samples"] == [
+            {"labels": {"op": "acked"}, "value": 1.0}
+        ]
+
+    def test_process_default_is_swappable(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

@@ -2,11 +2,15 @@
 are idempotent.  All filesystem-level — no server or worker involved.
 """
 
+import io
 import json
 
 import pytest
 
 from repro.errors import ConfigError
+from repro.obs.log import StructLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sweeptrace import collect_spans
 from repro.service.queue import WorkQueue, parse_queue_url
 from repro.sim.executor import RunSpec, Sweep
 
@@ -144,3 +148,156 @@ class TestLeaseExpiry:
         queue.ack(stale)
         assert fresh.lease_path.exists()
         assert queue.counts()["leased"] == 1
+
+
+def telemetry_queue(tmp_path, **kwargs):
+    """A queue wired to a fresh registry and a JSON log buffer."""
+    registry = MetricsRegistry()
+    stream = io.StringIO()
+    queue = WorkQueue(
+        tmp_path / "q",
+        metrics=registry,
+        logger=StructLogger(stream=stream, component="queue"),
+        **kwargs,
+    )
+    return queue, registry, stream
+
+
+def log_records(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestQueueMetrics:
+    def test_lifecycle_ops_are_counted(self, tmp_path):
+        queue, registry, _ = telemetry_queue(tmp_path)
+        queue.submit(SPEC)
+        queue.submit(OTHER)
+        task = queue.claim("w1")
+        queue.ack(task)
+        other = queue.claim("w1")
+        queue.nack(other)
+        ops = registry.get("queue_tasks_total")
+        assert ops.value(op="submitted") == 2
+        assert ops.value(op="claimed") == 2
+        assert ops.value(op="acked") == 1
+        assert ops.value(op="nacked") == 1
+
+    def test_depth_gauges_track_every_transition(self, tmp_path):
+        queue, registry, _ = telemetry_queue(tmp_path)
+        label = str(queue.root)
+        pending = registry.get("queue_pending_depth")
+        leased = registry.get("queue_leased_depth")
+        queue.counts()                              # prime the tracker
+        queue.submit(SPEC)
+        assert (pending.value(queue=label), leased.value(queue=label)) \
+            == (1, 0)
+        task = queue.claim("w1")
+        assert (pending.value(queue=label), leased.value(queue=label)) \
+            == (0, 1)
+        queue.ack(task)
+        assert (pending.value(queue=label), leased.value(queue=label)) \
+            == (0, 0)
+
+    def test_requeue_on_timeout_counts_and_logs(self, tmp_path):
+        queue, registry, stream = telemetry_queue(tmp_path, lease_s=0.01)
+        queue.counts()                              # prime the tracker
+        queue.submit(SPEC)
+        task = queue.claim("crashed-worker")
+        lease = json.loads(task.lease_path.read_text())["lease"]
+        queue.requeue_expired(now=lease["deadline"] + 1.0)
+
+        assert registry.get("queue_tasks_total").value(op="requeued") == 1
+        assert registry.get("queue_pending_depth").value(
+            queue=str(queue.root)
+        ) == 1
+        events = [r for r in log_records(stream)
+                  if r["event"] == "requeue-expired"]
+        assert len(events) == 1
+        assert events[0]["level"] == "info"
+        assert events[0]["digest"] == SPEC.digest()[:12]
+
+    def test_poison_drop_counts_and_warns(self, tmp_path):
+        queue, registry, stream = telemetry_queue(tmp_path)
+        queue.pending_dir.mkdir(parents=True)
+        (queue.pending_dir / "deadbeef.json").write_text("{not json")
+        queue.submit(SPEC)
+        assert queue.claim("w1") is not None        # the real task
+        assert queue.claim("w1") is None            # hits + drops poison
+
+        assert registry.get("queue_tasks_total").value(op="poisoned") == 1
+        warnings = [r for r in log_records(stream)
+                    if r["event"] == "poison-drop"]
+        assert len(warnings) == 1
+        assert warnings[0]["level"] == "warning"
+
+    def test_stale_ack_does_not_underflow_the_leased_depth(self, tmp_path):
+        queue, registry, _ = telemetry_queue(tmp_path)
+        queue.submit(SPEC)
+        task = queue.claim("w1")
+        task.lease_path.unlink()                    # someone raced us
+        queue.ack(task)                             # stale ack, no effect
+        assert registry.get("queue_tasks_total").value(op="acked") == 0
+        assert queue.verify_counts()["match"] is True
+
+
+class TestTrackedCounts:
+    def test_counts_avoid_rescans_within_the_ttl(self, tmp_path):
+        queue, _, _ = telemetry_queue(tmp_path, counts_ttl_s=3600.0)
+        queue.submit(SPEC)
+        queue.counts()                              # prime the tracker
+        # Tamper behind the queue's back: tracked counts cannot see it
+        # until the TTL expires or someone asks for verification.
+        (queue.pending_dir / f"{OTHER.digest()}.json").write_text(
+            json.dumps({"spec": OTHER.to_dict()})
+        )
+        assert queue.counts()["pending"] == 1       # stale by design
+        assert queue.counts(verify=True)["pending"] == 2
+
+    def test_verify_counts_reports_and_heals_drift(self, tmp_path):
+        queue, _, _ = telemetry_queue(tmp_path, counts_ttl_s=3600.0)
+        queue.submit(SPEC)
+        queue.counts()
+        (queue.pending_dir / f"{OTHER.digest()}.json").write_text(
+            json.dumps({"spec": OTHER.to_dict()})
+        )
+        report = queue.verify_counts()
+        assert report["match"] is False
+        assert report["tracked"]["pending"] == 1
+        assert report["scan"]["pending"] == 2
+        # Drift resyncs to the scan; a second check passes.
+        assert queue.counts()["pending"] == 2
+        assert queue.verify_counts()["match"] is True
+
+
+class TestQueueTracing:
+    def test_traced_submit_records_an_enqueued_span(self, tmp_path):
+        queue, _, _ = telemetry_queue(tmp_path)
+        queue.submit(SPEC, trace_id="t1")
+        spans = collect_spans(queue.root, trace_id="t1")
+        assert [s["phase"] for s in spans] == ["enqueued"]
+        assert spans[0]["digest"] == SPEC.digest()
+
+    def test_trace_id_rides_the_payload_to_the_claimer(self, tmp_path):
+        queue, _, _ = telemetry_queue(tmp_path)
+        queue.submit(SPEC, trace_id="t1")
+        task = queue.claim("w1")
+        assert task.trace_id == "t1"
+
+    def test_trace_id_survives_lease_expiry(self, tmp_path):
+        queue, _, _ = telemetry_queue(tmp_path, lease_s=0.01)
+        queue.submit(SPEC, trace_id="t1")
+        task = queue.claim("crashed-worker")
+        lease = json.loads(task.lease_path.read_text())["lease"]
+        queue.requeue_expired(now=lease["deadline"] + 1.0)
+        again = queue.claim("healthy-worker")
+        assert again.trace_id == "t1"
+        phases = [
+            s["phase"] for s in collect_spans(queue.root, trace_id="t1")
+        ]
+        assert "requeued" in phases
+
+    def test_untraced_submit_writes_no_spans(self, tmp_path):
+        queue, _, _ = telemetry_queue(tmp_path)
+        queue.submit(SPEC)
+        queue.ack(queue.claim("w1"))
+        assert collect_spans(queue.root) == []

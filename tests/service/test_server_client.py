@@ -14,6 +14,8 @@ import threading
 import pytest
 
 from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sweeptrace import collect_spans
 from repro.service.client import ServiceError, SweepClient
 from repro.service.queue import WorkQueue
 from repro.service.server import SweepServer
@@ -28,9 +30,15 @@ SWEEP = Sweep.product(("tms", "hip"), ("tiny",), ("1x1",), (4,),
 
 @pytest.fixture()
 def service(tmp_path):
-    """A live server thread; yields (server, client, store, queue)."""
-    store = ResultStore(tmp_path / "store")
-    queue = WorkQueue(tmp_path / "queue", lease_s=30.0)
+    """A live server thread; yields (server, client, store, queue).
+
+    Store, queue, and server share one *fresh* registry (the server
+    defaults to the queue's), so metric assertions are isolated from
+    other tests' traffic on the process-global registry.
+    """
+    registry = MetricsRegistry()
+    store = ResultStore(tmp_path / "store", metrics=registry)
+    queue = WorkQueue(tmp_path / "queue", lease_s=30.0, metrics=registry)
     server = SweepServer(store, queue, port=0)
     thread = threading.Thread(
         target=lambda: asyncio.run(server.serve_forever()), daemon=True
@@ -142,6 +150,125 @@ class TestRoundTrip:
             client.run_sweep(
                 Sweep([SPEC]), poll_s=0.05, timeout_s=0.3
             )
+
+
+def eventually(predicate, timeout_s=5.0):
+    """Poll for a server-side effect: counters are bumped in the
+    request handler's ``finally``, which may run a beat after the
+    client has already read the full response."""
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestMetricsEndpoint:
+    def test_text_view_is_prometheus_exposition(self, service):
+        _, client, _, _ = service
+        client.health()
+        text = client.metrics_text()
+        assert "# TYPE queue_tasks_total counter" in text
+        assert "# TYPE http_requests_total counter" in text
+        assert "queue_pending_depth" in text
+
+    def test_requests_are_counted_by_route(self, service):
+        _, client, _, queue = service
+        client.health()
+        client.health()
+        requests = queue.metrics.get("http_requests_total")
+        assert eventually(
+            lambda: requests.value(route="/healthz", method="GET") == 2
+        )
+
+    def test_json_view_bundles_registry_queue_and_workers(self, service):
+        _, client, _, _ = service
+        doc = client.metrics()
+        assert "queue_tasks_total" in doc["metrics"]
+        assert doc["queue"]["pending"] == 0
+        assert doc["workers"] == []            # nobody drained yet
+
+    def test_verify_param_cross_checks_the_depths(self, service):
+        server, client, _, queue = service
+        queue.submit(SPEC)
+        _, doc = client._request_json(
+            "GET", "/v1/metrics?format=json&verify=1"
+        )
+        verify = doc["queue_verify"]
+        assert verify["scan"] == {"pending": 1, "leased": 0}
+        assert verify["match"] is True
+
+    def test_drained_worker_shows_up_as_heartbeat_series(self, service):
+        _, client, store, queue = service
+        client.submit(Sweep([SPEC]))
+        worker_loop(
+            queue, store, worker_id="hb-worker", exit_when_empty=True
+        )
+        text = client.metrics_text()
+        assert 'worker_heartbeat_claims{worker_id="hb-worker"} 1' in text
+        assert 'worker_heartbeat_executed{worker_id="hb-worker"} 1' in text
+        doc = client.metrics()
+        assert [w["worker_id"] for w in doc["workers"]] == ["hb-worker"]
+
+    def test_streamed_records_are_counted(self, service):
+        _, client, store, queue = service
+        Executor(store=store).run(SPEC)
+        list(client.stream_records([SPEC.digest()]))
+        streamed = queue.metrics.get("records_streamed_total")
+        assert eventually(lambda: streamed.total() == 1)
+
+
+class TestSweepTracing:
+    def test_server_mints_a_trace_id_per_submission(self, service):
+        _, client, _, queue = service
+        handle = client.submit(Sweep([SPEC]))
+        assert handle.trace_id
+        phases = [
+            s["phase"]
+            for s in collect_spans(queue.root, trace_id=handle.trace_id)
+        ]
+        assert phases == ["submitted", "enqueued"]
+
+    def test_client_supplied_trace_id_wins(self, service):
+        _, client, _, queue = service
+        handle = client.submit(Sweep([SPEC]), trace_id="cafe0000cafe0000")
+        assert handle.trace_id == "cafe0000cafe0000"
+        assert collect_spans(queue.root, trace_id="cafe0000cafe0000")
+
+    def test_full_drain_produces_the_whole_lifecycle(self, service):
+        _, client, store, queue = service
+        handle = client.submit(Sweep([SPEC]))
+        worker_loop(queue, store, worker_id="w0", exit_when_empty=True)
+        list(client.stream_records(handle.distinct_digests))
+
+        expected = [
+            "submitted", "enqueued", "claimed",
+            "simulated", "saved", "streamed",
+        ]
+
+        def phases():
+            return [
+                s["phase"]
+                for s in collect_spans(queue.root, trace_id=handle.trace_id)
+            ]
+
+        assert eventually(lambda: phases() == expected), phases()
+        spans = collect_spans(queue.root, trace_id=handle.trace_id)
+        actors = {s["actor"] for s in spans}
+        assert "server" in actors
+        assert "w0" in actors
+        record = store.load_record(SPEC.digest())
+        assert record["provenance"]["trace_id"] == handle.trace_id
+
+    def test_warm_hits_are_not_traced_as_enqueued(self, service):
+        _, client, store, queue = service
+        Executor(store=store).run(SPEC)
+        handle = client.submit(Sweep([SPEC]))
+        assert handle.hits == 1
+        assert collect_spans(queue.root, trace_id=handle.trace_id) == []
 
 
 class TestClientUrls:

@@ -8,12 +8,16 @@ identity, timestamps) may differ.  Alongside it, in-process
 ``worker_loop`` tests cover the store-skip and poison-spec paths.
 """
 
+import io
 import json
 import subprocess
 import sys
 from pathlib import Path
 
 from repro.bench.suite import BenchSuite
+from repro.obs.log import StructLogger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sweeptrace import collect_spans, read_heartbeats
 from repro.service.queue import WorkQueue
 from repro.service.worker import worker_loop
 from repro.sim.executor import Executor, RunSpec
@@ -136,3 +140,89 @@ class TestWorkerLoop:
         assert SPEC.digest() in store
         # The failed task was nacked, not lost: it is pending again.
         assert queue.counts()["pending"] == 1
+
+
+class TestWorkerTelemetry:
+    def drain(self, tmp_path, trace_id=""):
+        """One worker drains one traced (or untraced) task."""
+        registry = MetricsRegistry()
+        stream = io.StringIO()
+        store = ResultStore(tmp_path / "s", metrics=registry)
+        queue = WorkQueue(tmp_path / "q", metrics=registry)
+        queue.submit(SPEC, trace_id=trace_id)
+        summary = worker_loop(
+            queue, store, worker_id="w0", exit_when_empty=True,
+            log=StructLogger(stream=stream), heartbeat_s=0.0,
+        )
+        return summary, registry, stream, store, queue
+
+    def test_worker_metrics_count_claims_and_outcomes(self, tmp_path):
+        summary, registry, _, _, _ = self.drain(tmp_path)
+        assert summary.executed == 1
+        assert registry.get("worker_claims_total").value(
+            worker_id="w0"
+        ) == 1
+        assert registry.get("worker_tasks_total").value(
+            worker_id="w0", outcome="executed"
+        ) == 1
+        assert registry.get("worker_sim_seconds").count(
+            worker_id="w0"
+        ) == 1
+        assert registry.get("store_puts_total").total() == 1
+
+    def test_heartbeat_file_carries_the_counters(self, tmp_path):
+        summary, _, _, _, queue = self.drain(tmp_path)
+        beats = read_heartbeats(queue.root)
+        assert len(beats) == 1
+        beat = beats[0]
+        assert beat["worker_id"] == "w0"
+        assert beat["claims"] == 1
+        assert beat["executed"] == 1
+        assert beat["failed"] == 0
+        assert beat["sim_wall_s"] > 0.0
+
+    def test_structured_log_narrates_the_drain(self, tmp_path):
+        _, _, stream, _, _ = self.drain(tmp_path)
+        records = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        events = [r["event"] for r in records]
+        assert "done-task" in events
+        done = next(r for r in records if r["event"] == "done-task")
+        assert done["worker_id"] == "w0"
+        assert done["digest"] == SPEC.digest()[:12]
+
+    def test_traced_drain_leaves_lifecycle_spans(self, tmp_path):
+        _, _, _, store, queue = self.drain(tmp_path, trace_id="t1")
+        phases = [
+            s["phase"] for s in collect_spans(queue.root, trace_id="t1")
+        ]
+        assert phases == ["enqueued", "claimed", "simulated", "saved"]
+        record = store.load_record(SPEC.digest())
+        assert record["provenance"]["trace_id"] == "t1"
+
+    def test_untraced_drain_stamps_no_trace_provenance(self, tmp_path):
+        _, _, _, store, queue = self.drain(tmp_path)
+        record = store.load_record(SPEC.digest())
+        assert "trace_id" not in record["provenance"]
+        assert collect_spans(queue.root) == []
+
+    def test_failed_task_counts_as_failed_outcome(self, tmp_path):
+        registry = MetricsRegistry()
+        stream = io.StringIO()
+        store = ResultStore(tmp_path / "s", metrics=registry)
+        queue = WorkQueue(tmp_path / "q", metrics=registry)
+        queue.submit(RunSpec("no-such-kernel", "tiny", "1x1", 4, "glsc"))
+        worker_loop(
+            queue, store, worker_id="w0", exit_when_empty=True,
+            log=StructLogger(stream=stream),
+        )
+        assert registry.get("worker_tasks_total").value(
+            worker_id="w0", outcome="failed"
+        ) == 1
+        fails = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+            if json.loads(line)["event"] == "fail"
+        ]
+        assert len(fails) == 1
+        assert fails[0]["level"] == "warning"
