@@ -138,6 +138,24 @@ def trajectory_entry(doc: Mapping[str, Any]) -> Dict[str, Any]:
     total_cycles = sum(cycles.values())
     total_instructions = sum(p.get("instructions", 0) for p in points)
     speedups = list(doc.get("fidelity", {}).get("speedup", {}).values())
+    contention: Dict[str, Dict[str, Any]] = {
+        point["id"]: point["contention"]
+        for point in points
+        if isinstance(point.get("contention"), dict)
+    }
+    entry_contention: Dict[str, Any] = {}
+    if contention:
+        entry_contention = {
+            "points": contention,
+            "kills": sum(c.get("kills", 0) for c in contention.values()),
+            "failed_lanes": sum(
+                c.get("failed_lanes", 0) for c in contention.values()
+            ),
+            "storms": sum(c.get("storms", 0) for c in contention.values()),
+            "max_retry_depth": max(
+                c.get("max_retry_depth", 0) for c in contention.values()
+            ),
+        }
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "git_sha": doc["git_sha"],
@@ -162,6 +180,7 @@ def trajectory_entry(doc: Mapping[str, Any]) -> Dict[str, Any]:
         "wall": wall,
         "cycles": cycles,
         "fidelity": doc.get("fidelity", {}),
+        **({"contention": entry_contention} if entry_contention else {}),
     }
 
 

@@ -94,6 +94,81 @@ def _series(
     return out
 
 
+def _heat_cell(value: float, peak: float) -> str:
+    """One table cell whose background encodes ``value / peak``."""
+    intensity = value / peak if peak > 0 else 0.0
+    # White -> warm red ramp; text stays readable at every level.
+    alpha = min(max(intensity, 0.0), 1.0) * 0.8
+    return (
+        f'<td style="background: rgba(224, 49, 49, {alpha:.2f})">'
+        f"{value:g}</td>"
+    )
+
+
+def _contention_panel(
+    entries: List[Dict[str, Any]], shas: Sequence[str]
+) -> str:
+    """Trend charts + per-point heatmap from ``contention`` blocks.
+
+    Older trajectory entries (written before the contention
+    observatory existed) simply lack the block and are skipped — the
+    panel renders from whatever subset carries it, or not at all.
+    """
+    with_block = [
+        e for e in entries if isinstance(e.get("contention"), dict)
+    ]
+    if not with_block:
+        return ""
+    parts = ["<h2>Contention</h2>"]
+    for key, title in (
+        ("kills", "Reservation kills (suite total)"),
+        ("failed_lanes", "Failed GLSC element lanes (suite total)"),
+        ("storms", "Retry-storm windows (suite total)"),
+    ):
+        series = []
+        labels = []
+        for entry, sha in zip(entries, shas):
+            block = entry.get("contention")
+            if isinstance(block, dict):
+                series.append(float(block.get(key, 0)))
+                labels.append(sha)
+        if any(series):
+            parts.append(_chart(title, series, labels, "{:.0f}"))
+
+    latest = with_block[-1]
+    points = latest.get("contention", {}).get("points") or {}
+    if points:
+        peak_kills = max(
+            (p.get("kills", 0) for p in points.values()), default=0
+        )
+        peak_lanes = max(
+            (p.get("failed_lanes", 0) for p in points.values()), default=0
+        )
+        parts.append(
+            f'<p class="meta">Per-point heatmap, latest run '
+            f"(<code>{html.escape(str(latest.get('git_sha', '?')))}"
+            f"</code>): cell shade scales with the column peak.</p>"
+        )
+        parts.append(
+            "<table><tr><th>point</th><th>kills</th>"
+            "<th>failed lanes</th><th>storms</th>"
+            "<th>hottest line</th></tr>"
+        )
+        for pid in sorted(points):
+            block = points[pid]
+            hot = block.get("hot_line") or "—"
+            parts.append(
+                f"<tr><td><code>{html.escape(pid)}</code></td>"
+                + _heat_cell(block.get("kills", 0), peak_kills)
+                + _heat_cell(block.get("failed_lanes", 0), peak_lanes)
+                + f"<td>{block.get('storms', 0)}</td>"
+                + f"<td><code>{html.escape(str(hot))}</code> "
+                  f"({block.get('hot_line_total', 0)})</td></tr>"
+            )
+        parts.append("</table>")
+    return "".join(parts)
+
+
 def render_dashboard(
     trajectory: List[Dict[str, Any]],
     suite: Optional[str] = None,
@@ -134,6 +209,8 @@ def render_dashboard(
         values = _series(entries, "headline", key)
         if any(values):
             parts.append(_chart(title, values, shas, fmt))
+
+    parts.append(_contention_panel(entries, shas))
 
     point_ids = sorted({
         pid for e in entries for pid in (e.get("cycles") or {})

@@ -138,6 +138,37 @@ def render_markdown(
                 lines.append(f"| `{point.get('id', '?')}` | {cells} |")
             lines.append("")
 
+        contended = [
+            p for p in doc.get("points", ())
+            if isinstance(p, dict) and isinstance(p.get("contention"), dict)
+        ]
+        if contended:
+            lines.append("## Contention")
+            lines.append("")
+            lines.append(
+                "Reservation kills, failed GLSC element lanes, and the "
+                "hottest line per point (from the contention "
+                "observatory's untimed observed pass)."
+            )
+            lines.append("")
+            lines.append(
+                "| point | kills | failed lanes | storms | "
+                "hottest line | depth |"
+            )
+            lines.append("|---|---|---|---|---|---|")
+            for point in contended:
+                block = point["contention"]
+                hot = block.get("hot_line") or "—"
+                lines.append(
+                    f"| `{point.get('id', '?')}` "
+                    f"| {block.get('kills', 0)} "
+                    f"| {block.get('failed_lanes', 0)} "
+                    f"| {block.get('storms', 0)} "
+                    f"| `{hot}` ({block.get('hot_line_total', 0)}) "
+                    f"| {block.get('max_retry_depth', 0)} |"
+                )
+            lines.append("")
+
     if trajectory:
         lines.append(f"## Trajectory (last {history} runs)")
         lines.append("")

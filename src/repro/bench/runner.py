@@ -23,7 +23,10 @@ observed pass per point after the timed repeats, attributing each
 point's cycles to gather/compute/retry/stall via
 :class:`~repro.bench.phases.PhaseSink` — the timed samples stay
 sinkless, and the observed pass must retire identical cycles (another
-determinism check, this time sinkless-vs-observed).
+determinism check, this time sinkless-vs-observed).  The same pass
+carries a :class:`~repro.obs.contention.ContentionSink`, so each point
+also gets a compact ``contention`` block (kill counts by cause, the
+hottest line, storm windows) at no extra simulation cost.
 """
 
 from __future__ import annotations
@@ -118,11 +121,22 @@ class BenchRunner:
             )
 
         phases_by_id: Dict[str, Dict[str, Any]] = {}
+        contention_by_id: Dict[str, Dict[str, Any]] = {}
         if self.phases:
+            from repro.obs.contention import ContentionSink
+
             for pid, spec in zip(ids, specs):
                 bus = EventBus()
                 sink = bus.attach(PhaseSink())
-                stats = execute_spec(spec, obs=bus)
+                contention = bus.attach(
+                    ContentionSink(n_cores=spec.config().n_cores)
+                )
+                captured: Dict[str, Any] = {}
+
+                def _capture(machine, captured=captured) -> None:
+                    captured["regions"] = machine.image.regions
+
+                stats = execute_spec(spec, obs=bus, on_machine=_capture)
                 bus.close()
                 if stats.cycles != cycles_seen[pid]:
                     raise VerificationError(
@@ -131,6 +145,9 @@ class BenchRunner:
                         f"{stats.cycles} with the phase sink attached"
                     )
                 phases_by_id[pid] = sink.breakdown(stats.cycles)
+                contention_by_id[pid] = contention.summary(
+                    regions=captured.get("regions"), stats=stats
+                ).compact()
             self._note(
                 f"phase attribution: {len(specs)} observed passes in "
                 f"{time.perf_counter() - started:.1f}s total"
@@ -168,6 +185,10 @@ class BenchRunner:
                     **(
                         {"phases": phases_by_id[pid]}
                         if pid in phases_by_id else {}
+                    ),
+                    **(
+                        {"contention": contention_by_id[pid]}
+                        if pid in contention_by_id else {}
                     ),
                 }
             )

@@ -11,6 +11,7 @@ plus six non-experiment subcommands::
 
     python -m repro.harness trace hip --dataset A --out hip.trace.json
     python -m repro.harness profile tms --variant glsc
+    python -m repro.harness contend tms --dataset tiny --json
     python -m repro.harness bench run --suite smoke --repeats 1
     python -m repro.harness cache stats
     python -m repro.harness serve --queue queue://.glsc-queue
@@ -21,6 +22,9 @@ a Chrome trace-event JSON file — open it at https://ui.perfetto.dev to
 see every thread's instructions and the memory-hierarchy events on a
 cycle timeline.  ``profile`` runs one kernel with an instruction trace
 and metrics aggregation and prints the latency/attribution report.
+``contend`` runs one kernel with the contention observatory attached
+and prints the who-kills-whom kill matrix, hot-line table, retry-storm
+timeline, and retry-depth histogram (``--json`` for machines).
 ``bench`` is the regression observatory (see :mod:`repro.bench`):
 ``bench run`` archives a ``BENCH_<git-sha>.json`` + trajectory point,
 ``bench compare`` gates it against the previous baseline and the
@@ -316,6 +320,72 @@ def _main_trace(argv: List[str]) -> int:
         with open(args.telemetry_out, "w", encoding="utf-8") as fh:
             json.dump(telemetry.to_dict(), fh, indent=2, sort_keys=True)
         print(f"telemetry -> {args.telemetry_out}")
+    return 0
+
+
+def _main_contend(argv: List[str]) -> int:
+    """``contend``: one observed run, reported as contention attribution."""
+    from repro.obs import ContentionSink, EventBus
+    from repro.sim.executor import execute_spec
+
+    parser = argparse.ArgumentParser(
+        prog="glsc-harness contend",
+        parents=[_protocol_parent()],
+        description=(
+            "Run one kernel with the contention observatory attached "
+            "and print the who-kills-whom report: thread x thread kill "
+            "matrix, hot-line table (symbolized through the kernel's "
+            "named memory regions), retry-storm timeline, and retry-"
+            "depth histogram."
+        ),
+    )
+    _add_spec_arguments(parser)
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the full summary as JSON instead of markdown",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows in the hot-line table (default: 10)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=2048, metavar="CYC",
+        help="timeline window width in cycles (default: 2048)",
+    )
+    parser.add_argument(
+        "--storm-threshold", type=int, default=64, metavar="N",
+        help="failed lanes per window that flag a retry storm "
+             "(default: 64)",
+    )
+    args = parser.parse_args(argv)
+    spec = _spec_from_args(args)
+    config = spec.config()
+
+    bus = EventBus()
+    sink = bus.attach(ContentionSink(
+        n_cores=config.n_cores,
+        window=args.window,
+        top_k=args.top,
+        storm_threshold=args.storm_threshold,
+    ))
+    captured = {}
+
+    def _capture(machine) -> None:
+        captured["regions"] = machine.image.regions
+
+    stats = execute_spec(spec, obs=bus, on_machine=_capture)
+    bus.close()
+    summary = sink.summary(regions=captured.get("regions"), stats=stats)
+
+    if args.json:
+        doc = summary.to_dict()
+        doc["spec"] = spec.to_dict()
+        doc["cycles"] = stats.cycles
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(f"{spec.label()}: {stats.cycles} cycles")
+        print()
+        print(summary.render())
     return 0
 
 
@@ -900,9 +970,13 @@ def _main_status(argv: List[str]) -> int:
     except ServiceError as exc:
         print(f"status: {exc}", file=sys.stderr)
         return 2
+    verify = doc.get("queue_verify")
+    verify_failed = bool(
+        args.verify and verify is not None and not verify.get("match")
+    )
     if args.json:
         print(json.dumps(doc, indent=1, sort_keys=True))
-        return 0
+        return 1 if verify_failed else 0
 
     metrics = doc.get("metrics", {})
 
@@ -947,14 +1021,24 @@ def _main_status(argv: List[str]) -> int:
                 f"{beat.get('sim_wall_s', 0.0):.2f}s simulating "
                 f"(heartbeat {beat.get('age_s', 0.0):.1f}s ago)"
             )
-    verify = doc.get("queue_verify")
+        lanes = sum(
+            beat.get("contention_failed_lanes", 0) for beat in workers
+        )
+        sc_failed = sum(
+            beat.get("contention_sc_failures", 0) for beat in workers
+        )
+        if lanes or sc_failed:
+            print(
+                f"contention: {int(lanes)} failed GLSC lanes, "
+                f"{int(sc_failed)} sc failures across workers"
+            )
     if verify is not None:
         verdict = "match" if verify.get("match") else "MISMATCH"
         print(
             f"depth cross-check: {verdict} "
             f"(scan {verify.get('scan')}, tracked {verify.get('tracked')})"
         )
-    return 0
+    return 1 if verify_failed else 0
 
 
 def _main_sweep_trace(argv: List[str]) -> int:
@@ -1017,6 +1101,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _main_trace(argv[1:])
     if argv and argv[0] == "profile":
         return _main_profile(argv[1:])
+    if argv and argv[0] == "contend":
+        return _main_contend(argv[1:])
     if argv and argv[0] == "bench":
         return _main_bench(argv[1:])
     if argv and argv[0] == "cache":
@@ -1036,8 +1122,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         description=(
             "Regenerate the evaluation of 'Atomic Vector Operations on "
             "Chip Multiprocessors' (ISCA 2008) on the repro simulator. "
-            "See also the 'trace', 'profile', 'bench', 'cache', "
-            "'serve', 'worker', 'status', and 'sweep-trace' "
+            "See also the 'trace', 'profile', 'contend', 'bench', "
+            "'cache', 'serve', 'worker', 'status', and 'sweep-trace' "
             "subcommands (--help on each)."
         ),
     )

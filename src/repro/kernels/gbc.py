@@ -74,12 +74,16 @@ class Gbc(KernelBase):
     def allocate(self, image: MemoryImage) -> None:
         self._mark_allocated()
         insertions = self.scene.insertions
-        self.m_cell = image.alloc_array(padded([c for _, c in insertions]))
-        self.m_obj = image.alloc_array(padded([o for o, _ in insertions]))
-        self.m_lock = image.alloc_zeros(self.scene.n_cells)
-        self.m_head = image.alloc_zeros(self.scene.n_cells)
-        self.m_next = image.alloc_zeros(self.scene.n_insertions)
-        self.m_node_obj = image.alloc_zeros(self.scene.n_insertions)
+        self.m_cell = image.alloc_array(padded([c for _, c in insertions]),
+                                        name="gbc.cell")
+        self.m_obj = image.alloc_array(padded([o for o, _ in insertions]),
+                                       name="gbc.obj")
+        self.m_lock = image.alloc_zeros(self.scene.n_cells, name="gbc.lock")
+        self.m_head = image.alloc_zeros(self.scene.n_cells, name="gbc.head")
+        self.m_next = image.alloc_zeros(self.scene.n_insertions,
+                                        name="gbc.next")
+        self.m_node_obj = image.alloc_zeros(self.scene.n_insertions,
+                                            name="gbc.node_obj")
 
     def base_program(self, ctx: ThreadCtx):
         self._require_allocated()

@@ -87,13 +87,16 @@ class Gps(KernelBase):
         for tid in range(self.n_threads):
             order = [i for group in self._thread_groups[tid] for i in group]
             self.m_a.append(image.alloc_array(
-                padded([self.system.constraints[i][0] for i in order])
+                padded([self.system.constraints[i][0] for i in order]),
+                name=f"gps.a[{tid}]",
             ))
             self.m_b.append(image.alloc_array(
-                padded([self.system.constraints[i][1] for i in order])
+                padded([self.system.constraints[i][1] for i in order]),
+                name=f"gps.b[{tid}]",
             ))
             self.m_delta.append(image.alloc_array(
-                padded([self.system.deltas[i] for i in order])
+                padded([self.system.deltas[i] for i in order]),
+                name=f"gps.delta[{tid}]",
             ))
             spans = []
             offset = 0
@@ -102,9 +105,10 @@ class Gps(KernelBase):
                 offset += len(group)
             self._group_spans.append(spans)
         self.m_state = image.alloc_zeros(
-            len(padded([0] * self.system.n_objects))
+            len(padded([0] * self.system.n_objects)), name="gps.state"
         )
-        self.m_lock = image.alloc_zeros(self.system.n_objects)
+        self.m_lock = image.alloc_zeros(self.system.n_objects,
+                                        name="gps.lock")
 
     def base_program(self, ctx: ThreadCtx):
         """Optimal Base (Section 4.2): everything is SIMD except locks.

@@ -56,12 +56,14 @@ class Hip(KernelBase):
 
     def allocate(self, image: MemoryImage) -> None:
         self._mark_allocated()
-        self.m_input = image.alloc_array(padded(self.pixels))
+        self.m_input = image.alloc_array(padded(self.pixels),
+                                         name="hip.input")
         padded_bins = len(padded([0] * self.n_bins))
         self.m_private = [
-            image.alloc_zeros(padded_bins) for _ in range(self.n_threads)
+            image.alloc_zeros(padded_bins, name=f"hip.private[{t}]")
+            for t in range(self.n_threads)
         ]
-        self.m_bins = image.alloc_zeros(padded_bins)
+        self.m_bins = image.alloc_zeros(padded_bins, name="hip.bins")
 
     # -- phase 2 (shared by both variants) --------------------------------
 

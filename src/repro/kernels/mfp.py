@@ -78,13 +78,16 @@ class Mfp(KernelBase):
         for tid in range(self.n_threads):
             order = [i for group in self._thread_groups[tid] for i in group]
             self.m_u.append(image.alloc_array(
-                padded([self.network.edges[i][0] for i in order])
+                padded([self.network.edges[i][0] for i in order]),
+                name=f"mfp.u[{tid}]",
             ))
             self.m_v.append(image.alloc_array(
-                padded([self.network.edges[i][1] for i in order])
+                padded([self.network.edges[i][1] for i in order]),
+                name=f"mfp.v[{tid}]",
             ))
             self.m_amount.append(image.alloc_array(
-                padded([self.network.push_amounts[i] for i in order])
+                padded([self.network.push_amounts[i] for i in order]),
+                name=f"mfp.amount[{tid}]",
             ))
             spans = []
             offset = 0
@@ -93,9 +96,10 @@ class Mfp(KernelBase):
                 offset += len(group)
             self._group_spans.append(spans)
         self.m_excess = image.alloc_array(
-            padded(self.initial_excess)
+            padded(self.initial_excess), name="mfp.excess"
         )
-        self.m_lock = image.alloc_zeros(self.network.n_nodes)
+        self.m_lock = image.alloc_zeros(self.network.n_nodes,
+                                        name="mfp.lock")
 
     def base_program(self, ctx: ThreadCtx):
         """Optimal Base (Section 4.2): everything is SIMD except locks.

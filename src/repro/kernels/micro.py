@@ -130,7 +130,8 @@ class Micro(KernelBase):
 
     def allocate(self, image: MemoryImage) -> None:
         self._mark_allocated()
-        self.m_counters = image.alloc_zeros(COUNTER_WORDS)
+        self.m_counters = image.alloc_zeros(COUNTER_WORDS,
+                                            name="micro.counters")
         self._m_index_arrays = None
         self._image = image
 
@@ -139,8 +140,9 @@ class Micro(KernelBase):
         if self._m_index_arrays is None:
             self._build_indices(ctx.w)
             self._m_index_arrays = [
-                self._image.alloc_array(stream + [0] * MAX_SIMD_WIDTH)
-                for stream in self._indices
+                self._image.alloc_array(stream + [0] * MAX_SIMD_WIDTH,
+                                        name=f"micro.indices[{tid}]")
+                for tid, stream in enumerate(self._indices)
             ]
         return self._m_index_arrays[ctx.tid]
 

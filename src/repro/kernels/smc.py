@@ -57,15 +57,18 @@ class Smc(KernelBase):
         # SIMD group of particles loads each corner's nodes contiguously.
         self.m_corner = [
             image.alloc_array(
-                padded([c[k] for c in self.field.corner_nodes])
+                padded([c[k] for c in self.field.corner_nodes]),
+                name=f"smc.corner[{k}]",
             )
             for k in range(N_CORNERS)
         ]
-        self.m_weight = image.alloc_array(padded(self.field.weights))
+        self.m_weight = image.alloc_array(padded(self.field.weights),
+                                          name="smc.weight")
         self.m_density = image.alloc_zeros(
-            len(padded([0] * self.field.n_nodes))
+            len(padded([0] * self.field.n_nodes)), name="smc.density"
         )
-        self.m_surface_counts = image.alloc_zeros(self.n_threads)
+        self.m_surface_counts = image.alloc_zeros(self.n_threads,
+                                                  name="smc.surface_counts")
 
     #: Iso-surface threshold used by the extraction phase.
     ISO_LEVEL = 1.0

@@ -58,11 +58,14 @@ class Tms(KernelBase):
     def allocate(self, image: MemoryImage) -> None:
         self._mark_allocated()
         nonzeros = self.matrix.nonzeros
-        self.m_row = image.alloc_array(padded([r for r, _, _ in nonzeros]))
-        self.m_col = image.alloc_array(padded([c for _, c, _ in nonzeros]))
-        self.m_val = image.alloc_array(padded([v for _, _, v in nonzeros]))
-        self.m_x = image.alloc_array(self.x_values)
-        self.m_y = image.alloc_zeros(self.matrix.cols)
+        self.m_row = image.alloc_array(
+            padded([r for r, _, _ in nonzeros]), name="tms.row")
+        self.m_col = image.alloc_array(
+            padded([c for _, c, _ in nonzeros]), name="tms.col")
+        self.m_val = image.alloc_array(
+            padded([v for _, _, v in nonzeros]), name="tms.val")
+        self.m_x = image.alloc_array(self.x_values, name="tms.x")
+        self.m_y = image.alloc_zeros(self.matrix.cols, name="tms.y")
 
     def _products_for(self, ctx: ThreadCtx, i: int, mask):
         """Load one SIMD group of nonzeros and form A[i,j] * x[i]."""

@@ -204,7 +204,8 @@ class CoherenceSystem:
         line_addr = self._line_addr(addr)
         self._count_l1_access(sync, now)
         result = self._obtain_modified(core, slot, line_addr, now)
-        self._kill_reservations_on_write(core, line_addr, now)
+        self._kill_reservations_on_write(core, line_addr, now,
+                                         attacker_slot=slot)
         return result
 
     def read_linked(
@@ -320,10 +321,11 @@ class CoherenceSystem:
         if obs is not None and obs.wants_reservation:
             obs.emit(
                 ReservationLost(now, core, slot, line_addr, "glsc",
-                                "consumed")
+                                "consumed", core, slot)
             )
         result = self._obtain_modified(core, slot, line_addr, now)
-        self._kill_reservations_on_write(core, line_addr, now)
+        self._kill_reservations_on_write(core, line_addr, now,
+                                         attacker_slot=slot)
         return (result, True, None)
 
     def scalar_ll(
@@ -358,6 +360,7 @@ class CoherenceSystem:
                 ReservationLost(
                     now, core, slot, held_line, "scalar",
                     "consumed" if held else "mismatch",
+                    core, slot,
                 )
             )
         if not held:
@@ -478,18 +481,32 @@ class CoherenceSystem:
         now: int,
         victim_ok,
         prefetched: bool = False,
+        attacker_slot: int = -1,
     ) -> bool:
-        """Install a line into an L1, handling the victim's bookkeeping."""
+        """Install a line into an L1, handling the victim's bookkeeping.
+
+        ``attacker_slot`` names the SMT slot whose fill displaces the
+        victim (attribution only; -1 for prefetch/unknown).
+        """
         evicted = self.l1s[core].install(line_addr, state, now, victim_ok)
         if evicted is None:
             return False
         if evicted.line_addr >= 0:
-            self._retire_l1_line(core, evicted, now)
+            self._retire_l1_line(core, evicted, now,
+                                 attacker_core=core,
+                                 attacker_slot=attacker_slot)
         new_line = self.l1s[core].lookup(line_addr)
         new_line.prefetched = prefetched
         return True
 
-    def _retire_l1_line(self, core: int, line: L1Line, now: int) -> None:
+    def _retire_l1_line(
+        self,
+        core: int,
+        line: L1Line,
+        now: int,
+        attacker_core: int = -1,
+        attacker_slot: int = -1,
+    ) -> None:
         """A line left ``core``'s L1 by eviction: fix directory + reservations."""
         obs = self.obs
         dirty = line.state in self._dirty_states
@@ -515,10 +532,19 @@ class CoherenceSystem:
             )
         entry.drop(core)
         victims = self.reservations.clear_core_line(core, line.line_addr)
-        self._emit_scalar_losses(victims, line.line_addr, "eviction", now)
-        self._kill_glsc_departed(core, line, "eviction", now)
+        self._emit_scalar_losses(victims, line.line_addr, "eviction", now,
+                                 attacker_core, attacker_slot)
+        self._kill_glsc_departed(core, line, "eviction", now,
+                                 attacker_core, attacker_slot)
 
-    def _invalidate_l1(self, core: int, line_addr: int, now: int) -> None:
+    def _invalidate_l1(
+        self,
+        core: int,
+        line_addr: int,
+        now: int,
+        attacker_core: int = -1,
+        attacker_slot: int = -1,
+    ) -> None:
         """Invalidate one L1 copy (remote write observed)."""
         line = self.l1s[core].invalidate(line_addr)
         if line is None:
@@ -540,10 +566,18 @@ class CoherenceSystem:
             if obs.wants_protocol:
                 obs.emit(Inv(now, core, line_addr, "remote_write"))
         victims = self.reservations.clear_core_line(core, line_addr)
-        self._emit_scalar_losses(victims, line_addr, "thread_conflict", now)
-        self._kill_glsc_departed(core, line, "thread_conflict", now)
+        self._emit_scalar_losses(victims, line_addr, "thread_conflict", now,
+                                 attacker_core, attacker_slot)
+        self._kill_glsc_departed(core, line, "thread_conflict", now,
+                                 attacker_core, attacker_slot)
 
-    def _back_invalidate(self, victim_entry, now: int) -> None:
+    def _back_invalidate(
+        self,
+        victim_entry,
+        now: int,
+        attacker_core: int = -1,
+        attacker_slot: int = -1,
+    ) -> None:
         """Inclusive-L2 eviction: remove every L1 copy of the victim."""
         obs = self.obs
         wants_coherence = obs is not None and obs.wants_coherence
@@ -581,12 +615,20 @@ class CoherenceSystem:
                 core, victim_entry.line_addr
             )
             self._emit_scalar_losses(
-                victims, victim_entry.line_addr, "eviction", now
+                victims, victim_entry.line_addr, "eviction", now,
+                attacker_core, attacker_slot,
             )
-            self._kill_glsc_departed(core, line, "eviction", now)
+            self._kill_glsc_departed(core, line, "eviction", now,
+                                     attacker_core, attacker_slot)
 
     def _emit_scalar_losses(
-        self, victims, line_addr: int, cause: str, now: int
+        self,
+        victims,
+        line_addr: int,
+        cause: str,
+        now: int,
+        attacker_core: int = -1,
+        attacker_slot: int = -1,
     ) -> None:
         """Emit one ReservationLost per scalar reservation casualty."""
         if not victims:
@@ -596,11 +638,18 @@ class CoherenceSystem:
             return
         for core, slot in victims:
             obs.emit(
-                ReservationLost(now, core, slot, line_addr, "scalar", cause)
+                ReservationLost(now, core, slot, line_addr, "scalar", cause,
+                                attacker_core, attacker_slot)
             )
 
     def _kill_glsc(
-        self, core: int, line_addr: int, cause: str, now: int
+        self,
+        core: int,
+        line_addr: int,
+        cause: str,
+        now: int,
+        attacker_core: int = -1,
+        attacker_slot: int = -1,
     ) -> None:
         """Clear a GLSC entry, remembering why it died (for Table 4)."""
         holder = self.glsc.holder(core, line_addr)
@@ -610,12 +659,18 @@ class CoherenceSystem:
             if obs is not None and obs.wants_reservation:
                 obs.emit(
                     ReservationLost(now, core, holder, line_addr, "glsc",
-                                    cause)
+                                    cause, attacker_core, attacker_slot)
                 )
         self.glsc.clear(core, line_addr)
 
     def _kill_glsc_departed(
-        self, core: int, line: L1Line, cause: str, now: int
+        self,
+        core: int,
+        line: L1Line,
+        cause: str,
+        now: int,
+        attacker_core: int = -1,
+        attacker_slot: int = -1,
     ) -> None:
         """Like :meth:`_kill_glsc`, for a line already removed from the L1.
 
@@ -632,20 +687,26 @@ class CoherenceSystem:
                 slot = line.glsc_tid if line.glsc_valid else holder
                 obs.emit(
                     ReservationLost(now, core, slot, line.line_addr, "glsc",
-                                    cause)
+                                    cause, attacker_core, attacker_slot)
                 )
         self.glsc.clear(core, line.line_addr)
 
     def _kill_reservations_on_write(
-        self, writer_core: int, line_addr: int, now: int
+        self,
+        writer_core: int,
+        line_addr: int,
+        now: int,
+        attacker_slot: int = -1,
     ) -> None:
         """A word on ``line_addr`` was written: destroy every reservation."""
         victims = self.reservations.clear_line(line_addr)
-        self._emit_scalar_losses(victims, line_addr, "thread_conflict", now)
+        self._emit_scalar_losses(victims, line_addr, "thread_conflict", now,
+                                 writer_core, attacker_slot)
         # Other cores' GLSC entries died with their invalidations; the
         # writer's own core may still hold one (another SMT thread, or
         # a stale own link) — normal stores clear it too (Section 3.3).
-        self._kill_glsc(writer_core, line_addr, "thread_conflict", now)
+        self._kill_glsc(writer_core, line_addr, "thread_conflict", now,
+                        writer_core, attacker_slot)
 
     # ------------------------------------------------------------------
     # prefetcher

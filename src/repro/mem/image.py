@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import AllocationError, MemoryError_
-from repro.mem.layout import WORD_BYTES, LineGeometry
+from repro.mem.layout import WORD_BYTES, LineGeometry, RegionMap
 
 __all__ = ["MemoryImage", "ArrayView"]
 
@@ -47,15 +47,25 @@ class MemoryImage:
         self._words: Dict[int, Number] = {}
         # Leave address 0 unallocated so it can serve as a null sentinel.
         self._brk = self.geometry.line_bytes
+        # Named-allocation symbolization (diagnostics only; the
+        # simulated program never sees region names).
+        self.regions = RegionMap()
 
     # -- allocation -----------------------------------------------------
 
-    def alloc(self, nbytes: int, align: Optional[int] = None) -> int:
+    def alloc(
+        self,
+        nbytes: int,
+        align: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> int:
         """Reserve ``nbytes`` and return the base byte address.
 
         The default alignment is one cache line, which mirrors how the
         paper's benchmarks lay out shared arrays (and keeps false
         sharing a deliberate choice rather than an allocator accident).
+        A ``name`` registers the range in :attr:`regions` so contention
+        reports can symbolize hot line addresses.
         """
         if nbytes <= 0:
             raise AllocationError(f"nbytes must be positive, got {nbytes}")
@@ -73,27 +83,40 @@ class MemoryImage:
                 f"have {self.size_bytes}"
             )
         self._brk = end
+        if name:
+            self.regions.add(name, base, nbytes)
         return base
 
-    def alloc_words(self, nwords: int, align: Optional[int] = None) -> int:
+    def alloc_words(
+        self,
+        nwords: int,
+        align: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> int:
         """Reserve ``nwords`` 32-bit words and return the base address."""
-        return self.alloc(nwords * WORD_BYTES, align)
+        return self.alloc(nwords * WORD_BYTES, align, name=name)
 
     def alloc_array(
         self,
         values: Sequence[Number],
         align: Optional[int] = None,
+        name: Optional[str] = None,
     ) -> "ArrayView":
         """Allocate and initialize an array, returning a view over it."""
-        base = self.alloc_words(max(len(values), 1), align)
+        base = self.alloc_words(max(len(values), 1), align, name=name)
         view = ArrayView(self, base, len(values))
         for i, value in enumerate(values):
             view[i] = value
         return view
 
-    def alloc_zeros(self, nwords: int, align: Optional[int] = None) -> "ArrayView":
+    def alloc_zeros(
+        self,
+        nwords: int,
+        align: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> "ArrayView":
         """Allocate an array of ``nwords`` zero words."""
-        base = self.alloc_words(nwords, align)
+        base = self.alloc_words(nwords, align, name=name)
         return ArrayView(self, base, nwords)
 
     @property

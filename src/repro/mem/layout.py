@@ -12,13 +12,89 @@ the caches, directory, and GSU all agree on it.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import AlignmentError, ConfigError
 
-__all__ = ["WORD_BYTES", "LineGeometry"]
+__all__ = ["WORD_BYTES", "LineGeometry", "Region", "RegionMap"]
 
 WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named allocation in the simulated memory image.
+
+    Purely observational: regions exist so diagnostics (the contention
+    observatory, traces) can say "the y output array" instead of a raw
+    hex line address.  The simulator itself never consults them.
+    """
+
+    name: str
+    base: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        """First byte address past the region."""
+        return self.base + self.nbytes
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class RegionMap:
+    """Address -> region-name symbolization over named allocations.
+
+    Kept sorted by base address; lookups binary-search.  Unnamed gaps
+    symbolize to the hex address, so callers can always render
+    something.
+    """
+
+    def __init__(self) -> None:
+        self._regions: List[Region] = []
+        self._bases: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self):
+        return iter(self._regions)
+
+    def add(self, name: str, base: int, nbytes: int) -> Region:
+        """Record a named allocation (regions never overlap: the bump
+        allocator hands out disjoint ranges)."""
+        region = Region(name, base, nbytes)
+        index = bisect.bisect_left(self._bases, base)
+        self._regions.insert(index, region)
+        self._bases.insert(index, base)
+        return region
+
+    def find(self, addr: int) -> Optional[Region]:
+        """The region containing ``addr``, or None."""
+        index = bisect.bisect_right(self._bases, addr) - 1
+        if index < 0:
+            return None
+        region = self._regions[index]
+        return region if region.contains(addr) else None
+
+    def symbolize(self, addr: int) -> str:
+        """``name+0xoffset`` for named addresses, hex otherwise."""
+        region = self.find(addr)
+        if region is None:
+            return f"{addr:#x}"
+        offset = addr - region.base
+        return region.name if offset == 0 else f"{region.name}+{offset:#x}"
+
+    def to_dict(self) -> Dict[str, Tuple[int, int]]:
+        """``{name: (base, nbytes)}`` (JSON-able; duplicate names keep
+        the first occurrence)."""
+        out: Dict[str, Tuple[int, int]] = {}
+        for region in self._regions:
+            out.setdefault(region.name, (region.base, region.nbytes))
+        return out
 
 
 def _is_pow2(n: int) -> bool:

@@ -217,7 +217,8 @@ class CoherenceProtocol:
         entry, l2_hit, l2_victim = host.l2.fetch(line_addr, now)
         host.stats.l2_accesses += 1
         if l2_victim is not None:
-            host._back_invalidate(l2_victim, now)
+            host._back_invalidate(l2_victim, now,
+                                  attacker_core=core, attacker_slot=slot)
         if not l2_hit:
             host.stats.l2_misses += 1
             latency += host.dram.access()
@@ -235,7 +236,8 @@ class CoherenceProtocol:
             if level != LEVEL_MEM:
                 level = LEVEL_REMOTE
         state = self._fill_state_for_read(entry, core)
-        installed = host._install_l1(core, line_addr, state, now, victim_ok)
+        installed = host._install_l1(core, line_addr, state, now, victim_ok,
+                                     attacker_slot=slot)
         self.counts["Ack"] += 1
         if not installed:
             if wants_protocol:
@@ -286,7 +288,8 @@ class CoherenceProtocol:
             latency += cfg.remote_l1_latency
             level = LEVEL_REMOTE
             for other in sorted(others):
-                host._invalidate_l1(other, line_addr, now)
+                host._invalidate_l1(other, line_addr, now,
+                                    attacker_core=core, attacker_slot=slot)
         entry.set_owner(core)
         entry.last_use = now
         line.state = MSI_M
@@ -319,7 +322,8 @@ class CoherenceProtocol:
         entry, l2_hit, l2_victim = host.l2.fetch(line_addr, now)
         host.stats.l2_accesses += 1
         if l2_victim is not None:
-            host._back_invalidate(l2_victim, now)
+            host._back_invalidate(l2_victim, now,
+                                  attacker_core=core, attacker_slot=slot)
         if not l2_hit:
             host.stats.l2_misses += 1
             latency += host.dram.access()
@@ -337,8 +341,10 @@ class CoherenceProtocol:
             if level != LEVEL_MEM:
                 level = LEVEL_REMOTE
             for other in sorted(holders - {core}):
-                host._invalidate_l1(other, line_addr, now)
-        if not host._install_l1(core, line_addr, MSI_M, now, victim_ok=None):
+                host._invalidate_l1(other, line_addr, now,
+                                    attacker_core=core, attacker_slot=slot)
+        if not host._install_l1(core, line_addr, MSI_M, now, victim_ok=None,
+                                attacker_slot=slot):
             raise SimulationError("unfiltered L1 install refused")
         entry.set_owner(core)
         self.counts["Ack"] += 1
@@ -353,7 +359,7 @@ class CoherenceProtocol:
         entry, l2_hit, l2_victim = host.l2.fetch(line_addr, now)
         host.stats.l2_accesses += 1
         if l2_victim is not None:
-            host._back_invalidate(l2_victim, now)
+            host._back_invalidate(l2_victim, now, attacker_core=core)
         if not l2_hit:
             host.stats.l2_misses += 1
             host.dram.access()

@@ -41,6 +41,7 @@ lives in :mod:`repro.obs.telemetry` and is collected by the
 """
 
 from repro.obs.bus import EventBus, Sink
+from repro.obs.contention import ContentionSink, ContentionSummary
 from repro.obs.events import (
     CATEGORIES,
     CacheHit,
@@ -79,6 +80,8 @@ __all__ = [
     "CATEGORIES",
     "CacheHit",
     "CacheMiss",
+    "ContentionSink",
+    "ContentionSummary",
     "Counter",
     "ElementOutcome",
     "EVENT_TYPES",

@@ -156,6 +156,12 @@ class ReservationLost:
     element failure (``thread_conflict``, ``eviction``), plus
     ``consumed`` for a successful scatter-conditional / sc retiring its
     own reservation.
+
+    ``attacker_core``/``attacker_slot`` name the hardware thread whose
+    access destroyed the reservation (the writer, the upgrader, or the
+    thread whose fill evicted the line); both are -1 when the killer is
+    the environment (chaos injection) or unknown.  A self-inflicted
+    loss (``consumed``/``mismatch``) attributes to the holder itself.
     """
 
     category = "reservation"
@@ -166,6 +172,8 @@ class ReservationLost:
     line_addr: int
     kind: str      # "scalar" | "glsc"
     cause: str
+    attacker_core: int = -1
+    attacker_slot: int = -1
 
 
 @dataclass(frozen=True)

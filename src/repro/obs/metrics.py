@@ -16,7 +16,9 @@ Design points:
   every :class:`~repro.service.queue.WorkQueue` /
   :class:`~repro.sim.store.ResultStore` instance in one process feeds
   the same series.  Re-registering a name as a different metric type
-  is a :class:`~repro.errors.ConfigError`.
+  is a :class:`~repro.errors.ConfigError`, as is re-registering a
+  histogram with different ``buckets`` — two callers silently feeding
+  one series with incompatible bucket layouts would corrupt it.
 * **Labels** — metrics declare their label *names* up front; samples
   are keyed by label-value tuples (``counter.inc(op="acked")``).
 * **Thread-safe** — one lock per registry guards registration, one
@@ -309,6 +311,16 @@ class MetricsRegistry:
                         f"metric {name!r} already registered as "
                         f"{existing.kind}, not {cls.kind}"
                     )
+                if "buckets" in kwargs:
+                    wanted = tuple(sorted(
+                        float(b) for b in kwargs["buckets"]
+                    ))
+                    if wanted != existing.bounds:
+                        raise ConfigError(
+                            f"histogram {name!r} already registered "
+                            f"with buckets {existing.bounds}, cannot "
+                            f"re-register with {wanted}"
+                        )
                 return existing
             metric = cls(name, **kwargs)
             self._metrics[name] = metric

@@ -49,6 +49,8 @@ class PerfettoSink(Sink):
         self._open_spans: Dict[Tuple[int, int, str], int] = {}
         self._next_span = 1
         self._last_ts = 0
+        # running reservation-kill tally per victim core ("C" track)
+        self._kill_counts: Dict[int, int] = {}
 
     # -- track bookkeeping -------------------------------------------------
 
@@ -156,8 +158,21 @@ class PerfettoSink(Sink):
             self._instant(
                 event.cycle, event.core, f"reservation-lost:{event.cause}",
                 {"line": hex(event.line_addr), "kind": event.kind,
-                 "slot": event.slot, "cause": event.cause},
+                 "slot": event.slot, "cause": event.cause,
+                 "attacker_core": getattr(event, "attacker_core", -1),
+                 "attacker_slot": getattr(event, "attacker_slot", -1)},
             )
+            if event.cause != "consumed":
+                # Running kill tally per victim core: a "C" counter
+                # track whose staircase makes contention bursts visible
+                # at a glance next to the instants.
+                count = self._kill_counts.get(event.core, 0) + 1
+                self._kill_counts[event.core] = count
+                self._events.append({
+                    "ph": "C", "ts": event.cycle, "pid": event.core,
+                    "name": "reservation-kills", "cat": "reservation",
+                    "args": {"kills": count},
+                })
         elif name == "ElementOutcome":
             if event.ok:
                 return  # successes are visible as the instruction slice

@@ -211,7 +211,12 @@ def read_heartbeats(
             continue
         if not isinstance(entry, dict) or "worker_id" not in entry:
             continue
-        age = now - float(entry.get("ts", 0.0) or 0.0)
+        try:
+            # A torn or hand-edited file can hold a non-numeric ts;
+            # treat it like any other unreadable heartbeat.
+            age = now - float(entry.get("ts", 0.0) or 0.0)
+        except (TypeError, ValueError):
+            continue
         if max_age_s is not None and age > max_age_s:
             continue
         entry["age_s"] = age

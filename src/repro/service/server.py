@@ -82,6 +82,11 @@ _HEARTBEAT_SERIES = (
      "Expired leases recycled, per worker heartbeat"),
     ("sim_wall_s", "worker_heartbeat_sim_wall_seconds",
      "Wall seconds spent simulating, per worker heartbeat"),
+    ("contention_failed_lanes", "contention_failed_lanes",
+     "Failed GLSC element lanes across executed tasks, per worker"),
+    ("contention_sc_failures", "contention_sc_failures",
+     "Failed scalar store-conditionals across executed tasks, "
+     "per worker"),
 )
 
 

@@ -68,6 +68,9 @@ class WorkerSummary:
     sim_wall_s: float = 0.0  # wall seconds spent inside execute_spec
     wall_time_s: float = 0.0
     digests: List[str] = field(default_factory=list)
+    # contention roll-up across executed tasks (from MachineStats)
+    contention_failed_lanes: int = 0
+    contention_sc_failures: int = 0
 
     def heartbeat_counters(self) -> dict:
         """The tallies a worker publishes in its heartbeat file."""
@@ -78,6 +81,8 @@ class WorkerSummary:
             "failed": self.failed,
             "requeued": self.requeued,
             "sim_wall_s": round(self.sim_wall_s, 6),
+            "contention_failed_lanes": self.contention_failed_lanes,
+            "contention_sc_failures": self.contention_sc_failures,
         }
 
 
@@ -99,6 +104,25 @@ class _WorkerMetrics:
             "Wall seconds per fresh simulation",
             labelnames=("worker_id",),
         )
+        # Contention roll-up: workers run unobserved (no event bus),
+        # so these series derive from each task's end-of-run counters
+        # rather than the contention sink — coarser, but free.
+        self.contention_lanes = registry.counter(
+            "contention_failed_lanes_total",
+            "Failed GLSC element lanes across simulated tasks, by cause",
+            labelnames=("worker_id", "cause"),
+        )
+        self.contention_sc = registry.counter(
+            "contention_sc_failures_total",
+            "Failed scalar store-conditionals across simulated tasks",
+            labelnames=("worker_id",),
+        )
+        self.contention_rate = registry.histogram(
+            "contention_failure_rate",
+            "Per-task GLSC element failure rate",
+            labelnames=("worker_id",),
+            buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0),
+        )
 
     def claim(self) -> None:
         self.claims.inc(worker_id=self.worker_id)
@@ -108,6 +132,21 @@ class _WorkerMetrics:
 
     def simulated(self, wall_s: float) -> None:
         self.sim_seconds.observe(wall_s, worker_id=self.worker_id)
+
+    def contention(self, stats) -> None:
+        """Fold one task's conflict counters into the series."""
+        for cause, lanes in stats.glsc_element_failures.items():
+            if lanes:
+                self.contention_lanes.inc(
+                    lanes, worker_id=self.worker_id, cause=cause
+                )
+        if stats.sc_failures:
+            self.contention_sc.inc(
+                stats.sc_failures, worker_id=self.worker_id
+            )
+        self.contention_rate.observe(
+            stats.glsc_failure_rate, worker_id=self.worker_id
+        )
 
 
 def worker_loop(
@@ -258,6 +297,9 @@ def _execute_one(
     wall_s = time.perf_counter() - begun
     summary.sim_wall_s += wall_s
     metrics.simulated(wall_s)
+    metrics.contention(stats)
+    summary.contention_failed_lanes += stats.glsc_failures_total
+    summary.contention_sc_failures += stats.sc_failures
     if task.trace_id:
         spans.record(
             "simulated", task.digest, task.trace_id,

@@ -308,7 +308,8 @@ def _make_spec_kernel(spec: RunSpec, n_threads: int):
 
 
 def execute_spec(
-    spec: RunSpec, verify: bool = True, tracer=None, obs=None
+    spec: RunSpec, verify: bool = True, tracer=None, obs=None,
+    on_machine=None,
 ) -> MachineStats:
     """Simulate one spec from scratch and return its verified stats.
 
@@ -316,7 +317,8 @@ def execute_spec(
     process-pool workers, and the profiling example all funnel through
     here, so a number can never depend on *how* it was scheduled.
     ``tracer`` and ``obs`` attach observers to the machine (see
-    :func:`~repro.sim.runner.run_prepared`).
+    :func:`~repro.sim.runner.run_prepared`); ``on_machine`` is passed
+    through for pre-run state capture (named memory regions).
     """
     from repro.sim.runner import run_prepared
 
@@ -330,6 +332,7 @@ def execute_spec(
         warm=spec.warm,
         tracer=tracer,
         obs=obs,
+        on_machine=on_machine,
     )
 
 

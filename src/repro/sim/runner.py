@@ -49,6 +49,7 @@ def run_prepared(
     warm: bool = False,
     tracer=None,
     obs=None,
+    on_machine=None,
 ) -> MachineStats:
     """Run an already-constructed kernel instance on a fresh machine.
 
@@ -64,9 +65,15 @@ def run_prepared(
     (or compatible observer) to the machine; ``obs`` attaches an
     :class:`~repro.obs.bus.EventBus` for the full typed event stream.
     Observation never changes timing, only records it.
+
+    ``on_machine``, when given, is called with the machine right after
+    the kernel allocates — diagnostics use it to capture pre-run state
+    (e.g. the memory image's named regions for symbolization).
     """
     machine = Machine(config, tracer=tracer, obs=obs)
     kernel.allocate(machine.image)
+    if on_machine is not None:
+        on_machine(machine)
     program = kernel.program(variant)
     for _ in range(config.n_threads):
         machine.add_program(program)

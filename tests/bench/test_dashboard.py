@@ -3,8 +3,8 @@
 from repro.bench.dashboard import render_dashboard
 
 
-def entry(sha, wall, cycles=1000, suite="smoke"):
-    return {
+def entry(sha, wall, cycles=1000, suite="smoke", contention=None):
+    doc = {
         "git_sha": sha,
         "suite": suite,
         "headline": {
@@ -17,6 +17,28 @@ def entry(sha, wall, cycles=1000, suite="smoke"):
         },
         "cycles": {"tms-tiny-1x1-w4-glsc": cycles},
         "wall": {"tms-tiny-1x1-w4-glsc": {"median": wall / 4}},
+    }
+    if contention is not None:
+        doc["contention"] = contention
+    return doc
+
+
+def contention_block(kills=12, lanes=30, storms=1):
+    return {
+        "kills": kills,
+        "failed_lanes": lanes,
+        "storms": storms,
+        "max_retry_depth": 4,
+        "points": {
+            "tms-tiny-1x1-w4-glsc": {
+                "kills": kills,
+                "failed_lanes": lanes,
+                "storms": storms,
+                "hot_line": "tms.y+0x40",
+                "hot_line_total": kills + lanes,
+                "max_retry_depth": 4,
+            },
+        },
     }
 
 
@@ -63,3 +85,47 @@ class TestRenderDashboard:
         html = render_dashboard([bad])
         assert "<img>" not in html
         assert "&lt;img&gt;" in html
+
+
+class TestContentionPanel:
+    def test_panel_renders_trend_and_heatmap(self):
+        html = render_dashboard([
+            entry("aaa111", 2.0, contention=contention_block(kills=5)),
+            entry("bbb222", 2.1, contention=contention_block(kills=9)),
+        ])
+        assert "Contention" in html
+        assert "Reservation kills" in html
+        assert "tms.y+0x40" in html
+        assert "rgba(224, 49, 49" in html  # heat cells present
+
+    def test_points_without_the_block_are_tolerated(self):
+        # Forward/backward compat: trajectories mixing entries written
+        # before and after the contention observatory still render.
+        html = render_dashboard([
+            entry("old0001", 2.0),  # pre-observatory entry
+            entry("new0002", 2.1, contention=contention_block()),
+        ])
+        assert "Contention" in html
+        assert "old0001" in html and "new0002" in html
+
+    def test_no_contention_anywhere_omits_the_panel(self):
+        html = render_dashboard([entry("aaa111", 2.0)])
+        assert "Contention" not in html
+
+    def test_empty_trajectory_still_short_circuits(self):
+        assert "Contention" not in render_dashboard([])
+
+    def test_one_entry_trajectory_with_contention(self):
+        html = render_dashboard(
+            [entry("solo123", 1.0, contention=contention_block())]
+        )
+        assert "Contention" in html
+        assert "solo123" in html
+        assert "<script" not in html
+
+    def test_hot_line_names_are_escaped(self):
+        block = contention_block()
+        block["points"]["tms-tiny-1x1-w4-glsc"]["hot_line"] = "<b>evil"
+        html = render_dashboard([entry("aaa111", 2.0, contention=block)])
+        assert "<b>evil" not in html
+        assert "&lt;b&gt;evil" in html

@@ -64,6 +64,50 @@ class TestRunnerDocument:
         if any(mix["mix"].values()):
             assert sum(mix["mix"].values()) == pytest.approx(1.0)
 
+    def test_contention_block_on_every_point(self, doc):
+        """The observed pass tags each point with a compact block."""
+        for point in doc["points"]:
+            block = point["contention"]
+            assert set(block) == {
+                "kills", "by_cause", "failed_lanes", "hot_line",
+                "hot_line_total", "storms", "max_retry_depth",
+            }
+            assert block["kills"] >= 0
+            assert sum(block["by_cause"].values()) == block["kills"]
+            if block["hot_line"] is not None:
+                # Symbolized through the kernel's named regions.
+                assert block["hot_line"].startswith(("tms.", "0x"))
+
+    def test_no_phases_run_omits_contention(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SHA", "cafef00")
+        doc = BenchRunner(tiny_suite(), repeats=1, phases=False).run()
+        for point in doc["points"]:
+            assert "contention" not in point
+            assert "phases" not in point
+
+    def test_trajectory_entry_rolls_contention_up(self, doc):
+        from repro.bench.baseline import trajectory_entry
+
+        entry = trajectory_entry(doc)
+        rollup = entry["contention"]
+        assert rollup["kills"] == sum(
+            p["contention"]["kills"] for p in doc["points"]
+        )
+        assert rollup["failed_lanes"] == sum(
+            p["contention"]["failed_lanes"] for p in doc["points"]
+        )
+        assert set(rollup["points"]) == {p["id"] for p in doc["points"]}
+
+    def test_trajectory_entry_without_contention_omits_key(self, doc):
+        from repro.bench.baseline import trajectory_entry
+
+        stripped = dict(doc)
+        stripped["points"] = [
+            {k: v for k, v in p.items() if k != "contention"}
+            for p in doc["points"]
+        ]
+        assert "contention" not in trajectory_entry(stripped)
+
     def test_repeats_validated(self):
         with pytest.raises(ValueError):
             BenchRunner(tiny_suite(), repeats=0)

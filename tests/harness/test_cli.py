@@ -224,10 +224,140 @@ class TestSweepTraceSubcommand:
         assert "no spans" in capsys.readouterr().err
 
 
+class TestContendSubcommand:
+    def test_markdown_report(self, capsys):
+        code = main([
+            "contend", "tms", "--dataset", "tiny", "--topology", "2x2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# Contention report" in out
+        assert "## Kill matrix" in out
+        assert "## Hot lines" in out
+        assert "MISMATCH" not in out
+
+    def test_json_crosschecks_against_machine_stats(self, capsys):
+        code = main([
+            "contend", "tms", "--dataset", "tiny", "--topology", "4x4",
+            "--json",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert all(doc["crosscheck"].values()), doc["crosscheck"]
+        # Matrix marginals equal the per-cause kill totals.
+        total = doc["total_kills"]
+        assert sum(doc["row_sums"].values()) == total
+        assert sum(doc["col_sums"].values()) == total
+        assert sum(doc["kills_by_cause"].values()) == total
+        # Failed lanes reproduce MachineStats.glsc_element_failures.
+        nonzero = {
+            cause: count
+            for cause, count in doc["stats"]["glsc_element_failures"].items()
+            if count
+        }
+        assert doc["failed_lanes"] == nonzero
+        assert doc["spec"]["kernel"] == "tms"
+        assert doc["cycles"] > 0
+
+    def test_json_output_is_deterministic(self, capsys):
+        args = ["contend", "tms", "--dataset", "tiny",
+                "--topology", "2x2", "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+    def test_hot_lines_are_symbolized(self, capsys):
+        assert main([
+            "contend", "tms", "--dataset", "tiny", "--topology", "4x4",
+        ]) == 0
+        assert "tms." in capsys.readouterr().out
+
+    def test_micro_spec_accepted(self, capsys):
+        code = main([
+            "contend", "micro:D", "--topology", "2x2",
+        ])
+        assert code == 0
+        assert "# Contention report" in capsys.readouterr().out
+
+
+def status_doc(match):
+    return {
+        "metrics": {},
+        "requests": 3,
+        "workers": [],
+        "queue": {"root": "/q", "pending": 1, "leased": 0,
+                  "lease_s": 60.0},
+        "queue_verify": {
+            "match": match,
+            "scan": {"pending": 2, "leased": 0},
+            "tracked": {"pending": 1, "leased": 0},
+        },
+    }
+
+
 class TestStatusSubcommand:
     def test_unreachable_server_returns_2(self, capsys):
         assert main(["status", "http://127.0.0.1:1"]) == 2
         assert capsys.readouterr().err
+
+    @pytest.fixture
+    def served(self, monkeypatch):
+        """Stub the HTTP round trip with a canned metrics document."""
+        from repro.service import client as client_mod
+
+        def install(doc):
+            monkeypatch.setattr(
+                client_mod.SweepClient, "_request_json",
+                lambda self, method, path: (200, doc),
+            )
+
+        return install
+
+    def test_verify_mismatch_exits_nonzero(self, served, capsys):
+        served(status_doc(match=False))
+        assert main(["status", "--verify"]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_verify_mismatch_exits_nonzero_in_json_mode(
+        self, served, capsys
+    ):
+        served(status_doc(match=False))
+        assert main(["status", "--verify", "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["queue_verify"]["match"] is False
+
+    def test_verify_match_exits_zero(self, served, capsys):
+        served(status_doc(match=True))
+        assert main(["status", "--verify"]) == 0
+        assert "match" in capsys.readouterr().out
+
+    def test_without_verify_flag_mismatch_does_not_gate(
+        self, served, capsys
+    ):
+        # The server only includes queue_verify when asked, but even a
+        # document carrying a mismatch must not flip the exit code
+        # unless the caller requested verification.
+        served(status_doc(match=False))
+        assert main(["status"]) == 0
+        capsys.readouterr()
+
+    def test_contention_rollup_printed_across_workers(
+        self, served, capsys
+    ):
+        doc = status_doc(match=True)
+        doc["workers"] = [
+            {"worker_id": "w0", "claims": 2, "executed": 2,
+             "age_s": 1.0, "contention_failed_lanes": 30,
+             "contention_sc_failures": 4},
+            {"worker_id": "w1", "claims": 1, "executed": 1,
+             "age_s": 2.0, "contention_failed_lanes": 12,
+             "contention_sc_failures": 0},
+        ]
+        served(doc)
+        assert main(["status"]) == 0
+        out = capsys.readouterr().out
+        assert "contention: 42 failed GLSC lanes, 4 sc failures" in out
 
 
 class TestTelemetryFlag:

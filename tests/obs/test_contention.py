@@ -1,0 +1,254 @@
+"""The contention observatory: attribution, marginals, determinism.
+
+Two layers of test: synthetic events driven straight into the sink
+(exact attribution semantics), and real observed runs (the marginal
+cross-checks against MachineStats that the ISSUE's acceptance
+criteria pin, plus bitwise determinism of the report).
+"""
+
+import json
+
+import pytest
+
+from repro.obs.bus import EventBus
+from repro.obs.contention import (
+    ContentionSink,
+    DEFAULT_STORM_THRESHOLD,
+    ENV_THREAD,
+    _depth_bucket,
+)
+from repro.obs.events import ElementOutcome, Invalidation, ReservationLost
+from repro.sim.executor import RunSpec, execute_spec
+
+
+def loss(cycle, core, slot, line, cause, attacker=(-1, -1), kind="glsc"):
+    return ReservationLost(
+        cycle, core, slot, line, kind, cause, attacker[0], attacker[1]
+    )
+
+
+def outcome(cycle, core, slot, line, ok, lanes=1, op="scattercond",
+            cause=None):
+    return ElementOutcome(cycle, core, slot, line, op, lanes, ok, cause)
+
+
+def observed_run(spec, **sink_kwargs):
+    """One observed run: (summary, stats)."""
+    config = spec.config()
+    bus = EventBus()
+    sink = bus.attach(
+        ContentionSink(n_cores=config.n_cores, **sink_kwargs)
+    )
+    captured = {}
+    stats = execute_spec(
+        spec, obs=bus,
+        on_machine=lambda m: captured.update(regions=m.image.regions),
+    )
+    bus.close()
+    return sink.summary(regions=captured["regions"], stats=stats), stats
+
+
+class TestDepthBucket:
+    def test_log2_bins(self):
+        assert _depth_bucket(1) == 1
+        assert _depth_bucket(2) == 2
+        assert _depth_bucket(3) == 2
+        assert _depth_bucket(4) == 4
+        assert _depth_bucket(7) == 4
+        assert _depth_bucket(8) == 8
+
+
+class TestSinkSemantics:
+    def test_rejects_bad_ctor_args(self):
+        with pytest.raises(ValueError):
+            ContentionSink(n_cores=0)
+        with pytest.raises(ValueError):
+            ContentionSink(n_cores=2, window=0)
+
+    def test_kill_attribution_by_global_tid(self):
+        # 2 cores: (core=1, slot=1) is t3, (core=0, slot=0) is t0.
+        sink = ContentionSink(n_cores=2)
+        sink.on_event(
+            loss(10, 1, 1, 0x100, "thread_conflict", attacker=(0, 0))
+        )
+        summary = sink.summary()
+        assert summary.matrix == {0: {3: {"thread_conflict": 1}}}
+        assert summary.row_sums() == {0: 1}
+        assert summary.col_sums() == {3: 1}
+        assert summary.total_kills == 1
+
+    def test_unattributed_kill_lands_in_env_row(self):
+        sink = ContentionSink(n_cores=2)
+        sink.on_event(loss(10, 0, 0, 0x100, "chaos"))
+        summary = sink.summary()
+        assert summary.matrix == {ENV_THREAD: {0: {"chaos": 1}}}
+        assert summary.to_dict()["kill_matrix"] == {
+            "env": {"t0": {"chaos": 1}}
+        }
+
+    def test_consumed_is_not_a_kill(self):
+        sink = ContentionSink(n_cores=2)
+        sink.on_event(
+            loss(5, 0, 0, 0x100, "consumed", attacker=(0, 0),
+                 kind="scalar")
+        )
+        sink.on_event(
+            loss(6, 1, 0, 0x140, "consumed", attacker=(1, 0))
+        )
+        summary = sink.summary()
+        assert summary.total_kills == 0
+        assert summary.matrix == {}
+        assert summary.consumed == {"scalar": 1, "glsc": 1}
+
+    def test_hot_lines_ranked_and_capped(self):
+        sink = ContentionSink(n_cores=1, top_k=2)
+        for _ in range(3):
+            sink.on_event(loss(1, 0, 0, 0x200, "thread_conflict",
+                               attacker=(0, 0)))
+        sink.on_event(Invalidation(2, 0, 0x100, "remote_write"))
+        sink.on_event(outcome(3, 0, 0, 0x300, ok=False, lanes=2,
+                              cause="alias"))
+        summary = sink.summary()
+        assert [h["line_addr"] for h in summary.hot_lines] == [0x200, 0x300]
+        assert summary.hot_lines[0]["kills"] == 3
+        assert summary.hot_lines[1]["failed_lanes"] == 2
+
+    def test_region_symbolization_falls_back_to_hex(self):
+        from repro.mem.layout import RegionMap
+
+        regions = RegionMap()
+        regions.add("k.table", 0x200, 0x40)
+        sink = ContentionSink(n_cores=1)
+        sink.on_event(loss(1, 0, 0, 0x210, "thread_conflict",
+                           attacker=(0, 0)))
+        sink.on_event(loss(1, 0, 0, 0x900, "thread_conflict",
+                           attacker=(0, 0)))
+        summary = sink.summary(regions=regions)
+        by_addr = {h["line_addr"]: h["region"] for h in summary.hot_lines}
+        assert by_addr[0x210] == "k.table+0x10"
+        assert by_addr[0x900] == "0x900"
+
+    def test_retry_streaks_flush_on_success_and_at_summary(self):
+        sink = ContentionSink(n_cores=1)
+        # Three failures then success on one line: one streak of 3.
+        for cycle in (1, 2, 3):
+            sink.on_event(outcome(cycle, 0, 0, 0x100, ok=False,
+                                  cause="thread_conflict"))
+        sink.on_event(outcome(4, 0, 0, 0x100, ok=True))
+        # One failure never resolved: flushed by summary().
+        sink.on_event(outcome(5, 0, 0, 0x140, ok=False,
+                              cause="thread_conflict"))
+        summary = sink.summary()
+        assert summary.retry_depths == {1: 1, 2: 1}
+
+    def test_storm_flagging(self):
+        sink = ContentionSink(n_cores=1, window=100, storm_threshold=4)
+        for cycle in (10, 20, 150):
+            sink.on_event(outcome(cycle, 0, 0, 0x100, ok=False, lanes=2,
+                                  cause="alias"))
+        summary = sink.summary()
+        by_window = {t["window"]: t for t in summary.timeline}
+        assert by_window[0]["failed_lanes"] == 4
+        assert by_window[0]["storm"] is True
+        assert by_window[1]["storm"] is False
+        assert summary.storms == [0]
+
+    def test_matrix_marginal_crosscheck_without_stats(self):
+        sink = ContentionSink(n_cores=2)
+        sink.on_event(loss(1, 0, 0, 0x100, "thread_conflict",
+                           attacker=(1, 0)))
+        sink.on_event(loss(2, 1, 1, 0x140, "eviction", attacker=(1, 0)))
+        checks = sink.summary().crosscheck()
+        assert checks == {"matrix_marginals": True}
+
+
+SMOKE_SPECS = [
+    RunSpec("tms", "tiny", "4x4", 4, "glsc"),
+    RunSpec("hip", "tiny", "2x2", 4, "glsc"),
+    RunSpec("gbc", "tiny", "2x2", 4, "glsc"),
+    RunSpec("tms", "tiny", "2x2", 4, "base"),
+]
+
+
+class TestRealRuns:
+    @pytest.mark.parametrize(
+        "spec", SMOKE_SPECS, ids=lambda s: s.label().replace(" ", "_")
+    )
+    def test_crosschecks_hold_on_smoke_points(self, spec):
+        summary, stats = observed_run(spec)
+        checks = summary.crosscheck()
+        assert checks and all(checks.values()), checks
+        # Marginals re-derived here, independently of crosscheck():
+        assert sum(summary.row_sums().values()) == summary.total_kills
+        assert sum(summary.col_sums().values()) == summary.total_kills
+        assert sum(summary.kills_by_cause.values()) == summary.total_kills
+        assert summary.failed_lanes == {
+            cause: count
+            for cause, count in stats.glsc_element_failures.items()
+            if count
+        }
+
+    def test_observation_does_not_change_cycles(self):
+        spec = SMOKE_SPECS[0]
+        _, observed = observed_run(spec)
+        bare = execute_spec(spec)
+        assert observed.cycles == bare.cycles
+        assert observed.to_dict() == bare.to_dict()
+
+    def test_report_is_deterministic_across_repeats(self):
+        spec = SMOKE_SPECS[0]
+        first, _ = observed_run(spec)
+        second, _ = observed_run(spec)
+        assert first.to_dict() == second.to_dict()
+        assert first.render() == second.render()
+        # and JSON round-trips stably
+        assert (
+            json.dumps(first.to_dict(), sort_keys=True)
+            == json.dumps(second.to_dict(), sort_keys=True)
+        )
+
+    def test_hot_lines_symbolize_to_kernel_regions(self):
+        summary, _ = observed_run(SMOKE_SPECS[0])
+        assert summary.hot_lines
+        for entry in summary.hot_lines:
+            assert entry["region"].startswith("tms.")
+
+    def test_scalar_consumed_matches_sc_counters(self):
+        summary, stats = observed_run(SMOKE_SPECS[3])  # base variant
+        assert stats.sc_count > 0
+        assert (
+            summary.consumed["scalar"]
+            == stats.sc_count - stats.sc_failures
+        )
+
+    def test_compact_block_shape(self):
+        summary, _ = observed_run(SMOKE_SPECS[0])
+        block = summary.compact()
+        assert set(block) == {
+            "kills", "by_cause", "failed_lanes", "hot_line",
+            "hot_line_total", "storms", "max_retry_depth",
+        }
+        assert block["kills"] == summary.total_kills
+        assert block["hot_line"] == summary.hot_lines[0]["region"]
+
+    def test_render_sections_present(self):
+        summary, _ = observed_run(SMOKE_SPECS[0])
+        text = summary.render()
+        for section in (
+            "# Contention report",
+            "## Kill matrix",
+            "## Hot lines",
+            "## Timeline",
+            "## Retry depth histogram",
+        ):
+            assert section in text
+        assert "MISMATCH" not in text  # all cross-checks hold
+
+    def test_storm_threshold_default_is_sane(self):
+        # The default threshold should not flag the tiny smoke points.
+        summary, _ = observed_run(SMOKE_SPECS[0])
+        assert DEFAULT_STORM_THRESHOLD > 0
+        for entry in summary.timeline:
+            assert entry["storm"] == (
+                entry["failed_lanes"] >= DEFAULT_STORM_THRESHOLD
+            )

@@ -85,6 +85,14 @@ class TestHistogram:
         assert hist.count(route="/a") == 1
         assert hist.count(route="/b") == 1
 
+    def test_bucket_override_sorts_and_normalizes(self):
+        hist = Histogram("rate", buckets=(1.0, 0.1, 0.5))
+        assert hist.bounds == (0.1, 0.5, 1.0)
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ConfigError):
+            Histogram("rate", buckets=())
+
 
 class TestRegistry:
     def test_get_or_create_returns_the_same_metric(self):
@@ -98,6 +106,30 @@ class TestRegistry:
         registry.counter("x")
         with pytest.raises(ConfigError):
             registry.gauge("x")
+
+    def test_histogram_accepts_per_metric_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "contention_failure_rate", buckets=(0.01, 0.1, 1.0)
+        )
+        assert hist.bounds == (0.01, 0.1, 1.0)
+        # Re-registering with the same layout gets the same metric,
+        # even when spelled in a different order.
+        again = registry.histogram(
+            "contention_failure_rate", buckets=(1.0, 0.01, 0.1)
+        )
+        assert again is hist
+
+    def test_histogram_bucket_conflict_is_a_config_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(0.1, 1.0))
+        with pytest.raises(ConfigError):
+            registry.histogram("lat", buckets=(0.2, 2.0))
+
+    def test_default_bucket_reregistration_still_get_or_creates(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("lat")
+        assert registry.histogram("lat") is first
 
     def test_prometheus_rendering_covers_every_metric(self):
         registry = MetricsRegistry()

@@ -67,6 +67,31 @@ class TestDisabledPathAllocatesNothing:
         assert result.cycles > 0
         assert sink.thread_instructions  # instr events still flowed
 
+    def test_unobserved_contended_run_builds_no_events(self):
+        # A multi-core contended point exercises the attacker-threaded
+        # ReservationLost emit sites (invalidations, back-invalidations,
+        # write_conditional kills) — all must stay behind the guards.
+        with poisoned(all_event_types()):
+            result = run_kernel("tms", "tiny", named_config("4x4"), "glsc")
+        assert result.cycles > 0
+
+    def test_reservation_events_carry_attacker_identity(self):
+        # Positive check on the new fields: with a reservation
+        # subscriber, cross-thread kills must name a real attacker.
+        from repro.obs.contention import ContentionSink
+
+        bus = EventBus()
+        sink = bus.attach(ContentionSink(n_cores=4))
+        result = run_kernel(
+            "tms", "tiny", named_config("4x4"), "glsc", obs=bus
+        )
+        bus.close()
+        assert result.cycles > 0
+        summary = sink.summary()
+        assert summary.total_kills > 0
+        attackers = set(summary.row_sums())
+        assert attackers and all(tid >= 0 for tid in attackers)
+
     def test_poison_actually_bites_when_enabled(self):
         # Sanity check on the guard itself: with a cache subscriber the
         # same poisoned run must trip, proving the tests above pass

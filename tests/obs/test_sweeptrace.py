@@ -107,6 +107,37 @@ class TestHeartbeats:
     def test_empty_queue_has_no_heartbeats(self, tmp_path):
         assert read_heartbeats(tmp_path) == []
 
+    def test_torn_heartbeat_file_is_skipped(self, tmp_path):
+        # A reader racing os.replace can observe a half-written file;
+        # garbage JSON must not take the whole listing down.
+        write_heartbeat(tmp_path, "worker-0", {"claims": 1})
+        torn = tmp_path / "workers" / "worker-1.json"
+        torn.write_text('{"worker_id": "worker-1", "cla')
+        beats = read_heartbeats(tmp_path)
+        assert [b["worker_id"] for b in beats] == ["worker-0"]
+
+    def test_garbage_ts_is_skipped_not_raised(self, tmp_path):
+        write_heartbeat(tmp_path, "worker-0", {"claims": 1})
+        bad = tmp_path / "workers" / "worker-1.json"
+        bad.write_text(json.dumps(
+            {"worker_id": "worker-1", "ts": "not-a-number", "claims": 9}
+        ))
+        worse = tmp_path / "workers" / "worker-2.json"
+        worse.write_text(json.dumps(
+            {"worker_id": "worker-2", "ts": [1, 2], "claims": 9}
+        ))
+        beats = read_heartbeats(tmp_path)
+        assert [b["worker_id"] for b in beats] == ["worker-0"]
+
+    def test_non_dict_heartbeat_is_skipped(self, tmp_path):
+        write_heartbeat(tmp_path, "worker-0", {"claims": 1})
+        (tmp_path / "workers" / "worker-1.json").write_text("[1, 2, 3]")
+        (tmp_path / "workers" / "worker-2.json").write_text(
+            json.dumps({"claims": 9})  # no worker_id
+        )
+        beats = read_heartbeats(tmp_path)
+        assert [b["worker_id"] for b in beats] == ["worker-0"]
+
 
 def lifecycle_spans(trace_id, actor="worker-0", base=100.0):
     """One digest's full happy path as collected span records."""

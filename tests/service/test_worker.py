@@ -181,6 +181,49 @@ class TestWorkerTelemetry:
         assert beat["failed"] == 0
         assert beat["sim_wall_s"] > 0.0
 
+    def test_contention_series_and_heartbeat_rollup(self, tmp_path):
+        # A contended multi-thread point produces nonzero conflict
+        # counters; the worker folds them into contention_* series and
+        # its heartbeat so the server can aggregate across processes.
+        registry = MetricsRegistry()
+        store = ResultStore(tmp_path / "s", metrics=registry)
+        queue = WorkQueue(tmp_path / "q", metrics=registry)
+        contended = RunSpec("tms", "tiny", "4x4", 4, "glsc")
+        queue.submit(contended)
+        summary = worker_loop(
+            queue, store, worker_id="w0", exit_when_empty=True,
+            heartbeat_s=0.0,
+        )
+        stats = store.load_record(contended.digest())["stats"]
+        expected = sum(stats["glsc_element_failures"].values())
+        assert expected > 0
+        assert summary.contention_failed_lanes == expected
+        lanes = registry.get("contention_failed_lanes_total")
+        assert lanes.total() == expected
+        assert registry.get("contention_failure_rate").count(
+            worker_id="w0"
+        ) == 1
+        beat = read_heartbeats(queue.root)[0]
+        assert beat["contention_failed_lanes"] == expected
+        assert beat["contention_sc_failures"] == stats["sc_failures"]
+
+    def test_single_thread_task_stays_consistent(self, tmp_path):
+        # Even a 1x1 point feeds the series (intra-vector aliases can
+        # fail lanes without any cross-thread contention); the summary,
+        # registry, and heartbeat must agree with the stored stats.
+        summary, registry, _, store, queue = self.drain(tmp_path)
+        stats = store.load_record(SPEC.digest())["stats"]
+        expected = sum(stats["glsc_element_failures"].values())
+        assert summary.contention_failed_lanes == expected
+        assert registry.get(
+            "contention_failed_lanes_total"
+        ).total() == expected
+        assert registry.get("contention_failure_rate").count(
+            worker_id="w0"
+        ) == 1
+        beat = read_heartbeats(queue.root)[0]
+        assert beat["contention_failed_lanes"] == expected
+
     def test_structured_log_narrates_the_drain(self, tmp_path):
         _, _, stream, _, _ = self.drain(tmp_path)
         records = [
