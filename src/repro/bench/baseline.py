@@ -162,10 +162,15 @@ def trajectory_entry(doc: Mapping[str, Any]) -> Dict[str, Any]:
         "created": doc["created"],
         "suite": doc["suite"],
         "repeats": doc["repeats"],
+        # Which execution backend produced the walls ("solo" unless
+        # the doc says otherwise) — batch walls are cycle-shares of a
+        # shared loop, so cross-backend wall diffs are expected.
+        "backend": doc.get("backend", "solo"),
         "headline": {
             "points": len(points),
             "total_wall_s": total_wall,
             "total_cycles": total_cycles,
+            "total_instructions": total_instructions,
             "cyc_per_s": total_cycles / total_wall if total_wall else 0.0,
             "sim_khz": (
                 total_cycles / total_wall / 1e3 if total_wall else 0.0

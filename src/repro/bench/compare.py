@@ -17,9 +17,13 @@ Three gates, in increasing order of severity:
   band, or a flipped dominant failure cause is a hard ``regressed``:
   the reproduction no longer shows the paper's shape.
 
-A fourth, purely informational check reports aggregate simulator
-throughput (``sim_khz``) against the previous trajectory entry; it can
-say ``changed`` or ``improved`` but never fails the gate.
+A fourth check reports aggregate simulator throughput — the noisy
+wall-clock ``sim_khz`` and the deterministic cycles-per-instruction
+proxy — against the previous trajectory entry.  By default it is
+purely informational (``changed``/``improved``, never failing); with
+``gate_throughput=True`` (CLI ``--gate-throughput``) a drop beyond the
+tolerance becomes a failing ``regressed`` verdict, which is how the
+perf-sensitive CI leg pins the batched backend's speed.
 
 The CLI exits non-zero iff :attr:`Comparison.failed`.
 """
@@ -127,12 +131,18 @@ class Comparator:
         abs_floor_s: float = 0.02,
         check_perf: bool = True,
         check_cycles: bool = True,
+        gate_throughput: bool = False,
     ) -> None:
         self.rel_tol = rel_tol
         self.mad_mult = mad_mult
         self.abs_floor_s = abs_floor_s
         self.check_perf = check_perf
         self.check_cycles = check_cycles
+        #: When set, a throughput drop beyond the noise bound (aggregate
+        #: sim_khz) or beyond ``rel_tol`` (the deterministic
+        #: cycles-per-instruction proxy) becomes a failing ``regressed``
+        #: verdict instead of an informational ``changed``.
+        self.gate_throughput = gate_throughput
 
     # -- gates ------------------------------------------------------------
 
@@ -226,10 +236,16 @@ class Comparator:
         )
         out: List[Verdict] = []
         if new_khz < old_khz * (1.0 - noise_frac):
-            verdict, note = "changed", (
-                f"simulator throughput down beyond noise "
-                f"(±{100 * noise_frac:.0f}%); informational, not gating"
-            )
+            if self.gate_throughput:
+                verdict, note = "regressed", (
+                    f"simulator throughput down beyond noise "
+                    f"(±{100 * noise_frac:.0f}%); --gate-throughput"
+                )
+            else:
+                verdict, note = "changed", (
+                    f"simulator throughput down beyond noise "
+                    f"(±{100 * noise_frac:.0f}%); informational, not gating"
+                )
         elif new_khz > old_khz * (1.0 + noise_frac):
             verdict, note = "improved", (
                 f"simulator throughput up beyond noise "
@@ -253,6 +269,61 @@ class Comparator:
                 )
             )
         return out
+
+    def _proxy_verdicts(
+        self,
+        current: Mapping[str, Any],
+        baseline: Mapping[str, Any],
+    ) -> List[Verdict]:
+        """The cycles-per-instruction throughput proxy.
+
+        Unlike wall time, the proxy is deterministic (both numerator
+        and denominator come out of the simulation), so it carries no
+        noise bound — a drift beyond ``rel_tol`` means the *model*
+        retires more cycles per instruction than the baseline did.
+        It gates only under ``gate_throughput``; model work that
+        legitimately shifts the ratio should refresh the baseline.
+        """
+        points = current.get("points", [])
+        total_cycles = sum(p["cycles"] for p in points)
+        total_instr = sum(p.get("instructions", 0) for p in points)
+        if not total_instr:
+            return []
+        new_cpi = total_cycles / total_instr
+        headline = baseline.get("headline", {})
+        old_instr = headline.get("total_instructions")
+        if not old_instr:
+            # Older trajectory entries: derive instruction totals from
+            # the archived rate and wall.
+            ips = headline.get("instr_per_sec")
+            wall = headline.get("total_wall_s")
+            old_instr = ips * wall if ips and wall else None
+        old_cycles = headline.get("total_cycles")
+        if not old_instr or not old_cycles:
+            return []
+        old_cpi = old_cycles / old_instr
+        metric = f"cyc_per_instr:{current.get('suite', '?')}"
+        if new_cpi > old_cpi * (1.0 + self.rel_tol):
+            if self.gate_throughput:
+                verdict = "regressed"
+                note = (
+                    f"cycles/instruction up >{100 * self.rel_tol:.0f}% "
+                    "(deterministic proxy); --gate-throughput"
+                )
+            else:
+                verdict = "changed"
+                note = (
+                    f"cycles/instruction up >{100 * self.rel_tol:.0f}% "
+                    "(deterministic proxy); informational, not gating"
+                )
+        elif new_cpi < old_cpi * (1.0 - self.rel_tol):
+            verdict, note = "improved", "cycles/instruction down"
+        else:
+            verdict, note = "ok", ""
+        return [
+            Verdict(metric, "throughput", verdict, old_cpi, new_cpi,
+                    note=note)
+        ]
 
     def _cycle_verdicts(
         self,
@@ -367,6 +438,13 @@ class Comparator:
             if self.check_cycles:
                 comparison.verdicts.extend(
                     self._cycle_verdicts(current, baseline)
+                )
+                # The cycles-per-instruction proxy is deterministic
+                # (machine-independent), so it rides with the cycle
+                # gate, not the wall-time one: --skip-perf on a
+                # foreign-baseline machine keeps it.
+                comparison.verdicts.extend(
+                    self._proxy_verdicts(current, baseline)
                 )
         if reference is not None:
             comparison.verdicts.extend(

@@ -24,13 +24,7 @@ from repro.errors import ProgramError, SimulationError
 from repro.core.gsu import Gsu
 from repro.core.lsu import Lsu
 from repro.core.ports import L1Port
-from repro.isa.instructions import (
-    IS_COMPUTE_OP,
-    IS_MEMORY_OP,
-    Instr,
-    Kind,
-    N_KINDS,
-)
+from repro.isa.instructions import Instr, Kind, N_KINDS
 from repro.isa.program import Program, ThreadCtx
 from repro.mem.coherence import CoherenceSystem
 from repro.mem.image import MemoryImage
@@ -105,7 +99,7 @@ class HwThread:
             instr = self._send(self._pending_result)
         except StopIteration:
             return None
-        if not isinstance(instr, Instr):
+        if type(instr) is not Instr:
             raise ProgramError(
                 f"thread {self.global_tid} yielded {type(instr).__name__}, "
                 f"expected Instr"
@@ -181,7 +175,7 @@ class Core:
                 f"{self.config.threads_per_core} threads"
             )
         thread.core_id = self.core_id
-        thread.handlers = self._compile_handlers(thread.slot)
+        thread.handlers = self._compile_handlers(thread.slot, thread.stats)
         self.threads.append(thread)
 
     # -- scheduling --------------------------------------------------------
@@ -205,6 +199,40 @@ class Core:
             return None
         if it is None:
             it = self._last_it + 1
+        if n == 1:
+            # Single-thread core: no arbitration.  The round-robin
+            # pointer is identically 0 and the issue loop visits one
+            # thread, so the general path below reduces to exactly
+            # this (same issue condition, same bookkeeping).
+            self._last_it = it
+            thread = threads[0]
+            if thread.state == T_READY and thread.ready_at <= now:
+                try:
+                    instr = thread._send(thread._pending_result)
+                except StopIteration:
+                    thread.state = T_DONE
+                    thread.stats.finish_cycle = now
+                    self.done_events.append(thread)
+                    return None
+                if type(instr) is not Instr:
+                    raise ProgramError(
+                        f"thread {thread.global_tid} yielded "
+                        f"{type(instr).__name__}, expected Instr"
+                    )
+                kind = instr.kind
+                completion, result = thread.handlers[kind](instr, now)
+                if self._maybe_observed:
+                    self._observe(thread, instr, now, completion)
+                thread._pending_result = result
+                if kind == _OP_BARRIER:
+                    thread.state = T_BARRIER
+                    thread.barrier_group = instr.group
+                    thread.barrier_since = now
+                    self.barrier_arrivals.append(thread)
+                    return None
+                thread.ready_at = completion
+                return completion
+            return thread.ready_at if thread.state == T_READY else None
         rr = self._rr + (it - self._last_it - 1)
         self._last_it = it
         issued = 0
@@ -212,7 +240,7 @@ class Core:
         maybe_observed = self._maybe_observed
         next_ready: Optional[int] = None
         for i in range(n):
-            thread = threads[(rr + i) % n] if n > 1 else threads[0]
+            thread = threads[(rr + i) % n]
             if (
                 issued < width
                 and thread.state == T_READY
@@ -226,7 +254,7 @@ class Core:
                     thread.stats.finish_cycle = now
                     self.done_events.append(thread)
                 else:
-                    if not isinstance(instr, Instr):
+                    if type(instr) is not Instr:
                         raise ProgramError(
                             f"thread {thread.global_tid} yielded "
                             f"{type(instr).__name__}, expected Instr"
@@ -235,20 +263,6 @@ class Core:
                     completion, result = thread.handlers[kind](instr, now)
                     if maybe_observed:
                         self._observe(thread, instr, now, completion)
-                    stats = thread.stats
-                    icount = instr.count if IS_COMPUTE_OP[kind] else 1
-                    busy = completion - now
-                    if busy < 1:
-                        busy = 1
-                    stats.instructions += icount
-                    stats.busy_cycles += busy
-                    if IS_MEMORY_OP[kind]:
-                        stats.mem_instructions += 1
-                        if busy > 1:
-                            stats.mem_stall_cycles += busy - 1
-                    if instr.sync:
-                        stats.sync_instructions += icount
-                        stats.sync_cycles += busy
                     thread._pending_result = result
                     if kind == _OP_BARRIER:
                         thread.state = T_BARRIER
@@ -307,12 +321,30 @@ class Core:
 
     # -- dispatch compilation ----------------------------------------------
 
-    def _compile_handlers(self, slot: int) -> List[Handler]:
+    def _compile_handlers(self, slot: int, stats: ThreadStats) -> List[Handler]:
         """Bind one handler per instruction kind for SMT slot ``slot``.
 
-        Each handler closes over the unit method and the slot, so the
-        issue path pays one list index + one call instead of a dispatch
-        chain; operand decode is just attribute loads off the Instr.
+        Each handler closes over the unit method, the slot, and the
+        thread's stats, so the issue path pays one list index + one
+        call instead of a dispatch chain; operand decode is just
+        attribute loads off the Instr.  The per-instruction stats
+        accounting lives *inside* each handler: a handler knows
+        statically whether its kind is a compute op (retires ``count``
+        operations) or a memory op (counts a memory instruction and
+        stall cycles), so the generic table lookups and branches the
+        issue loop used to pay per instruction are resolved at compile
+        time.  Every handler must keep the accounting identical to::
+
+            icount = instr.count if IS_COMPUTE_OP[kind] else 1
+            busy = max(completion - now, 1)
+            stats.instructions += icount
+            stats.busy_cycles += busy
+            if IS_MEMORY_OP[kind]:
+                stats.mem_instructions += 1
+                stats.mem_stall_cycles += busy - 1 if busy > 1 else 0
+            if instr.sync:
+                stats.sync_instructions += icount
+                stats.sync_cycles += busy
         """
         lsu = self.lsu
         gsu = self.gsu
@@ -322,33 +354,101 @@ class Core:
         gather, scatter = gsu.gather, gsu.scatter
 
         def h_alu(instr: Instr, now: int):
-            return now + instr.count, None
+            count = instr.count  # busy == count: 1 cycle/op, count >= 1
+            stats.instructions += count
+            stats.busy_cycles += count
+            if instr.sync:
+                stats.sync_instructions += count
+                stats.sync_cycles += count
+            return now + count, None
 
         def h_valu(instr: Instr, now: int):
-            return now + instr.count, instr.fn()
+            result = instr.fn()
+            count = instr.count
+            stats.instructions += count
+            stats.busy_cycles += count
+            if instr.sync:
+                stats.sync_instructions += count
+                stats.sync_cycles += count
+            return now + count, result
 
         def h_load(instr: Instr, now: int):
             value, completion = load(slot, instr.addr, now, sync=instr.sync)
+            busy = completion - now
+            if busy < 1:
+                busy = 1
+            stats.instructions += 1
+            stats.busy_cycles += busy
+            stats.mem_instructions += 1
+            if busy > 1:
+                stats.mem_stall_cycles += busy - 1
+            if instr.sync:
+                stats.sync_instructions += 1
+                stats.sync_cycles += busy
             return completion, value
 
         def h_store(instr: Instr, now: int):
             completion = store(
                 slot, instr.addr, instr.value, now, sync=instr.sync
             )
+            busy = completion - now
+            if busy < 1:
+                busy = 1
+            stats.instructions += 1
+            stats.busy_cycles += busy
+            stats.mem_instructions += 1
+            if busy > 1:
+                stats.mem_stall_cycles += busy - 1
+            if instr.sync:
+                stats.sync_instructions += 1
+                stats.sync_cycles += busy
             return completion, None
 
         def h_ll(instr: Instr, now: int):
             value, completion = ll(slot, instr.addr, now)
+            busy = completion - now
+            if busy < 1:
+                busy = 1
+            stats.instructions += 1
+            stats.busy_cycles += busy
+            stats.mem_instructions += 1
+            if busy > 1:
+                stats.mem_stall_cycles += busy - 1
+            if instr.sync:
+                stats.sync_instructions += 1
+                stats.sync_cycles += busy
             return completion, value
 
         def h_sc(instr: Instr, now: int):
             success, completion = sc(slot, instr.addr, instr.value, now)
+            busy = completion - now
+            if busy < 1:
+                busy = 1
+            stats.instructions += 1
+            stats.busy_cycles += busy
+            stats.mem_instructions += 1
+            if busy > 1:
+                stats.mem_stall_cycles += busy - 1
+            if instr.sync:
+                stats.sync_instructions += 1
+                stats.sync_cycles += busy
             return completion, success
 
         def h_vload(instr: Instr, now: int):
             values, completion = vload(
                 slot, instr.addr, instr.count, now, sync=instr.sync
             )
+            busy = completion - now
+            if busy < 1:
+                busy = 1
+            stats.instructions += 1
+            stats.busy_cycles += busy
+            stats.mem_instructions += 1
+            if busy > 1:
+                stats.mem_stall_cycles += busy - 1
+            if instr.sync:
+                stats.sync_instructions += 1
+                stats.sync_cycles += busy
             return completion, values
 
         def h_vstore(instr: Instr, now: int):
@@ -356,6 +456,17 @@ class Core:
                 slot, instr.addr, instr.values, instr.mask, now,
                 sync=instr.sync,
             )
+            busy = completion - now
+            if busy < 1:
+                busy = 1
+            stats.instructions += 1
+            stats.busy_cycles += busy
+            stats.mem_instructions += 1
+            if busy > 1:
+                stats.mem_stall_cycles += busy - 1
+            if instr.sync:
+                stats.sync_instructions += 1
+                stats.sync_cycles += busy
             return completion, None
 
         def h_vgather(instr: Instr, now: int):
@@ -363,6 +474,17 @@ class Core:
                 slot, instr.base, instr.indices, instr.mask, now,
                 linked=False, sync=instr.sync,
             )
+            busy = completion - now
+            if busy < 1:
+                busy = 1
+            stats.instructions += 1
+            stats.busy_cycles += busy
+            stats.mem_instructions += 1
+            if busy > 1:
+                stats.mem_stall_cycles += busy - 1
+            if instr.sync:
+                stats.sync_instructions += 1
+                stats.sync_cycles += busy
             return completion, values
 
         def h_vgatherlink(instr: Instr, now: int):
@@ -370,6 +492,17 @@ class Core:
                 slot, instr.base, instr.indices, instr.mask, now,
                 linked=True,
             )
+            busy = completion - now
+            if busy < 1:
+                busy = 1
+            stats.instructions += 1
+            stats.busy_cycles += busy
+            stats.mem_instructions += 1
+            if busy > 1:
+                stats.mem_stall_cycles += busy - 1
+            if instr.sync:
+                stats.sync_instructions += 1
+                stats.sync_cycles += busy
             return completion, result
 
         def h_vscatter(instr: Instr, now: int):
@@ -377,6 +510,17 @@ class Core:
                 slot, instr.base, instr.indices, instr.values, instr.mask,
                 now, conditional=False, sync=instr.sync,
             )
+            busy = completion - now
+            if busy < 1:
+                busy = 1
+            stats.instructions += 1
+            stats.busy_cycles += busy
+            stats.mem_instructions += 1
+            if busy > 1:
+                stats.mem_stall_cycles += busy - 1
+            if instr.sync:
+                stats.sync_instructions += 1
+                stats.sync_cycles += busy
             return completion, None
 
         def h_vscattercond(instr: Instr, now: int):
@@ -384,9 +528,25 @@ class Core:
                 slot, instr.base, instr.indices, instr.values, instr.mask,
                 now, conditional=True,
             )
+            busy = completion - now
+            if busy < 1:
+                busy = 1
+            stats.instructions += 1
+            stats.busy_cycles += busy
+            stats.mem_instructions += 1
+            if busy > 1:
+                stats.mem_stall_cycles += busy - 1
+            if instr.sync:
+                stats.sync_instructions += 1
+                stats.sync_cycles += busy
             return completion, out_mask
 
         def h_barrier(instr: Instr, now: int):
+            stats.instructions += 1  # busy is identically 1
+            stats.busy_cycles += 1
+            if instr.sync:
+                stats.sync_instructions += 1
+                stats.sync_cycles += 1
             return now + 1, None
 
         def h_unhandled(instr: Instr, now: int):

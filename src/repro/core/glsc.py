@@ -60,6 +60,18 @@ class GlscTracker:
         """
         raise NotImplementedError
 
+    def take(self, core_id: int, line_addr: int) -> Optional[int]:
+        """``holder`` + ``clear`` in one lookup (hot write path).
+
+        Returns the slot that held the reservation, or None.  Not
+        suitable for conditional consumption (``write_conditional``
+        keeps the entry intact on a failed check).
+        """
+        holder = self.holder(core_id, line_addr)
+        if holder is not None:
+            self.clear(core_id, line_addr)
+        return holder
+
     def live_entries(self) -> List[Tuple[int, int]]:
         """All live (core, line) reservations (failure-injection hook)."""
         raise NotImplementedError
@@ -91,6 +103,14 @@ class TagGlscTracker(GlscTracker):
         line = self._l1s[core_id].lookup(line_addr)
         if line is not None:
             line.clear_glsc()
+
+    def take(self, core_id: int, line_addr: int) -> Optional[int]:
+        line = self._l1s[core_id].lookup(line_addr)
+        if line is None or not line.glsc_valid:
+            return None
+        holder = line.glsc_tid
+        line.clear_glsc()
+        return holder
 
     def live_entries(self) -> List[Tuple[int, int]]:
         return [
@@ -133,6 +153,9 @@ class BufferGlscTracker(GlscTracker):
 
     def clear(self, core_id: int, line_addr: int) -> None:
         self._buffers[core_id].pop(line_addr, None)
+
+    def take(self, core_id: int, line_addr: int) -> Optional[int]:
+        return self._buffers[core_id].pop(line_addr, None)
 
     def live_entries(self) -> List[Tuple[int, int]]:
         return [

@@ -41,16 +41,15 @@ from repro.sim.stats import MachineStats
 __all__ = ["Gsu"]
 
 
-class _LaneRequest:
-    """One active lane of an indexed SIMD memory instruction."""
-
-    __slots__ = ("lane", "order", "addr", "line_addr")
-
-    def __init__(self, lane: int, order: int, addr: int, line_addr: int) -> None:
-        self.lane = lane
-        self.order = order  # position in address-generation sequence
-        self.addr = addr
-        self.line_addr = line_addr
+#: One active lane of an indexed SIMD memory instruction, as the tuple
+#: ``(lane, order, addr, line_addr)`` — plain tuples keep the per-lane
+#: cost on the hot paths to one allocation.  ``order`` is the lane's
+#: position in the address-generation sequence.
+_LANE = 0
+_ORDER = 1
+_ADDR = 2
+_LINE = 3
+_LaneRequest = Tuple[int, int, int, int]
 
 
 class Gsu:
@@ -86,20 +85,39 @@ class Gsu:
 
     def _lane_requests(
         self, base: int, indices: Sequence[int], mask: Mask
-    ) -> List[_LaneRequest]:
+    ) -> Tuple[List[_LaneRequest], "Dict[int, List[_LaneRequest]]"]:
+        """Active-lane requests plus their by-line grouping, in one pass.
+
+        The grouping matches :meth:`_group_by_line` of the same list;
+        callers that filter the requests (alias resolution) must
+        regroup the survivors — but only when lanes were actually
+        dropped, which the hot paths test for.
+        """
         line_bytes = self._line_bytes
         requests = []
-        for order, lane in enumerate(mask.active_lanes()):
+        groups: Dict[int, List[_LaneRequest]] = {}
+        order = 0
+        bits = mask._bits
+        while bits:
+            lane = (bits & -bits).bit_length() - 1  # lowest set bit
+            bits &= bits - 1
             addr = base + indices[lane] * WORD_BYTES
-            requests.append(
-                _LaneRequest(lane, order, addr, addr - addr % line_bytes)
-            )
-        return requests
+            line_addr = addr - addr % line_bytes
+            req = (lane, order, addr, line_addr)
+            requests.append(req)
+            group = groups.get(line_addr)
+            if group is None:
+                groups[line_addr] = [req]
+            else:
+                group.append(req)
+            order += 1
+        return requests, groups
 
     def _start_generation(self, now: int, n_active: int) -> int:
         """Claim the address generator; returns the start cycle."""
-        start = max(now, self._gen_free)
-        self._gen_free = start + max(n_active, 1)
+        free = self._gen_free
+        start = now if now > free else free
+        self._gen_free = start + (n_active if n_active > 1 else 1)
         return start
 
     def _group_by_line(
@@ -107,7 +125,12 @@ class Gsu:
     ) -> "Dict[int, List[_LaneRequest]]":
         groups: Dict[int, List[_LaneRequest]] = {}
         for req in requests:
-            groups.setdefault(req.line_addr, []).append(req)
+            line_addr = req[_LINE]
+            group = groups.get(line_addr)
+            if group is None:
+                groups[line_addr] = [req]
+            else:
+                group.append(req)
         return groups
 
     def _resolve_aliases(
@@ -118,14 +141,15 @@ class Gsu:
         The lowest-ordered lane for each distinct word address wins;
         every other lane aliasing that word fails with cause 'alias'.
         """
-        seen: Dict[int, _LaneRequest] = {}
+        seen = set()
         winners: List[_LaneRequest] = []
         losers: List[_LaneRequest] = []
         for req in requests:
-            if req.addr in seen:
+            addr = req[_ADDR]
+            if addr in seen:
                 losers.append(req)
             else:
-                seen[req.addr] = req
+                seen.add(addr)
                 winners.append(req)
         return winners, losers
 
@@ -154,14 +178,14 @@ class Gsu:
             if obs is not None and obs.wants_glsc:
                 obs.emit(
                     LineCombine(
-                        start, self.core_id, slot, group[0].line_addr,
+                        start, self.core_id, slot, group[0][_LINE],
                         op, extra, sync,
                     )
                 )
             return completion
         wants_cache = obs is not None and obs.wants_cache
         for req in group[1:]:
-            acc_start = self.port.book(start + req.order + 1)
+            acc_start = self.port.book(start + req[_ORDER] + 1)
             self.stats.l1_accesses += 1
             self.stats.l1_hits += 1
             if sync:
@@ -169,7 +193,7 @@ class Gsu:
             if wants_cache:
                 obs.emit(
                     CacheHit(
-                        acc_start, self.core_id, slot, req.line_addr,
+                        acc_start, self.core_id, slot, req[_LINE],
                         "L1", "write" if op == "scatter" else "read",
                     )
                 )
@@ -198,7 +222,7 @@ class Gsu:
         gathers the out mask simply echoes the input mask.
         """
         width = mask.width
-        requests = self._lane_requests(base, indices, mask)
+        requests, groups = self._lane_requests(base, indices, mask)
         start = self._start_generation(now, len(requests))
         values: List = [0] * width
         out_bits = 0
@@ -210,36 +234,35 @@ class Gsu:
             self.stats.gatherlink_count += 1
             self.stats.gatherlink_elements += len(requests)
 
-        alias_losers: List[_LaneRequest] = []
-        link_candidates = requests
         if linked and self._alias_in_gather:
             link_candidates, alias_losers = self._resolve_aliases(requests)
-            for req in alias_losers:
-                self.stats.record_glsc_failure("alias")
-                if wants_glsc:
-                    obs.emit(
-                        ElementOutcome(
-                            start, self.core_id, slot, req.line_addr,
-                            "gatherlink", 1, False, "alias",
+            if alias_losers:
+                groups = self._group_by_line(link_candidates)
+                for req in alias_losers:
+                    self.stats.record_glsc_failure("alias")
+                    if wants_glsc:
+                        obs.emit(
+                            ElementOutcome(
+                                start, self.core_id, slot, req[_LINE],
+                                "gatherlink", 1, False, "alias",
+                            )
                         )
-                    )
 
         # Pipeline floor: setup/assembly overhead plus one
         # address-generation cycle per active lane gives exactly the
         # (4 + SIMD-width) minimum of Table 1 when everything hits.
         completion = start + self._assembly_cycles + len(requests)
-        groups = self._group_by_line(link_candidates)
+        book = self.port.book
         for line_addr, group in groups.items():
             first = group[0]
-            gen_cycle = start + first.order + 1
-            acc_start = self.port.book(gen_cycle)
+            acc_start = book(start + first[_ORDER] + 1)
             if linked:
                 access, ok, cause = self.coherence.read_linked(
-                    self.core_id, slot, first.addr, acc_start
+                    self.core_id, slot, first[_ADDR], acc_start
                 )
                 if ok:
                     for req in group:
-                        out_bits |= 1 << req.lane
+                        out_bits |= 1 << req[_LANE]
                 else:
                     self.stats.record_glsc_failure(cause, len(group))
                 if wants_glsc:
@@ -251,21 +274,25 @@ class Gsu:
                     )
             else:
                 access = self.coherence.read(
-                    self.core_id, slot, first.addr, acc_start, sync=sync
+                    self.core_id, slot, first[_ADDR], acc_start, sync=sync
                 )
                 for req in group:
-                    out_bits |= 1 << req.lane
-            completion = max(completion, acc_start + access.latency)
-            completion = self._charge_combined_lanes(
-                group, slot, "gather", start, sync, completion
-            )
+                    out_bits |= 1 << req[_LANE]
+            acc_end = acc_start + access.latency
+            if acc_end > completion:
+                completion = acc_end
+            if len(group) > 1:
+                completion = self._charge_combined_lanes(
+                    group, slot, "gather", start, sync, completion
+                )
 
         # Every active lane observes the gathered value, even alias
         # losers and link failures (their out-mask bit is simply clear).
+        load_word = self.image.load_word
         for req in requests:
-            values[req.lane] = self.image.load_word(req.addr)
+            values[req[_LANE]] = load_word(req[_ADDR])
 
-        return (tuple(values), Mask(out_bits, width)), completion
+        return (tuple(values), Mask._raw(out_bits, width)), completion
 
     # ------------------------------------------------------------------
     # scatters
@@ -289,7 +316,7 @@ class Gsu:
         highest-lane-wins (undefined in the paper's ISA).
         """
         width = mask.width
-        requests = self._lane_requests(base, indices, mask)
+        requests, groups = self._lane_requests(base, indices, mask)
         start = self._start_generation(now, len(requests))
         out_bits = 0
         sync = sync or conditional
@@ -297,33 +324,34 @@ class Gsu:
         obs = self.obs
         wants_glsc = obs is not None and obs.wants_glsc
 
+        store_word = self.image.store_word
+        book = self.port.book
         if conditional:
             self.stats.scattercond_count += 1
             self.stats.scattercond_elements += len(requests)
-            survivors = requests
             if not self._alias_in_gather:
                 survivors, losers = self._resolve_aliases(requests)
-                for req in losers:
-                    self.stats.record_glsc_failure("alias")
-                    if wants_glsc:
-                        obs.emit(
-                            ElementOutcome(
-                                start, self.core_id, slot, req.line_addr,
-                                "scattercond", 1, False, "alias",
+                if losers:
+                    groups = self._group_by_line(survivors)
+                    for req in losers:
+                        self.stats.record_glsc_failure("alias")
+                        if wants_glsc:
+                            obs.emit(
+                                ElementOutcome(
+                                    start, self.core_id, slot, req[_LINE],
+                                    "scattercond", 1, False, "alias",
+                                )
                             )
-                        )
-            groups = self._group_by_line(survivors)
             for line_addr, group in groups.items():
                 first = group[0]
-                gen_cycle = start + first.order + 1
-                acc_start = self.port.book(gen_cycle)
+                acc_start = book(start + first[_ORDER] + 1)
                 access, ok, cause = self.coherence.write_conditional(
-                    self.core_id, slot, first.addr, acc_start
+                    self.core_id, slot, first[_ADDR], acc_start
                 )
                 if ok:
                     for req in group:
-                        self.image.store_word(req.addr, values[req.lane])
-                        out_bits |= 1 << req.lane
+                        store_word(req[_ADDR], values[req[_LANE]])
+                        out_bits |= 1 << req[_LANE]
                     self.stats.scattercond_successes += len(group)
                 else:
                     self.stats.record_glsc_failure(cause, len(group))
@@ -334,25 +362,29 @@ class Gsu:
                             "scattercond", len(group), ok, cause,
                         )
                     )
-                completion = max(completion, acc_start + access.latency)
-                completion = self._charge_combined_lanes(
-                    group, slot, "scatter", start, sync, completion
-                )
+                acc_end = acc_start + access.latency
+                if acc_end > completion:
+                    completion = acc_end
+                if len(group) > 1:
+                    completion = self._charge_combined_lanes(
+                        group, slot, "scatter", start, sync, completion
+                    )
         else:
-            groups = self._group_by_line(requests)
             for line_addr, group in groups.items():
                 first = group[0]
-                gen_cycle = start + first.order + 1
-                acc_start = self.port.book(gen_cycle)
+                acc_start = book(start + first[_ORDER] + 1)
                 access = self.coherence.write(
-                    self.core_id, slot, first.addr, acc_start, sync=sync
+                    self.core_id, slot, first[_ADDR], acc_start, sync=sync
                 )
                 for req in group:
-                    self.image.store_word(req.addr, values[req.lane])
-                    out_bits |= 1 << req.lane
-                completion = max(completion, acc_start + access.latency)
-                completion = self._charge_combined_lanes(
-                    group, slot, "scatter", start, sync, completion
-                )
+                    store_word(req[_ADDR], values[req[_LANE]])
+                    out_bits |= 1 << req[_LANE]
+                acc_end = acc_start + access.latency
+                if acc_end > completion:
+                    completion = acc_end
+                if len(group) > 1:
+                    completion = self._charge_combined_lanes(
+                        group, slot, "scatter", start, sync, completion
+                    )
 
-        return Mask(out_bits, width), completion
+        return Mask._raw(out_bits, width), completion

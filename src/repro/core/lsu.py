@@ -106,12 +106,17 @@ class Lsu:
         end = addr + nbytes - 1
         last_line = end - end % line_bytes
         offset = 0
+        book = self.port.book
+        read = self.coherence.read
+        core_id = self.core_id
         while line <= last_line:
-            start = self.port.book(now + offset)
-            access = self.coherence.read(
-                self.core_id, slot, max(line, addr), start, sync=sync
+            start = book(now + offset)
+            access = read(
+                core_id, slot, line if line > addr else addr, start, sync=sync
             )
-            completion = max(completion, start + access.latency)
+            acc_end = start + access.latency
+            if acc_end > completion:
+                completion = acc_end
             line += line_bytes
             offset += 1
         values = tuple(self.image.load_words(addr, width))

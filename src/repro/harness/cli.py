@@ -508,6 +508,16 @@ def _main_bench(argv: List[str]) -> int:
         help="skip the per-point gather/compute/retry/stall "
              "attribution pass (halves bench wall time)",
     )
+    p_run.add_argument(
+        "--backend", default="solo", choices=("solo", "batch"),
+        help="how timed repeats simulate: one machine at a time "
+             "(solo, default) or many per process through the "
+             "batched backend (batch)",
+    )
+    p_run.add_argument(
+        "--batch-size", type=int, default=16, metavar="N",
+        help="specs per batch with --backend batch (default: 16)",
+    )
 
     for verb, help_text in (
         ("compare", "gate the newest run; exit 1 on a regression"),
@@ -534,6 +544,12 @@ def _main_bench(argv: List[str]) -> int:
         p.add_argument(
             "--rel-tol", type=float, default=0.15, metavar="F",
             help="relative wall-time tolerance (default: 0.15)",
+        )
+        p.add_argument(
+            "--gate-throughput", action="store_true",
+            help="escalate the (normally informational) aggregate "
+                 "sim_khz and cycles-per-instruction checks to "
+                 "failing verdicts at --rel-tol",
         )
         if verb == "report":
             p.add_argument(
@@ -573,14 +589,19 @@ def _main_bench(argv: List[str]) -> int:
     if args.verb == "run":
         suite = get_suite(args.suite, protocol=args.protocol)
         sha = current_git_sha(args.dir)
+        backend_note = (
+            f", batched x{args.batch_size}"
+            if args.backend == "batch" else ""
+        )
         print(
             f"bench run: suite {suite.name} ({len(suite)} points), "
-            f"{args.repeats} repeat(s), sha {sha}"
+            f"{args.repeats} repeat(s), sha {sha}{backend_note}"
         )
         runner = BenchRunner(
             suite, repeats=args.repeats, git_sha=sha,
             progress=lambda msg: print(f"  {msg}"),
             phases=not args.no_phases,
+            backend=args.backend, batch_size=args.batch_size,
         )
         if args.profile:
             import cProfile
@@ -675,6 +696,7 @@ def _main_bench(argv: List[str]) -> int:
         rel_tol=args.rel_tol,
         check_perf=not args.skip_perf,
         check_cycles=not args.skip_cycles,
+        gate_throughput=args.gate_throughput,
     )
     comparison = comparator.compare(doc, baseline, reference)
 

@@ -108,6 +108,10 @@ IS_MEMORY_OP = tuple(
 
 
 
+#: Interned scalar-ALU descriptors, keyed (count, sync); see Instr.alu.
+_ALU_INTERNED: dict = {}
+
+
 class Instr:
     """One dynamic instruction yielded by a thread program.
 
@@ -173,7 +177,15 @@ class Instr:
 
     @classmethod
     def alu(cls, count: int = 1, sync: bool = False) -> "Instr":
-        """``count`` scalar ALU operations (1 cycle each)."""
+        """``count`` scalar ALU operations (1 cycle each).
+
+        Instances are interned per ``(count, sync)``: an ``Instr`` is
+        immutable once built and kernels yield enormous numbers of
+        identical scalar-ALU descriptors, so one object serves all.
+        """
+        instr = _ALU_INTERNED.get((count, sync))
+        if instr is not None:
+            return instr
         if count < 1:
             raise IsaError(f"alu count must be >= 1, got {count}")
         instr = cls.__new__(cls)
@@ -188,6 +200,7 @@ class Instr:
         instr.mask = None
         instr.sync = sync
         instr.group = None
+        _ALU_INTERNED[(count, sync)] = instr
         return instr
 
     @classmethod

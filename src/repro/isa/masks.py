@@ -44,6 +44,19 @@ class Mask:
     # -- constructors ---------------------------------------------------
 
     @classmethod
+    def _raw(cls, bits: int, width: int) -> "Mask":
+        """Unvalidated construction for callers with in-range bits.
+
+        The algebra operators and the GSU build masks whose bits are
+        already guaranteed to fit the width; skipping ``__init__``'s
+        checks keeps them off the hot path.
+        """
+        mask = object.__new__(cls)
+        mask._bits = bits
+        mask._width = width
+        return mask
+
+    @classmethod
     def all_ones(cls, width: int) -> "Mask":
         """The ``ALL_ONES`` immediate from the paper's pseudo-code."""
         return cls((1 << width) - 1, width)
@@ -126,23 +139,23 @@ class Mask:
 
     def __and__(self, other: "Mask") -> "Mask":
         self._check_peer(other)
-        return Mask(self._bits & other._bits, self._width)
+        return Mask._raw(self._bits & other._bits, self._width)
 
     def __or__(self, other: "Mask") -> "Mask":
         self._check_peer(other)
-        return Mask(self._bits | other._bits, self._width)
+        return Mask._raw(self._bits | other._bits, self._width)
 
     def __xor__(self, other: "Mask") -> "Mask":
         self._check_peer(other)
-        return Mask(self._bits ^ other._bits, self._width)
+        return Mask._raw(self._bits ^ other._bits, self._width)
 
     def __invert__(self) -> "Mask":
-        return Mask(~self._bits & (1 << self._width) - 1, self._width)
+        return Mask._raw(~self._bits & (1 << self._width) - 1, self._width)
 
     def andnot(self, other: "Mask") -> "Mask":
         """Lanes active in ``self`` but not in ``other``."""
         self._check_peer(other)
-        return Mask(self._bits & ~other._bits, self._width)
+        return Mask._raw(self._bits & ~other._bits, self._width)
 
     def with_lane(self, i: int, value: bool) -> "Mask":
         """A copy with lane ``i`` forced to ``value``."""

@@ -201,8 +201,15 @@ class CoherenceSystem:
         (a store-conditional's own reservation must be consumed by the
         caller *before* invoking this).
         """
-        line_addr = self._line_addr(addr)
-        self._count_l1_access(sync, now)
+        if addr < 0:
+            raise AlignmentError(f"negative address {addr:#x}")
+        line_addr = addr - addr % self._line_bytes
+        stats = self.stats
+        stats.l1_accesses += 1
+        if sync:
+            stats.l1_sync_accesses += 1
+        if self._chaos_rng is not None:
+            self._maybe_inject_loss(now)
         result = self._obtain_modified(core, slot, line_addr, now)
         self._kill_reservations_on_write(core, line_addr, now,
                                          attacker_slot=slot)
@@ -228,11 +235,16 @@ class CoherenceSystem:
           ``glsc_fail_on_miss`` chose to fail it rather than wait
           (freedom (c)); the fill still happens so a retry will hit.
         """
-        line_addr = self._line_addr(addr)
-        self._count_l1_access(sync=True, now=now)
+        if addr < 0:
+            raise AlignmentError(f"negative address {addr:#x}")
+        line_addr = addr - addr % self._line_bytes
+        self.stats.l1_accesses += 1
+        self.stats.l1_sync_accesses += 1
+        if self._chaos_rng is not None:
+            self._maybe_inject_loss(now)
         cfg = self.config
         obs = self.obs
-        line = self.l1s[core].lookup(line_addr)
+        line = self._l1_lookups[core](line_addr)
         if line is not None:
             holder = self.glsc.holder(core, line_addr)
             if holder is not None and holder != slot:
@@ -303,8 +315,13 @@ class CoherenceSystem:
         GLSC entry is consumed, the line is brought to M, and all other
         reservations on the line are destroyed.
         """
-        line_addr = self._line_addr(addr)
-        self._count_l1_access(sync=True, now=now)
+        if addr < 0:
+            raise AlignmentError(f"negative address {addr:#x}")
+        line_addr = addr - addr % self._line_bytes
+        self.stats.l1_accesses += 1
+        self.stats.l1_sync_accesses += 1
+        if self._chaos_rng is not None:
+            self._maybe_inject_loss(now)
         if not self.glsc.check(core, slot, line_addr):
             cause = self._glsc_loss_cause.pop(
                 (core, line_addr), "thread_conflict"
@@ -425,7 +442,8 @@ class CoherenceSystem:
     def _book_l2_bank(self, line_addr: int, now: int) -> int:
         """Queue on the line's L2 bank; returns added waiting cycles."""
         bank = self.l2.bank_of(line_addr)
-        start = max(now, self._bank_free[bank])
+        free = self._bank_free[bank]
+        start = now if now > free else free
         self._bank_free[bank] = start + self.config.l2_bank_busy_cycles
         return start - now
 
@@ -652,7 +670,7 @@ class CoherenceSystem:
         attacker_slot: int = -1,
     ) -> None:
         """Clear a GLSC entry, remembering why it died (for Table 4)."""
-        holder = self.glsc.holder(core, line_addr)
+        holder = self.glsc.take(core, line_addr)
         if holder is not None:
             self._glsc_loss_cause[(core, line_addr)] = cause
             obs = self.obs
@@ -661,7 +679,6 @@ class CoherenceSystem:
                     ReservationLost(now, core, holder, line_addr, "glsc",
                                     cause, attacker_core, attacker_slot)
                 )
-        self.glsc.clear(core, line_addr)
 
     def _kill_glsc_departed(
         self,
@@ -698,15 +715,34 @@ class CoherenceSystem:
         now: int,
         attacker_slot: int = -1,
     ) -> None:
-        """A word on ``line_addr`` was written: destroy every reservation."""
-        victims = self.reservations.clear_line(line_addr)
-        self._emit_scalar_losses(victims, line_addr, "thread_conflict", now,
-                                 writer_core, attacker_slot)
+        """A word on ``line_addr`` was written: destroy every reservation.
+
+        Runs once per store, so the common no-reservations case is
+        resolved inline: the scalar file is consulted only when it has
+        any holder at all, and the GLSC entry is taken (holder + clear
+        in one lookup) rather than queried then cleared.
+        """
+        reservations = self.reservations
+        if reservations._held:
+            victims = reservations.clear_line(line_addr)
+            if victims:
+                self._emit_scalar_losses(victims, line_addr,
+                                         "thread_conflict", now,
+                                         writer_core, attacker_slot)
         # Other cores' GLSC entries died with their invalidations; the
         # writer's own core may still hold one (another SMT thread, or
         # a stale own link) — normal stores clear it too (Section 3.3).
-        self._kill_glsc(writer_core, line_addr, "thread_conflict", now,
-                        writer_core, attacker_slot)
+        holder = self.glsc.take(writer_core, line_addr)
+        if holder is not None:
+            self._glsc_loss_cause[(writer_core, line_addr)] = \
+                "thread_conflict"
+            obs = self.obs
+            if obs is not None and obs.wants_reservation:
+                obs.emit(
+                    ReservationLost(now, writer_core, holder, line_addr,
+                                    "glsc", "thread_conflict",
+                                    writer_core, attacker_slot)
+                )
 
     # ------------------------------------------------------------------
     # prefetcher

@@ -16,14 +16,31 @@ simulated outcome is whatever the modeled hardware allows.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import AllocationError, MemoryError_
 from repro.mem.layout import WORD_BYTES, LineGeometry, RegionMap
 
-__all__ = ["MemoryImage", "ArrayView"]
+__all__ = ["MemoryImage", "ArrayView", "ImageSnapshot"]
 
 Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class ImageSnapshot:
+    """Frozen post-``allocate`` state of a :class:`MemoryImage`.
+
+    Produced by :meth:`MemoryImage.snapshot`, consumed by
+    :meth:`MemoryImage.from_snapshot`.  ``words`` and ``regions`` are
+    shared by reference — treat them as read-only.
+    """
+
+    size_bytes: int
+    geometry: LineGeometry
+    words: Dict[int, Number]
+    brk: int
+    regions: RegionMap
 
 
 class MemoryImage:
@@ -123,6 +140,40 @@ class MemoryImage:
     def bytes_allocated(self) -> int:
         """Current bump-pointer position (bytes handed out so far)."""
         return self._brk
+
+    # -- snapshots (batched backend) -------------------------------------
+
+    def snapshot(self) -> "ImageSnapshot":
+        """An immutable copy of this image's contents and allocator state.
+
+        The batched backend allocates a kernel's data once into a
+        template image, snapshots it, and hydrates one private image
+        per machine from the snapshot — a single bulk dict copy instead
+        of re-running every ``store_word`` of ``allocate``.  Treat the
+        snapshot as frozen: hydrated images copy the word dict before
+        mutating it, but share the region map (which only ``alloc``
+        grows, and hydrated images are never allocated into again).
+        """
+        return ImageSnapshot(
+            size_bytes=self.size_bytes,
+            geometry=self.geometry,
+            words=dict(self._words),
+            brk=self._brk,
+            regions=self.regions,
+        )
+
+    @classmethod
+    def from_snapshot(cls, snap: "ImageSnapshot") -> "MemoryImage":
+        """A fresh image hydrated from :meth:`snapshot`.
+
+        The word store is copied (each machine mutates its own words);
+        the region map is shared read-only (see :meth:`snapshot`).
+        """
+        image = cls(snap.size_bytes, snap.geometry)
+        image._words = dict(snap.words)
+        image._brk = snap.brk
+        image.regions = snap.regions
+        return image
 
     # -- word access ------------------------------------------------------
 

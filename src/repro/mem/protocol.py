@@ -251,10 +251,25 @@ class CoherenceProtocol:
     def obtain_modified(
         self, core: int, slot: int, line_addr: int, now: int
     ) -> AccessResult:
-        """Bring ``line_addr`` to M state in ``core``'s L1."""
+        """Bring ``line_addr`` to M state in ``core``'s L1.
+
+        The already-M outcome (repeated stores to the same line) is by
+        far the hottest and means the same thing in every registered
+        protocol — exclusive dirty, nothing to do — so it is resolved
+        here without the ``_write_hit`` hook call.  A protocol whose M
+        state is not "already exclusive dirty" must override this.
+        """
         host = self.host
         line = host._l1_lookups[core](line_addr)
         if line is not None:
+            if line.state == MSI_M:
+                line.last_use = now
+                host.stats.l1_hits += 1
+                obs = host.obs
+                if obs is not None and obs.wants_cache:
+                    obs.emit(CacheHit(now, core, slot, line_addr, "L1",
+                                      "write"))
+                return host._hit_l1
             return self._write_hit(core, slot, line_addr, line, now)
         return self._write_miss(core, slot, line_addr, now)
 

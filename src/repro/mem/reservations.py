@@ -45,6 +45,8 @@ class ReservationFile:
         Returns the ``(core, slot)`` keys of the destroyed
         reservations (stat + event hook).
         """
+        if not self._held:
+            return []
         victims = [
             key for key, held in self._held.items() if held == line_addr
         ]
@@ -60,6 +62,8 @@ class ReservationFile:
         Only that core's threads lose their reservations; their keys
         are returned.
         """
+        if not self._held:
+            return []
         victims = [
             key
             for key, held in self._held.items()

@@ -24,8 +24,10 @@ __all__ = ["RunTelemetry", "run_provenance", "render_telemetry"]
 
 #: How a result was obtained.  ``queue`` means a detached service
 #: worker simulated it and the executor collected it from the shared
-#: store (the ``queue://`` backend).
-SOURCES = ("simulated", "memo", "store", "queue")
+#: store (the ``queue://`` backend); ``batch`` means it was simulated
+#: fresh in-process alongside other specs by the batched backend
+#: (:mod:`repro.sim.batch`).
+SOURCES = ("simulated", "memo", "store", "queue", "batch")
 
 
 @dataclass
@@ -34,7 +36,7 @@ class RunTelemetry:
 
     label: str
     digest: str
-    source: str            # "simulated" | "memo" | "store" | "queue"
+    source: str            # one of SOURCES
     cycles: int = 0
     instructions: int = 0
     wall_time_s: float = 0.0
@@ -42,6 +44,8 @@ class RunTelemetry:
     worker_host: str = ""  # host that simulated it ("" = this one)
     created: float = 0.0   # unix timestamp
     trace_id: str = ""     # sweep trace this run belonged to ("" = none)
+    batch_id: str = ""     # batch this run was simulated in ("" = solo)
+    batch_occupancy: int = 0  # specs sharing that batch (0 = solo)
 
     @property
     def cycles_per_second(self) -> float:
@@ -119,7 +123,7 @@ def render_telemetry(entries: Iterable[RunTelemetry]) -> str:
             f"{t.wall_time_s:8.3f} {t.cycles_per_second:12.0f} "
             f"{t.worker_pid:7d}"
         )
-    simulated = [t for t in rows if t.source == "simulated"]
+    simulated = [t for t in rows if t.source in ("simulated", "batch")]
     total_wall = sum(t.wall_time_s for t in simulated)
     total_cycles = sum(t.cycles for t in simulated)
     lines.append(

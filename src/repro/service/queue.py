@@ -17,7 +17,13 @@ Layout::
       workers/<worker_id>.json       worker heartbeat snapshots
 
 A task's payload is its spec (plus the digest, submission time, and —
-for traced sweeps — the sweep's trace id).  The state machine:
+for traced sweeps — the sweep's trace id).  :meth:`WorkQueue.submit_many`
+additionally publishes *batch* files (``batch-<sha>.json``) carrying up
+to N specs each; a batch claims/acks/nacks/requeues as one unit, and
+workers drain it through one in-process
+:class:`~repro.sim.batch.BatchRunner` instead of N solo simulations.
+The ``queue_batch_size`` histogram records specs-per-file either way.
+The state machine:
 
 * **submit** — atomic publish into ``pending/`` (temp file +
   ``os.replace``).  Submitting a digest that is already pending or
@@ -54,13 +60,23 @@ is attached (``obs=``), transitions additionally emit
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Collection, Dict, Iterable, List, Optional
+from typing import (
+    Any,
+    Collection,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ConfigError
 from repro.obs.log import NULL_LOGGER, StructLogger
@@ -94,12 +110,25 @@ def parse_queue_url(url: str) -> Path:
 
 @dataclass(frozen=True)
 class Task:
-    """One claimed unit of work (hold it only between claim and ack)."""
+    """One claimed unit of work (hold it only between claim and ack).
+
+    A task is normally one spec; :meth:`WorkQueue.submit_many` also
+    publishes *batch* tasks — one queue file carrying several specs —
+    in which case :attr:`members` lists every ``(digest, spec)`` pair
+    (in submission order), :attr:`digest` is the batch's content id
+    (``batch-<sha>``), and :attr:`spec` echoes the first member for
+    display.  Batches claim, ack, nack, and requeue as one unit.
+    """
 
     digest: str
     spec: RunSpec
     lease_path: Path
     trace_id: str = ""  # sweep trace the submitter threaded through
+    members: Tuple[Tuple[str, RunSpec], ...] = ()
+
+    @property
+    def is_batch(self) -> bool:
+        return bool(self.members)
 
 
 class WorkQueue:
@@ -137,6 +166,11 @@ class WorkQueue:
         self._leased_gauge = self.metrics.gauge(
             "queue_leased_depth", "Claimed (leased) tasks in the queue",
             labelnames=("queue",),
+        )
+        self._batch_size_hist = self.metrics.histogram(
+            "queue_batch_size",
+            "Specs per submitted queue file (1 = unbatched)",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
         )
         # Instance-local depth cache: None until the first scan; then
         # maintained incrementally by this instance's own transitions
@@ -219,6 +253,17 @@ class WorkQueue:
         }
         if trace_id:
             payload["trace"] = {"id": trace_id}
+        self._publish_pending(digest, payload)
+        self._count("submitted", +1, 0)
+        self._batch_size_hist.observe(1.0)
+        self.logger.debug("submit", digest=digest[:12], trace_id=trace_id)
+        self._phase("enqueued", digest, "queue", trace_id)
+        if trace_id:
+            self.span_log().record("enqueued", digest, trace_id)
+        return True
+
+    def _publish_pending(self, digest: str, payload: Dict[str, Any]) -> None:
+        """Atomically land one payload as ``pending/<digest>.json``."""
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.pending_dir), prefix=f".{digest[:12]}.",
             suffix=".tmp",
@@ -233,12 +278,78 @@ class WorkQueue:
             except OSError:
                 pass
             raise
-        self._count("submitted", +1, 0)
-        self.logger.debug("submit", digest=digest[:12], trace_id=trace_id)
-        self._phase("enqueued", digest, "queue", trace_id)
-        if trace_id:
-            self.span_log().record("enqueued", digest, trace_id)
-        return True
+
+    def submit_many(
+        self,
+        specs: Sequence[RunSpec],
+        batch_size: int,
+        digests: Optional[Sequence[str]] = None,
+        trace_id: str = "",
+    ) -> int:
+        """Enqueue specs as batch files of up to ``batch_size`` each.
+
+        One queue file per group keeps the filesystem traffic (and the
+        claim/ack round-trips) at ``N / batch_size`` instead of ``N``,
+        and lets the claiming worker drain the whole group through one
+        :class:`~repro.sim.batch.BatchRunner`.  A group of one falls
+        back to a plain :meth:`submit` so singletons keep the classic
+        shape.  The batch digest (``batch-<sha>`` over the member
+        digests) keys the file; resubmitting an identical group while
+        it is pending or leased is a no-op, mirroring :meth:`submit`.
+        ``digests`` optionally provides pre-computed member digests
+        (parallel to ``specs``).  Returns how many *specs* were newly
+        queued.
+        """
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        specs = list(specs)
+        if digests is None:
+            digests = [spec.digest() for spec in specs]
+        else:
+            digests = list(digests)
+            if len(digests) != len(specs):
+                raise ConfigError(
+                    f"{len(digests)} digests for {len(specs)} specs"
+                )
+        queued = 0
+        for base in range(0, len(specs), batch_size):
+            group = list(zip(digests[base:base + batch_size],
+                             specs[base:base + batch_size]))
+            if len(group) == 1:
+                digest, spec = group[0]
+                if self.submit(spec, digest=digest, trace_id=trace_id):
+                    queued += 1
+                continue
+            batch_digest = "batch-" + hashlib.sha256(
+                "".join(digest for digest, _ in group).encode("utf-8")
+            ).hexdigest()[:40]
+            if self._in_flight(batch_digest):
+                continue
+            self.pending_dir.mkdir(parents=True, exist_ok=True)
+            self.leased_dir.mkdir(parents=True, exist_ok=True)
+            payload: Dict[str, Any] = {
+                "digest": batch_digest,
+                "batch": [
+                    {"digest": digest, "spec": spec.to_dict()}
+                    for digest, spec in group
+                ],
+                "enqueued": time.time(),
+            }
+            if trace_id:
+                payload["trace"] = {"id": trace_id}
+            self._publish_pending(batch_digest, payload)
+            queued += len(group)
+            self._count("submitted", +1, 0)
+            self._batch_size_hist.observe(float(len(group)))
+            self.logger.debug(
+                "submit-batch", digest=batch_digest[:18],
+                size=len(group), trace_id=trace_id,
+            )
+            self._phase("enqueued", batch_digest, "queue", trace_id)
+            if trace_id:
+                for digest, _ in group:
+                    self.span_log().record("enqueued", digest, trace_id)
+        return queued
 
     def submit_sweep(
         self, specs: Iterable[RunSpec], trace_id: str = ""
@@ -318,8 +429,19 @@ class WorkQueue:
         try:
             with open(path, encoding="utf-8") as fh:
                 payload = json.load(fh)
-            spec = RunSpec.from_dict(payload["spec"])
             trace_id = str((payload.get("trace") or {}).get("id", ""))
+            if "batch" in payload:
+                members = tuple(
+                    (str(entry["digest"]), RunSpec.from_dict(entry["spec"]))
+                    for entry in payload["batch"]
+                )
+                if not members:
+                    return None
+                return Task(
+                    digest=digest, spec=members[0][1], lease_path=path,
+                    trace_id=trace_id, members=members,
+                )
+            spec = RunSpec.from_dict(payload["spec"])
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None
         return Task(
@@ -330,9 +452,8 @@ class WorkQueue:
         """Rewrite the leased file with holder identity + deadline."""
         import platform
 
-        payload = {
+        payload: Dict[str, Any] = {
             "digest": task.digest,
-            "spec": task.spec.to_dict(),
             "lease": {
                 "worker_id": worker_id,
                 "host": platform.node(),
@@ -341,6 +462,16 @@ class WorkQueue:
                 "deadline": time.time() + self.lease_s,
             },
         }
+        if task.members:
+            # A batch lease must keep its member list: an expired
+            # lease renames back to pending, and the next claimer
+            # re-reads the payload.
+            payload["batch"] = [
+                {"digest": digest, "spec": spec.to_dict()}
+                for digest, spec in task.members
+            ]
+        else:
+            payload["spec"] = task.spec.to_dict()
         if task.trace_id:
             payload["trace"] = {"id": task.trace_id}
         try:

@@ -227,6 +227,17 @@ def worker_loop(
             metrics.claim()
             if task.trace_id:
                 spans.record("claimed", task.digest, task.trace_id)
+            if task.is_batch:
+                if not _execute_batch(task, queue, store, summary,
+                                      metrics, logger, spans):
+                    poisoned.add(task.digest)
+                beat()
+                if (
+                    max_tasks is not None
+                    and summary.executed >= max_tasks
+                ):
+                    break
+                continue
             if store.load_record(task.digest) is not None:
                 # Another worker (or a requeued straggler's original
                 # run) already produced this record; determinism makes
@@ -270,6 +281,94 @@ def _drained(queue: WorkQueue, poisoned: set) -> bool:
     if counts["pending"] == 0:
         return True
     return set(queue.pending_digests()) <= poisoned
+
+
+def _execute_batch(
+    task: Task,
+    queue: WorkQueue,
+    store: ResultStore,
+    summary: WorkerSummary,
+    metrics: _WorkerMetrics,
+    logger: StructLogger,
+    spans,
+) -> bool:
+    """Drain one claimed batch through an in-process BatchRunner.
+
+    Members whose digest the store already has are skipped (the same
+    determinism argument as the single-task path, applied per member);
+    the rest simulate together — shared interned inputs, one merged
+    event heap.  Save-then-ack covers the whole file, so a crash
+    mid-batch requeues it and the re-run skips whatever did land.  A
+    simulation error nacks the *whole file* back to pending: members
+    are independent, but the file is the queue's unit of retry.
+    """
+    from repro.sim.batch import BatchRunner
+
+    fresh = [
+        (digest, spec) for digest, spec in task.members
+        if store.load_record(digest) is None
+    ]
+    skipped = len(task.members) - len(fresh)
+    if skipped:
+        summary.skipped += skipped
+        for _ in range(skipped):
+            metrics.outcome("skipped")
+    if not fresh:
+        queue.ack(task)
+        logger.debug(
+            "skip-batch", digest=task.digest[:18],
+            reason="every member already in store",
+        )
+        return True
+    begun = time.perf_counter()
+    try:
+        results = BatchRunner([spec for _, spec in fresh]).run()
+    except Exception as exc:  # noqa: BLE001 — a worker must survive
+        queue.nack(task)
+        summary.failed += 1
+        metrics.outcome("failed")
+        logger.warning(
+            "fail-batch", digest=task.digest[:18],
+            size=len(fresh), error=repr(exc), trace_id=task.trace_id,
+        )
+        return False
+    wall_s = time.perf_counter() - begun
+    summary.sim_wall_s += wall_s
+    for (digest, spec), result in zip(fresh, results):
+        stats = result.stats
+        metrics.simulated(result.wall_s)
+        metrics.contention(stats)
+        summary.contention_failed_lanes += stats.glsc_failures_total
+        summary.contention_sc_failures += stats.sc_failures
+        if task.trace_id:
+            spans.record(
+                "simulated", digest, task.trace_id,
+                wall_s=round(result.wall_s, 6), cycles=stats.cycles,
+            )
+        provenance = run_provenance(result.wall_s)
+        provenance["batch_id"] = task.digest
+        provenance["batch_occupancy"] = len(fresh)
+        if task.trace_id:
+            provenance["trace_id"] = task.trace_id
+        store.save(
+            digest,
+            stats,
+            spec=spec.to_dict(),
+            config=spec.config().to_dict(),
+            provenance=provenance,
+        )
+        if task.trace_id:
+            spans.record("saved", digest, task.trace_id)
+        summary.executed += 1
+        metrics.outcome("executed")
+        summary.digests.append(digest)
+    queue.ack(task)
+    logger.info(
+        "done-batch", digest=task.digest[:18], size=len(fresh),
+        skipped=skipped, wall_s=round(wall_s, 3),
+        trace_id=task.trace_id,
+    )
+    return True
 
 
 def _execute_one(

@@ -351,6 +351,7 @@ class ExecutorCounters:
     memo_hits: int = 0     # served from the in-memory memo
     store_hits: int = 0    # served from the on-disk store
     queued: int = 0        # simulated by detached queue workers
+    batched: int = 0       # simulated by the in-process batch backend
 
 
 class Executor:
@@ -376,9 +377,15 @@ class Executor:
     (which is therefore required).  The executor requeues expired
     leases while it waits, so worker crashes stall nothing, and every
     collected result is telemetry-tagged ``source="queue"`` with the
-    producing worker's host from the record's provenance.  Results
-    are identical either way: a queue-drained sweep's store records
-    are byte-identical (sans provenance) to a serial run's.
+    producing worker's host from the record's provenance.
+    ``backend="batch"`` packs cold specs into groups of ``batch_size``
+    and simulates each group through one
+    :class:`~repro.sim.batch.BatchRunner` — one process, shared
+    interned inputs, one merged event heap — tagging results
+    ``source="batch"`` with the batch id and occupancy.  Results are
+    identical whichever backend runs them: a queue-drained or batched
+    sweep's store records are byte-identical (sans provenance) to a
+    serial run's, and the golden-equivalence tests pin this.
 
     Observers (``tracer``/``obs`` on :meth:`run`/:meth:`run_sweep`)
     force two departures from the caching pipeline, both deliberate:
@@ -405,18 +412,25 @@ class Executor:
         jobs: int = 1,
         store: Optional[ResultStore] = None,
         backend: Optional[str] = None,
+        batch_size: int = 16,
         queue_poll_s: float = 0.1,
         queue_timeout_s: Optional[float] = 600.0,
         **overrides: Any,
     ) -> None:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
         self.jobs = jobs
         self.store = store
+        self.batch_size = batch_size
         self.queue_poll_s = queue_poll_s
         self.queue_timeout_s = queue_timeout_s
         self._queue = None
-        if backend is not None:
+        self._batched = False
+        if backend == "batch":
+            self._batched = True
+        elif backend is not None:
             if store is None:
                 raise ConfigError(
                     "backend requires a store: queue workers deliver "
@@ -511,6 +525,11 @@ class Executor:
             # a detached worker cannot feed this process's observers.
             self._drain_via_queue(pending)
             return
+        if self._batched and not observed:
+            # Observed runs keep the solo path: BatchRunner machines
+            # carry no tracer/bus, preserving the zero-overhead guard.
+            self._simulate_batched(pending)
+            return
         if not observed and self.jobs > 1 and len(specs) > 1:
             workers = min(self.jobs, len(specs))
             with concurrent.futures.ProcessPoolExecutor(workers) as pool:
@@ -553,9 +572,67 @@ class Executor:
                     provenance=provenance,
                 )
 
+    def _simulate_batched(self, pending: Dict[str, RunSpec]) -> None:
+        """Pack pending specs into batches and drain each in-process.
+
+        Specs are packed in pending order, ``batch_size`` at a time;
+        each group runs through one
+        :class:`~repro.sim.batch.BatchRunner`.  Per-spec wall times are
+        the runner's cycle-proportional shares of the batch wall, so
+        telemetry sums stay meaningful; the batch id (a digest of the
+        member digests) and occupancy land in both telemetry and store
+        provenance.
+        """
+        from repro.sim.batch import BatchRunner
+
+        items = list(pending.items())
+        pid = os.getpid()
+        for base in range(0, len(items), self.batch_size):
+            group = items[base:base + self.batch_size]
+            batch_id = hashlib.sha256(
+                "".join(digest for digest, _ in group).encode("utf-8")
+            ).hexdigest()[:12]
+            runner = BatchRunner([spec for _, spec in group])
+            results = runner.run()
+            occupancy = len(group)
+            for (digest, spec), result in zip(group, results):
+                stats = result.stats
+                self._memo[digest] = stats
+                self.counters.batched += 1
+                self.telemetry.append(
+                    RunTelemetry(
+                        label=spec.label(),
+                        digest=digest,
+                        source="batch",
+                        cycles=stats.cycles,
+                        instructions=stats.total_instructions,
+                        wall_time_s=result.wall_s,
+                        worker_pid=pid,
+                        created=time.time(),
+                        batch_id=batch_id,
+                        batch_occupancy=occupancy,
+                    )
+                )
+                if self.store is not None:
+                    provenance = run_provenance(result.wall_s)
+                    provenance["worker_pid"] = pid
+                    provenance["batch_id"] = batch_id
+                    provenance["batch_occupancy"] = occupancy
+                    self.store.save(
+                        digest,
+                        stats,
+                        spec=spec.to_dict(),
+                        config=spec.config().to_dict(),
+                        provenance=provenance,
+                    )
+
     def _drain_via_queue(self, pending: Dict[str, RunSpec]) -> None:
         """Enqueue pending specs and collect worker-produced results.
 
+        Specs are published as batch files of up to ``batch_size``
+        (:meth:`~repro.service.queue.WorkQueue.submit_many`), so a
+        claiming worker drains each file through one in-process
+        :class:`~repro.sim.batch.BatchRunner` instead of N solo runs.
         The rendezvous is the shared store: workers save records keyed
         by digest, this loop polls for them (cheap existence checks,
         no tally churn), requeueing expired leases as it goes so a
@@ -567,8 +644,13 @@ class Executor:
         from repro.obs.sweeptrace import new_trace_id
 
         trace_id = new_trace_id()
-        for digest, spec in pending.items():
-            self._queue.submit(spec, digest=digest, trace_id=trace_id)
+        items = list(pending.items())
+        self._queue.submit_many(
+            [spec for _, spec in items],
+            self.batch_size,
+            digests=[digest for digest, _ in items],
+            trace_id=trace_id,
+        )
         deadline = (
             None if self.queue_timeout_s is None
             else time.monotonic() + self.queue_timeout_s

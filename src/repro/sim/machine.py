@@ -82,14 +82,19 @@ class Machine:
 
     # -- setup ----------------------------------------------------------
 
-    def add_program(self, program: Program) -> int:
+    def add_program(self, program: Program, check: bool = True) -> int:
         """Attach ``program`` to the next hardware thread; returns its tid.
 
         Threads are distributed cyclically over cores (thread ``t`` runs
         on core ``t mod n_cores``), matching the even work split the
         paper's benchmarks use.
+
+        ``check=False`` skips program validation — for callers (the
+        batched backend) that already validated this program object
+        once and attach it to many threads/machines.
         """
-        check_program(program)
+        if check:
+            check_program(program)
         tid = len(self.threads)
         if tid >= self.config.n_threads:
             raise ConfigError(
@@ -291,6 +296,190 @@ class Machine:
             t.stats.finish_cycle for t in self.threads
         )
         return self.stats
+
+    # -- batched execution seam ---------------------------------------------
+
+    def batch_begin(self) -> int:
+        """Prepare this machine for externally driven iteration.
+
+        The batched backend (:mod:`repro.sim.batch`) drains many
+        machines through one interleaved event heap; instead of
+        :meth:`run` owning the loop, the driver calls
+        :meth:`batch_step` once per iteration at the cycle this method
+        (and then each step) hands back.  The per-iteration work is a
+        verbatim transcription of the general loop in :meth:`run` —
+        same tick ordering, barrier handling, advancement rule, and
+        error edges — so a batched machine retires bit-identical stats
+        (the golden-equivalence tests pin this).
+
+        Returns the cycle of the first iteration (always 0, matching
+        :meth:`run`).
+        """
+        if self._ran:
+            raise SimulationError("a Machine can only be run once")
+        self._ran = True
+        if not self.threads:
+            raise SimulationError("no programs attached")
+        self._b_live = len(self.threads)
+        done_events: List[HwThread] = []
+        barrier_arrivals: List[HwThread] = []
+        self._b_done_events = done_events
+        self._b_barrier_arrivals = barrier_arrivals
+        self._b_barrier_waiters: List[HwThread] = []
+        heap: List[Tuple[int, int]] = []
+        for core in self.cores:
+            core.done_events = done_events
+            core.barrier_arrivals = barrier_arrivals
+            ready = core.next_ready_cycle()
+            core._next_ready = ready
+            if ready is not None:
+                heap.append((ready, core.core_id))
+        heapify(heap)
+        self._b_heap = heap
+        self._b_to_tick: List[int] = []
+        self._b_it = 0
+        return 0
+
+    def next_core_id(self) -> int:
+        """Core id of this machine's next wakeup (0 when none pending).
+
+        Purely informational — the batch driver uses it as the third
+        element of its ``(cycle, machine_id, core_id)`` heap key so the
+        interleave order is fully specified (machines are independent,
+        so the cross-machine order is unobservable either way).
+        """
+        heap = self._b_heap
+        return heap[0][1] if heap else 0
+
+    def batch_step(self, cycle: int, horizon: int) -> Optional[int]:
+        """Execute loop iterations from ``cycle`` up through ``horizon``.
+
+        Runs the machine's own loop — a verbatim transcription of
+        :meth:`run`, including its single-core specialization — until
+        the next iteration's cycle exceeds ``horizon``, then returns
+        that cycle so the batch driver can re-queue this machine;
+        returns ``None`` when every thread has finished
+        (``stats.cycles`` is final).  Because a machine's cycle
+        sequence never depends on other machines, the horizon only
+        sets the cross-machine interleave granularity, not any result.
+        Loop state lives in locals within a chunk (the hot path is as
+        tight as :meth:`run`'s) and is saved back to ``_b_*``
+        attributes only at chunk boundaries.
+        """
+        cores = self.cores
+        heap = self._b_heap
+        max_cycles = self.config.max_cycles
+        live = self._b_live
+        done_events = self._b_done_events
+        barrier_arrivals = self._b_barrier_arrivals
+        barrier_waiters = self._b_barrier_waiters
+        it = self._b_it
+        if len(cores) == 1:
+            core = cores[0]
+            while True:
+                wake = core.tick(cycle, it)
+                if done_events:
+                    live -= len(done_events)
+                    del done_events[:]
+                if barrier_arrivals:
+                    for thread in barrier_arrivals:
+                        if thread.barrier_group != "all":
+                            raise SimulationError(
+                                f"unknown barrier group "
+                                f"{thread.barrier_group!r}; only 'all' is "
+                                f"supported by the machine barrier"
+                            )
+                    barrier_waiters.extend(barrier_arrivals)
+                    del barrier_arrivals[:]
+                if barrier_waiters and len(barrier_waiters) == live:
+                    self._release_barrier(barrier_waiters, cycle, heap)
+                    wake = core._next_ready
+                if live == 0:
+                    cycle += 1
+                    if cycle > max_cycles:
+                        raise SimulationError(
+                            f"exceeded max_cycles={max_cycles}; "
+                            f"likely livelock"
+                        )
+                    self._b_live = 0
+                    self.stats.cycles = max(
+                        t.stats.finish_cycle for t in self.threads
+                    )
+                    return None
+                if wake is None:
+                    raise DeadlockError(
+                        "all live threads are blocked at barriers that "
+                        "cannot be released"
+                    )
+                cycle = cycle + 1 if wake <= cycle else wake
+                if cycle > max_cycles:
+                    raise SimulationError(
+                        f"exceeded max_cycles={max_cycles}; likely livelock"
+                    )
+                it += 1
+                if cycle > horizon:
+                    self._b_live = live
+                    self._b_it = it
+                    return cycle
+        to_tick = self._b_to_tick
+        while True:
+            del to_tick[:]
+            while heap and heap[0][0] <= cycle:
+                entry = heappop(heap)
+                cid = entry[1]
+                if cores[cid]._next_ready == entry[0] and cid not in to_tick:
+                    to_tick.append(cid)
+            to_tick.sort()
+            for cid in to_tick:
+                core = cores[cid]
+                ready = core.tick(cycle, it)
+                core._next_ready = ready
+                if ready is not None:
+                    heappush(heap, (ready, cid))
+            if done_events:
+                live -= len(done_events)
+                del done_events[:]
+            if barrier_arrivals:
+                for thread in barrier_arrivals:
+                    if thread.barrier_group != "all":
+                        raise SimulationError(
+                            f"unknown barrier group "
+                            f"{thread.barrier_group!r}; only 'all' is "
+                            f"supported by the machine barrier"
+                        )
+                barrier_waiters.extend(barrier_arrivals)
+                del barrier_arrivals[:]
+            if barrier_waiters and len(barrier_waiters) == live:
+                self._release_barrier(barrier_waiters, cycle, heap)
+            if live == 0:
+                cycle += 1
+                if cycle > max_cycles:
+                    raise SimulationError(
+                        f"exceeded max_cycles={max_cycles}; likely livelock"
+                    )
+                self._b_live = 0
+                self.stats.cycles = max(
+                    t.stats.finish_cycle for t in self.threads
+                )
+                return None
+            while heap and cores[heap[0][1]]._next_ready != heap[0][0]:
+                heappop(heap)
+            if not heap:
+                raise DeadlockError(
+                    "all live threads are blocked at barriers that cannot "
+                    "be released"
+                )
+            wake = heap[0][0]
+            cycle = cycle + 1 if wake <= cycle else wake
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"exceeded max_cycles={max_cycles}; likely livelock"
+                )
+            it += 1
+            if cycle > horizon:
+                self._b_live = live
+                self._b_it = it
+                return cycle
 
     # -- internals --------------------------------------------------------------
 

@@ -22,7 +22,15 @@ from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
 from repro.sim.stats import MachineStats
 
-__all__ = ["RunResult", "run_kernel", "run_prepared"]
+__all__ = ["RunResult", "run_kernel", "run_prepared", "verify_run"]
+
+
+def verify_run(kernel: KernelBase, machine: Machine) -> None:
+    """Post-run correctness checks shared by the solo and batched paths:
+    the kernel's output oracle, then the coherence system's global
+    invariants."""
+    kernel.verify()
+    machine.coherence.check_invariants()
 
 
 @dataclass
@@ -81,8 +89,7 @@ def run_prepared(
         machine.warm_caches()
     stats = machine.run()
     if verify:
-        kernel.verify()
-        machine.coherence.check_invariants()
+        verify_run(kernel, machine)
     return stats
 
 

@@ -95,6 +95,10 @@ class ResultStore:
         self._puts = self.metrics.counter(
             "store_puts_total", "Result records persisted"
         )
+        self._put_bytes = self.metrics.counter(
+            "store_put_bytes_total",
+            "Serialized record bytes written by puts",
+        )
         self._journal_appends = self.metrics.counter(
             "store_journal_appends_total",
             "Lines appended to the index journal",
@@ -176,22 +180,30 @@ class ResultStore:
         records written before this field existed stay loadable.
         """
         self.root.mkdir(parents=True, exist_ok=True)
+        # Serialize exactly once: the stats dict feeds the record, the
+        # record serializes to one payload whose bytes are both what
+        # hits the disk and what the put-bytes counter measures, and
+        # the journal line reuses the already-built dict.  Batched
+        # sweeps put dozens of records back to back, so the redundant
+        # re-walks this replaces were measurable.
+        stats_dict = stats.to_dict()
         record = {
             "version": STORE_VERSION,
             "digest": digest,
             "spec": spec or {},
             "config": config or {},
-            "stats": stats.to_dict(),
+            "stats": stats_dict,
             "provenance": provenance or {},
             "created": time.time(),
         }
+        payload = json.dumps(record, sort_keys=True)
         path = self.path_for(digest)
         fd, tmp_name = tempfile.mkstemp(
             dir=str(self.root), prefix=f".{digest[:12]}.", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(record, fh, sort_keys=True)
+                fh.write(payload)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -200,11 +212,12 @@ class ResultStore:
                 pass
             raise
         self._puts.inc()
+        self._put_bytes.inc(len(payload.encode("utf-8")))
         self._append_index(
             {
                 "digest": digest,
                 "kernel": (spec or {}).get("kernel", "?"),
-                "cycles": stats.cycles,
+                "cycles": stats_dict.get("cycles", stats.cycles),
                 "created": record["created"],
             }
         )

@@ -18,6 +18,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.workloads.interning import interned_generator
 
 __all__ = [
     "FlowNetwork",
@@ -50,6 +51,7 @@ class FlowNetwork:
         return excess
 
 
+@interned_generator
 def flow_network(
     n_nodes: int, n_edges: int, seed: int, locality: int = 12
 ) -> FlowNetwork:
@@ -106,6 +108,7 @@ class ConstraintSystem:
         return state
 
 
+@interned_generator
 def constraint_system(
     n_objects: int,
     n_constraints: int,

@@ -25,6 +25,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.workloads.interning import interned_generator
 
 __all__ = ["CollisionScene", "collision_scene", "ParticleField", "particle_field"]
 
@@ -65,6 +66,7 @@ class CollisionScene:
         return counts
 
 
+@interned_generator
 def collision_scene(
     n_objects: int,
     n_cells: int,
@@ -142,6 +144,7 @@ class ParticleField:
         return density
 
 
+@interned_generator
 def particle_field(n_particles: int, dim: int, seed: int) -> ParticleField:
     """Generate near-uniform particles in a ``dim^3`` node grid.
 

@@ -22,10 +22,12 @@ from typing import List
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.workloads.interning import interned_generator
 
 __all__ = ["generate_image", "alias_fraction"]
 
 
+@interned_generator
 def generate_image(
     n_pixels: int,
     n_colors: int,

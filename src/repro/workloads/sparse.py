@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.workloads.interning import interned_generator
 
 __all__ = [
     "SparseMatrix",
@@ -70,6 +71,7 @@ class SparseMatrix:
         return y
 
 
+@interned_generator
 def random_sparse(
     rows: int,
     cols: int,
@@ -168,6 +170,7 @@ class BlockTriangular:
         return x
 
 
+@interned_generator
 def block_triangular(
     n_blocks: int, block: int, fill: float, seed: int
 ) -> BlockTriangular:

@@ -136,13 +136,59 @@ class TestThroughputReport:
         # regressions by comparing only the throughput verdicts.
         assert all(v.verdict != "regressed" for v in khz)
 
-    def test_skip_perf_disables_throughput(self, doc):
+    def test_skip_perf_disables_wall_throughput_keeps_proxy(self, doc):
+        """--skip-perf drops the wall-based sim_khz verdicts but keeps
+        the deterministic cycles-per-instruction proxy (it is
+        machine-independent, so a foreign baseline cannot distort it).
+        """
         comparison = Comparator(check_perf=False).compare(
             doc, trajectory_entry(doc)
         )
-        assert not any(
-            v.kind == "throughput" for v in comparison.verdicts
+        throughput = [
+            v for v in comparison.verdicts if v.kind == "throughput"
+        ]
+        assert all(
+            v.metric.startswith("cyc_per_instr:") for v in throughput
         )
+        assert len(throughput) == 1
+
+    def test_gate_throughput_escalates_khz_drop(self, doc):
+        slowed = copy.deepcopy(doc)
+        for point in slowed["points"]:
+            point["wall_s"]["median"] *= 100
+        comparison = Comparator(
+            check_perf=True, check_cycles=False, gate_throughput=True
+        ).compare(slowed, trajectory_entry(doc))
+        khz = [
+            v for v in comparison.verdicts
+            if v.metric.startswith("sim_khz:")
+        ]
+        assert len(khz) == 1
+        assert khz[0].verdict == "regressed"
+        assert comparison.failed
+
+    def test_proxy_gates_on_cpi_drift_only_when_asked(self, doc):
+        drifted = copy.deepcopy(doc)
+        for point in drifted["points"]:
+            point["cycles"] = int(point["cycles"] * 2)
+        baseline = trajectory_entry(doc)
+        informational = Comparator(check_perf=False).compare(
+            drifted, baseline
+        )
+        proxy = [
+            v for v in informational.verdicts
+            if v.metric.startswith("cyc_per_instr:")
+        ]
+        assert len(proxy) == 1 and proxy[0].verdict == "changed"
+        gated = Comparator(
+            check_perf=False, gate_throughput=True
+        ).compare(drifted, baseline)
+        proxy = [
+            v for v in gated.verdicts
+            if v.metric.startswith("cyc_per_instr:")
+        ]
+        assert len(proxy) == 1 and proxy[0].verdict == "regressed"
+        assert gated.failed
 
     def test_pre_sim_khz_baseline_falls_back_to_cyc_per_s(self, doc):
         entry = trajectory_entry(doc)

@@ -25,6 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro.bench.suite import BenchSuite, point_id
+from repro.sim.batch import BatchRunner
 from repro.sim.executor import execute_spec
 
 DATA = Path(__file__).parent / "data"
@@ -38,7 +39,17 @@ def stats_digest(stats) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
-def check_grid(suite: BenchSuite, golden_name: str) -> None:
+def solo_stats(specs):
+    """The reference path: one machine at a time via execute_spec."""
+    return [execute_spec(spec, verify=True) for spec in specs]
+
+
+def batch_stats(specs):
+    """The batched path: every spec through one BatchRunner."""
+    return [result.stats for result in BatchRunner(specs).run()]
+
+
+def check_grid(suite: BenchSuite, golden_name: str, runner=solo_stats) -> None:
     golden = json.loads((DATA / golden_name).read_text())
     specs = list(suite.specs())
     assert len(specs) == len(golden), (
@@ -46,9 +57,8 @@ def check_grid(suite: BenchSuite, golden_name: str) -> None:
         f"holds {len(golden)}; regenerate the golden file"
     )
     mismatches = []
-    for spec in specs:
+    for spec, stats in zip(specs, runner(specs)):
         pid = point_id(spec)
-        stats = execute_spec(spec, verify=True)
         want = golden[pid]
         if stats.cycles != want["cycles"]:
             mismatches.append(
@@ -69,7 +79,23 @@ def test_smoke_grid_matches_golden():
     check_grid(BenchSuite.smoke(), "golden_smoke.json")
 
 
+def test_smoke_grid_matches_golden_batched():
+    """Tier-1: the smoke grid through BatchRunner hits the same goldens.
+
+    The batched backend shares interned inputs and interleaves all
+    machines on one event heap; this pins that none of it is
+    observable in the results.
+    """
+    check_grid(BenchSuite.smoke(), "golden_smoke.json", runner=batch_stats)
+
+
 @pytest.mark.tier2
 def test_full_grid_matches_golden():
     """Tier-2: all 84 full-grid points are bitwise-identical."""
     check_grid(BenchSuite.full(), "golden_full.json")
+
+
+@pytest.mark.tier2
+def test_full_grid_matches_golden_batched():
+    """Tier-2: all 84 points through BatchRunner are bitwise-identical."""
+    check_grid(BenchSuite.full(), "golden_full.json", runner=batch_stats)
